@@ -1,0 +1,93 @@
+//! Ablation benches (DESIGN.md §5): the design choices called out in the
+//! design document, measured head to head.
+//!
+//! * `width_*`: Construction 2.8 alone vs. + MD-hoisting vs. + re-rooting
+//!   (quality is tabulated by `harness ablation`; here we measure cost).
+//! * `steiner_*`: packing effort per topology family.
+//! * `relation_*`: the join/semijoin/aggregation kernels every protocol
+//!   and the engine share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_hypergraph::{internal_node_width, random_degenerate_query, Ghd};
+use faqs_network::{steiner_packing, Player, Topology};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::{Aggregate, Count};
+use rand::Rng;
+use std::hint::black_box;
+
+fn bench_width_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_width");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let h = random_degenerate_query(14, 3, 11);
+    group.bench_function("construction_only", |b| {
+        b.iter(|| black_box(Ghd::gyo_ghd(black_box(&h)).internal_count()))
+    });
+    group.bench_function("construction_plus_hoist", |b| {
+        b.iter(|| {
+            let mut g = Ghd::gyo_ghd(black_box(&h));
+            g.hoist_md();
+            black_box(g.internal_count())
+        })
+    });
+    group.bench_function("full_minimiser", |b| {
+        b.iter(|| black_box(internal_node_width(black_box(&h)).y))
+    });
+    group.finish();
+}
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_steiner");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for g in [
+        Topology::clique(8),
+        Topology::grid(3, 3),
+        Topology::random_connected(10, 0.4, 13),
+    ] {
+        let k: Vec<Player> = (0..4u32).map(Player).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &g, |b, g| {
+            b.iter(|| black_box(steiner_packing(g, &k, g.num_players() as u32).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_relation_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_relation_kernels");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let h = faqs_hypergraph::path_query(2);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: 2048,
+        domain: 256,
+        seed: 17,
+    };
+    let q: FaqQuery<Count> = random_instance(&h, &cfg, vec![], |r| Count(r.random_range(1..4)));
+    let r0 = q.factors[0].clone();
+    let r1 = q.factors[1].clone();
+    group.bench_function("join", |b| {
+        b.iter(|| black_box(r0.join(black_box(&r1)).len()))
+    });
+    group.bench_function("semijoin", |b| {
+        b.iter(|| black_box(r0.semijoin(black_box(&r1)).len()))
+    });
+    group.bench_function("aggregate_out", |b| {
+        b.iter(|| {
+            black_box(
+                r0.aggregate_out(faqs_hypergraph::Var(0), Aggregate::Sum)
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("project", |b| {
+        b.iter(|| black_box(r0.project(&[faqs_hypergraph::Var(1)]).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_width_pipeline, bench_steiner, bench_relation_kernels);
+criterion_main!(benches);

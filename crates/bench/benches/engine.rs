@@ -1,0 +1,69 @@
+//! Criterion benches for the centralized engine (the ground-truth
+//! oracle): the Theorem G.3 upward pass vs. the brute-force evaluation,
+//! plus the width computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_core::{solve_faq, solve_faq_brute_force};
+use faqs_hypergraph::{example_h2, example_h3, internal_node_width, random_degenerate_query};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::Count;
+use rand::Rng;
+use std::hint::black_box;
+
+fn counting_query(n: usize, seed: u64) -> FaqQuery<Count> {
+    let h = example_h2();
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: n,
+        domain: 4,
+        seed,
+    };
+    random_instance(&h, &cfg, vec![], |r| Count(r.random_range(1..4)))
+}
+
+fn bench_engine_vs_brute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_brute_h2");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let q = counting_query(12, 7);
+    group.bench_function("ghd_pass", |b| {
+        b.iter(|| black_box(solve_faq(black_box(&q)).unwrap().total()))
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(solve_faq_brute_force(black_box(&q)).total()))
+    });
+    group.finish();
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let q = counting_query(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(solve_faq(black_box(&q)).unwrap().total()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("internal_node_width");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    group.bench_function("h3", |b| {
+        let h = example_h3();
+        b.iter(|| black_box(internal_node_width(black_box(&h)).y))
+    });
+    group.bench_function("degenerate_16_3", |b| {
+        let h = random_degenerate_query(16, 3, 9);
+        b.iter(|| black_box(internal_node_width(black_box(&h)).y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_brute, bench_engine_scaling, bench_width);
+criterion_main!(benches);

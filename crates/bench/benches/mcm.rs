@@ -1,0 +1,50 @@
+//! Criterion benches for the matrix-chain protocols (Table 1 row 5,
+//! Section 6): simulation throughput of the three protocol families at
+//! the paper's two regimes (k ≤ N and k ≫ N).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_mcm::{merge_protocol, sequential_protocol, trivial_protocol, McmProblem};
+use std::hint::black_box;
+
+fn bench_regimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcm_protocols");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for (n, k, tag) in [(64usize, 8usize, "k<N"), (16, 128, "k>N")] {
+        let p = McmProblem::random(n, k, 1, 5);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", tag),
+            &p,
+            |b, p| b.iter(|| black_box(sequential_protocol(black_box(p)).rounds)),
+        );
+        group.bench_with_input(BenchmarkId::new("merge", tag), &p, |b, p| {
+            b.iter(|| black_box(merge_protocol(black_box(p)).rounds))
+        });
+        group.bench_with_input(BenchmarkId::new("trivial", tag), &p, |b, p| {
+            b.iter(|| black_box(trivial_protocol(black_box(p)).rounds))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec_kernel(c: &mut Criterion) {
+    use faqs_mcm::{BitMatrix, BitVec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("gf2_matvec");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = BitMatrix::random(n, &mut rng);
+        let x = BitVec::random(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(a.mul_vec(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regimes, bench_matvec_kernel);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion benches for the distributed protocols (Table 1 rows 1–4):
+//! wall-clock of simulating the d-degenerate pipeline per topology and
+//! instance size. The interesting output is the *measured round counts*
+//! (printed by the harness); these benches track the simulator's own
+//! throughput so protocol-engineering regressions show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_hypergraph::{random_degenerate_query, tree_query};
+use faqs_network::{Assignment, Topology};
+use faqs_protocols::run_bcq_protocol;
+use faqs_relation::{random_boolean_instance, RandomInstanceConfig};
+use std::hint::black_box;
+
+fn bench_bcq_by_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcq_protocol_topology");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let h = tree_query(2, 2);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: 128,
+        domain: 512,
+        seed: 1,
+    };
+    let q = random_boolean_instance(&h, &cfg, true);
+    for g in [
+        Topology::line(6),
+        Topology::clique(6),
+        Topology::grid(2, 3),
+        Topology::barbell(3, 1),
+    ] {
+        let ids: Vec<u32> = (0..6).collect();
+        let a = Assignment::round_robin(&q, &g, &ids);
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &g, |b, g| {
+            b.iter(|| {
+                let out = run_bcq_protocol(black_box(&q), g, &a, 1).unwrap();
+                black_box(out.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bcq_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcq_protocol_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let h = tree_query(2, 2);
+    let g = Topology::clique(6);
+    for n in [64usize, 256, 1024] {
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: n,
+            domain: (4 * n) as u32,
+            seed: 2,
+        };
+        let q = random_boolean_instance(&h, &cfg, true);
+        let ids: Vec<u32> = (0..6).collect();
+        let a = Assignment::round_robin(&q, &g, &ids);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_bcq_protocol(black_box(&q), &g, &a, 1).unwrap();
+                black_box(out.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bcq_by_degeneracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcq_protocol_degeneracy");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let g = Topology::clique(5);
+    for d in [1usize, 2, 3] {
+        let h = random_degenerate_query(8, d, 31 + d as u64);
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: 64,
+            domain: 256,
+            seed: 3,
+        };
+        let q = random_boolean_instance(&h, &cfg, true);
+        let ids: Vec<u32> = (0..5).collect();
+        let a = Assignment::round_robin(&q, &g, &ids);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let out = run_bcq_protocol(black_box(&q), &g, &a, 1).unwrap();
+                black_box(out.rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bcq_by_topology,
+    bench_bcq_by_n,
+    bench_bcq_by_degeneracy
+);
+criterion_main!(benches);

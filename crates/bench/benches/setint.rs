@@ -1,0 +1,53 @@
+//! Criterion benches for the Theorem 3.11 set-intersection protocol
+//! across topologies (the primitive underneath every star phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_network::{Player, Topology};
+use faqs_protocols::run_set_intersection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn inputs(players: usize, n: usize, seed: u64) -> Vec<(Player, Vec<bool>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..players as u32)
+        .map(|p| (Player(p), (0..n).map(|_| rng.random_bool(0.9)).collect()))
+        .collect()
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_intersection_topology");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let ins = inputs(6, 1024, 1);
+    for g in [
+        Topology::line(6).with_uniform_capacity(4),
+        Topology::ring(6).with_uniform_capacity(4),
+        Topology::clique(6).with_uniform_capacity(4),
+        Topology::grid(2, 3).with_uniform_capacity(4),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &g, |b, g| {
+            b.iter(|| black_box(run_set_intersection(g, black_box(&ins), Player(0)).unwrap().rounds))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_intersection_scaling");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let g = Topology::clique(6).with_uniform_capacity(4);
+    for n in [256usize, 1024, 4096] {
+        let ins = inputs(6, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(run_set_intersection(&g, black_box(&ins), Player(0)).unwrap().rounds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment implementations behind the `harness` binary and the
+//! Criterion benches: one function per table/figure/worked example of
+//! the paper (see DESIGN.md's experiment index E1–E12 and
+//! EXPERIMENTS.md for recorded outputs).
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+/// Prints a Markdown table row.
+pub fn row<S: AsRef<str>>(cells: &[S]) {
+    let joined: Vec<&str> = cells.iter().map(AsRef::as_ref).collect();
+    println!("| {} |", joined.join(" | "));
+}
+
+/// Prints a Markdown table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!();
+}

@@ -1,0 +1,51 @@
+//! The reproduction harness: regenerates every table, figure and worked
+//! example of *Topology Dependent Bounds For FAQs* (PODS 2019).
+//!
+//! ```text
+//! cargo run --release -p faqs-bench --bin harness            # everything
+//! cargo run --release -p faqs-bench --bin harness -- table1  # one artifact
+//! ```
+//!
+//! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
+//! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
+//! `ablation`, `all` (default).
+
+use faqs_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    // Experiment scale: --quick shrinks N for CI-speed runs.
+    let quick = args.iter().any(|a| a == "--quick");
+    let n = if quick { 64 } else { 256 };
+
+    let mut ran = false;
+    let mut run = |name: &str, f: &dyn Fn()| {
+        if which == "all" || which == name {
+            f();
+            ran = true;
+        }
+    };
+
+    run("table1", &|| exp::e1_table1(n));
+    run("figures", &exp::e2_figures);
+    run("examples2", &|| exp::e3_examples(&[64, 128, 256]));
+    run("lowerbounds", &|| exp::e4_lowerbounds(64, 4));
+    run("mcm", &exp::e5_mcm);
+    run("entropy", &exp::e6_entropy);
+    run("shannon", &exp::e7_shannon);
+    run("gap", &|| exp::e8_gap_sweep(n.min(128)));
+    run("mpc", &|| exp::e9_mpc(n));
+    run("setint", &|| exp::e10_set_intersection(4 * n));
+    run("faq", &|| exp::e11_faq_general(n.min(64)));
+    run("hashsplit", &|| exp::e12_hash_split(n.min(128)));
+    run("ablation", &exp::ablation_width);
+
+    if !ran {
+        eprintln!(
+            "unknown experiment `{which}`; choose one of: table1 figures examples2 \
+             lowerbounds mcm entropy shannon gap mpc setint faq hashsplit ablation all"
+        );
+        std::process::exit(2);
+    }
+}

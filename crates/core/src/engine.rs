@@ -1,0 +1,550 @@
+//! The upward message-passing engine (Theorem G.3).
+
+use faqs_hypergraph::{internal_node_width, Decomposition, Ghd, Hypergraph, Var};
+use faqs_relation::{FaqQuery, Relation};
+use faqs_semiring::{Aggregate, Boolean, LatticeOps, Semiring};
+
+/// Engine failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The free variables cannot be placed inside the core of any
+    /// decomposition we can construct (the paper's restriction
+    /// `F ⊆ V(C(H))`, Appendix G.5).
+    FreeVarsOutsideCore(Vec<Var>),
+    /// A `Max`/`Min` aggregate was used with [`solve_faq`]; use
+    /// [`solve_faq_lattice`].
+    NeedsLatticeOps(Var),
+    /// A product aggregate (`⊕⁽ⁱ⁾ = ⊗`) on a semiring whose `⊗` is not
+    /// idempotent: the GHD push-down cannot commute it past other
+    /// aggregates (the `f^m ≠ f` multiplicity blow-up); see the semantics
+    /// note in `faqs-core`'s brute-force module.
+    NonIdempotentProduct(Var),
+    /// The GHD elimination order would swap two differently-aggregated
+    /// variables that co-occur in a hyperedge — an exchange Theorem G.1
+    /// does not license (e.g. `Σ_x max_y f(x,y)` cannot become
+    /// `max_y Σ_x f(x,y)`). The query is well-defined (the brute-force
+    /// oracle evaluates it) but outside the engine's push-down fragment.
+    IncompatibleAggregateOrder(Var, Var),
+    /// The query failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::FreeVarsOutsideCore(vs) => {
+                write!(f, "free variables {vs:?} cannot be placed in the core V(C(H))")
+            }
+            EngineError::NeedsLatticeOps(v) => {
+                write!(f, "variable {v} uses Max/Min; call solve_faq_lattice")
+            }
+            EngineError::NonIdempotentProduct(v) => {
+                write!(f, "variable {v} uses a product aggregate over a non-idempotent ⊗")
+            }
+            EngineError::IncompatibleAggregateOrder(v, w) => {
+                write!(
+                    f,
+                    "aggregates of co-occurring variables {v} and {w} cannot be exchanged"
+                )
+            }
+            EngineError::Invalid(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Finds a core/forest decomposition whose core vertex set contains all
+/// `free` variables, re-rooting removed join trees when needed.
+///
+/// Strategy: start from the canonical decomposition; every free variable
+/// already in `V(C(H))` is fine; otherwise find a forest edge containing
+/// it and re-root that edge's tree there (pulling the edge into `C(H)`).
+/// Fails when two free variables would demand conflicting roots of the
+/// same tree and no single edge contains both.
+pub fn decomposition_for_free_vars(
+    h: &Hypergraph,
+    free: &[Var],
+) -> Result<Decomposition, EngineError> {
+    let mut d = Decomposition::of(h);
+    loop {
+        let missing: Vec<Var> = free
+            .iter()
+            .copied()
+            .filter(|v| !d.core_vars.contains(v))
+            .collect();
+        if missing.is_empty() {
+            return Ok(d);
+        }
+        let covered_now = free.len() - missing.len();
+        // Candidate: the forest edge containing the most *free* variables
+        // overall (not just missing ones — re-rooting evicts the old
+        // root's vertices from the core, so an edge holding several free
+        // variables beats one holding a single missing variable).
+        let best = d
+            .forest_edges
+            .iter()
+            .copied()
+            .filter(|e| missing.iter().any(|v| h.edge(*e).contains(v)))
+            .max_by_key(|e| free.iter().filter(|v| h.edge(*e).contains(v)).count());
+        let Some(e) = best else {
+            return Err(EngineError::FreeVarsOutsideCore(missing));
+        };
+        d.reroot(h, e);
+        let covered_after = free.iter().filter(|v| d.core_vars.contains(v)).count();
+        if covered_after <= covered_now {
+            let still: Vec<Var> = free
+                .iter()
+                .copied()
+                .filter(|v| !d.core_vars.contains(v))
+                .collect();
+            return Err(EngineError::FreeVarsOutsideCore(still));
+        }
+    }
+}
+
+/// Chooses the GHD used for evaluation: the width-minimising one when
+/// its core already contains `F`, otherwise a re-rooted decomposition.
+fn ghd_for_query<S: Semiring>(q: &FaqQuery<S>) -> Result<Ghd, EngineError> {
+    let report = internal_node_width(&q.hypergraph);
+    let covers = q
+        .free_vars
+        .iter()
+        .all(|v| report.decomposition.core_vars.contains(v));
+    if covers {
+        return Ok(report.ghd);
+    }
+    let d = decomposition_for_free_vars(&q.hypergraph, &q.free_vars)?;
+    let mut ghd = Ghd::from_decomposition(&q.hypergraph, &d);
+    ghd.hoist_md();
+    Ok(ghd)
+}
+
+/// Solves a general FAQ with `Sum`/`Product` aggregates (Equation 4) by
+/// the upward pass of Theorem G.3. Returns the result relation over the
+/// free variables (for `F = ∅`: a nullary relation whose single
+/// annotation is the scalar answer — [`Relation::total`] extracts it).
+pub fn solve_faq<S: Semiring>(q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
+    for v in q.hypergraph.vars() {
+        if !q.is_free(v) && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min) {
+            return Err(EngineError::NeedsLatticeOps(v));
+        }
+    }
+    check_product_aggregates(q)?;
+    let ghd = ghd_for_query(q)?;
+    solve_faq_on_ghd(q, &ghd, |rel, var, op| rel.aggregate_out(var, op))
+}
+
+/// Product aggregates are only push-down-safe when `⊗` is idempotent
+/// (e.g. the Boolean semiring, where they model universal
+/// quantification); reject them otherwise.
+fn check_product_aggregates<S: Semiring>(q: &FaqQuery<S>) -> Result<(), EngineError> {
+    if S::IDEMPOTENT_MUL {
+        return Ok(());
+    }
+    for v in q.hypergraph.vars() {
+        if !q.is_free(v) && q.aggregates[v.index()] == Aggregate::Product {
+            return Err(EngineError::NonIdempotentProduct(v));
+        }
+    }
+    Ok(())
+}
+
+/// [`solve_faq`] for lattice-capable semirings: additionally accepts
+/// `Max`/`Min` aggregates.
+pub fn solve_faq_lattice<S: LatticeOps>(q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
+    check_product_aggregates(q)?;
+    let ghd = ghd_for_query(q)?;
+    solve_faq_on_ghd(q, &ghd, |rel, var, op| rel.aggregate_out_lattice(var, op))
+}
+
+/// The elimination order the upward pass will use: per node in
+/// post-order, the variables private to that node in decreasing index;
+/// finally the root's bound variables in decreasing index.
+fn planned_elimination_order<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Vec<Var> {
+    let root = ghd.root();
+    let mut order = Vec::new();
+    let mut eliminated = vec![false; q.hypergraph.num_vars()];
+    for node in ghd.post_order() {
+        let scope: Vec<Var> = if node == root {
+            ghd.chi(root)
+                .iter()
+                .copied()
+                .filter(|v| !q.is_free(*v))
+                .collect()
+        } else {
+            let parent_chi = ghd.chi(ghd.parent(node).expect("non-root"));
+            ghd.chi(node)
+                .iter()
+                .copied()
+                .filter(|v| !parent_chi.contains(v))
+                .collect()
+        };
+        let mut scope: Vec<Var> = scope
+            .into_iter()
+            .filter(|v| !eliminated[v.index()])
+            .collect();
+        scope.sort_unstable_by(|a, b| b.cmp(a));
+        for v in scope {
+            eliminated[v.index()] = true;
+            order.push(v);
+        }
+    }
+    order
+}
+
+/// Public gate used by the distributed protocols, which eliminate the
+/// same private-variable sets on the same GHD: validates product
+/// aggregates (idempotence) and the push-down order in one call.
+pub fn check_push_down<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Result<(), EngineError> {
+    check_product_aggregates(q)?;
+    check_elimination_order(q, ghd)
+}
+
+/// Verifies the planned elimination order is a legal reordering of
+/// Equation (4)'s canonical innermost-first order: every *inverted* pair
+/// (a variable eliminated before a higher-indexed one) must either share
+/// the aggregate operator or never co-occur in a hyperedge (in which
+/// case the join factorises conditionally on the pending separator and
+/// Theorem G.1's second condition applies).
+fn check_elimination_order<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Result<(), EngineError> {
+    let order = planned_elimination_order(q, ghd);
+    for i in 0..order.len() {
+        for j in (i + 1)..order.len() {
+            let (a, b) = (order[i], order[j]);
+            if a >= b {
+                continue; // canonical order eliminates b (higher) first anyway
+            }
+            if q.aggregates[a.index()] == q.aggregates[b.index()] {
+                continue;
+            }
+            let co_occur = q
+                .hypergraph
+                .edges()
+                .any(|(_, e)| e.contains(&a) && e.contains(&b));
+            if co_occur {
+                return Err(EngineError::IncompatibleAggregateOrder(a, b));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The upward pass itself, on a caller-supplied GHD (exposed so the
+/// distributed protocols can run the identical local computation).
+///
+/// `agg` performs one push-down step `⊕_{x_v} rel` (Corollary G.2).
+pub fn solve_faq_on_ghd<S: Semiring>(
+    q: &FaqQuery<S>,
+    ghd: &Ghd,
+    agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
+) -> Result<Relation<S>, EngineError> {
+    q.validate().map_err(|e| EngineError::Invalid(e.to_string()))?;
+    let root = ghd.root();
+    let root_chi = ghd.chi(root);
+    if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
+        return Err(EngineError::FreeVarsOutsideCore(vec![*bad]));
+    }
+    check_elimination_order(q, ghd)?;
+
+    // Initial relation per node: the ⊗-product of its λ factors (the
+    // synthetic root may have none — represented as `None` = identity).
+    let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+    let mut rel: Vec<Option<Relation<S>>> = vec![None; n_nodes];
+    for node in ghd.node_ids() {
+        for &e in &ghd.node(node).lambda {
+            let f = q.factor(e).clone();
+            rel[node.index()] = Some(match rel[node.index()].take() {
+                Some(cur) => cur.join(&f),
+                None => f,
+            });
+        }
+    }
+
+    // Upward pass in post-order.
+    for node in ghd.post_order() {
+        if node == root {
+            break;
+        }
+        let parent = ghd.parent(node).expect("non-root has a parent");
+        let mut message = rel[node.index()]
+            .take()
+            .expect("non-root nodes carry a factor");
+        // Aggregate out the variables private to this subtree: those in
+        // χ(node) but not in χ(parent). Processed in decreasing variable
+        // index (the innermost aggregates of Equation 4 first).
+        let parent_chi = ghd.chi(parent);
+        let mut private: Vec<Var> = message
+            .schema()
+            .iter()
+            .copied()
+            .filter(|v| !parent_chi.contains(v))
+            .collect();
+        private.sort_unstable_by(|a, b| b.cmp(a));
+        for v in private {
+            debug_assert!(!q.is_free(v), "free vars never private (RIP + F ⊆ root)");
+            message = agg(&message, v, q.aggregates[v.index()]);
+        }
+        // Combine into the parent (⊗ on the overlap).
+        rel[parent.index()] = Some(match rel[parent.index()].take() {
+            Some(cur) => cur.join(&message),
+            None => message,
+        });
+    }
+
+    // Root: aggregate out the remaining bound variables, again innermost
+    // (highest index) first.
+    let mut result = rel[root.index()]
+        .take()
+        .unwrap_or_else(|| Relation::from_pairs(vec![], [(vec![], S::one())]));
+    let mut bound: Vec<Var> = result
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| !q.is_free(*v))
+        .collect();
+    bound.sort_unstable_by(|a, b| b.cmp(a));
+    for v in bound {
+        result = agg(&result, v, q.aggregates[v.index()]);
+    }
+    // Present free variables in the query's declared order.
+    if result.schema() != q.free_vars.as_slice() {
+        result = result.reorder(&q.free_vars);
+    }
+    Ok(result)
+}
+
+/// Evaluates a Boolean Conjunctive Query: `true` iff some assignment
+/// satisfies every relation.
+pub fn solve_bcq(q: &FaqQuery<Boolean>) -> bool {
+    assert!(q.free_vars.is_empty(), "BCQ has no free variables");
+    !solve_faq(q).expect("BCQ always satisfies F ⊆ V(C(H))").total().is_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::solve_faq_brute_force;
+    use faqs_hypergraph::{
+        cycle_query, example_h0, example_h1, example_h2, path_query, star_query,
+    };
+    use faqs_relation::{random_boolean_instance, BcqBuilder, RandomInstanceConfig};
+    use faqs_semiring::{Count, Prob};
+
+    #[test]
+    fn bcq_star_satisfiable() {
+        let h = example_h1();
+        let mut b = BcqBuilder::new(&h, 8);
+        for e in 0..4 {
+            b.relation_from_pairs(e, (0..8).map(|a| (a, 1)));
+        }
+        assert!(solve_bcq(&b.finish()));
+    }
+
+    #[test]
+    fn bcq_star_unsatisfiable() {
+        let h = example_h1();
+        let mut b = BcqBuilder::new(&h, 8);
+        // Leaf relations have disjoint center values.
+        b.relation_from_pairs(0, [(0, 1), (1, 1)]);
+        b.relation_from_pairs(1, [(2, 1)]);
+        b.relation_from_pairs(2, [(0, 1)]);
+        b.relation_from_pairs(3, [(0, 1)]);
+        assert!(!solve_bcq(&b.finish()));
+    }
+
+    #[test]
+    fn bcq_self_loops_set_intersection() {
+        // Example 2.1: BCQ of H0 ⇔ R ∩ S ∩ T ∩ U ≠ ∅.
+        let h = example_h0();
+        let mut b = BcqBuilder::new(&h, 16);
+        b.relation_from_values(0, [1, 3, 5]);
+        b.relation_from_values(1, [3, 5, 7]);
+        b.relation_from_values(2, [5, 9]);
+        b.relation_from_values(3, [5]);
+        assert!(solve_bcq(&b.finish()));
+
+        let mut b2 = BcqBuilder::new(&h, 16);
+        b2.relation_from_values(0, [1, 3]);
+        b2.relation_from_values(1, [3, 5]);
+        b2.relation_from_values(2, [5, 9]);
+        b2.relation_from_values(3, [5]);
+        assert!(!solve_bcq(&b2.finish()));
+    }
+
+    #[test]
+    fn engine_matches_brute_force_on_random_bcq() {
+        for seed in 0..30 {
+            for h in [star_query(3), path_query(3), cycle_query(4), example_h2()] {
+                let cfg = RandomInstanceConfig {
+                    tuples_per_factor: 5,
+                    domain: 3,
+                    seed,
+                };
+                let q = random_boolean_instance(&h, &cfg, seed % 2 == 0);
+                let fast = solve_bcq(&q);
+                let slow = !solve_faq_brute_force(&q).total().is_zero();
+                assert_eq!(fast, slow, "seed {seed} on {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_matches_brute_force() {
+        for seed in 0..20 {
+            let h = example_h2();
+            let cfg = RandomInstanceConfig {
+                tuples_per_factor: 6,
+                domain: 3,
+                seed,
+            };
+            let q: FaqQuery<Count> = faqs_relation::random_instance(&h, &cfg, vec![], |r| {
+                Count(r.random_range(1..4))
+            });
+            use rand::Rng;
+            let fast = solve_faq(&q).unwrap().total();
+            let slow = solve_faq_brute_force(&q).total();
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn free_vars_in_core_work() {
+        // Path query with free variable at the end: requires re-rooting.
+        let h = path_query(3);
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: 4,
+            domain: 3,
+            seed: 9,
+        };
+        let q: FaqQuery<Count> =
+            faqs_relation::random_instance(&h, &cfg, vec![Var(0)], |_| Count(1));
+        let fast = solve_faq(&q).unwrap();
+        let slow = solve_faq_brute_force(&q);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn free_pair_inside_one_edge() {
+        // F = e for an edge e: the paper's factor-marginal case.
+        let h = path_query(3);
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: 4,
+            domain: 3,
+            seed: 10,
+        };
+        let q: FaqQuery<Prob> = faqs_relation::random_instance(
+            &h,
+            &cfg,
+            vec![Var(1), Var(2)],
+            |_| Prob(0.5),
+        );
+        let fast = solve_faq(&q).unwrap();
+        let slow = solve_faq_brute_force(&q);
+        assert!(fast.approx_eq(&slow));
+    }
+
+    #[test]
+    fn rejects_unplaceable_free_vars() {
+        // Free vars at both ends of a long path: no single edge holds
+        // both and the canonical core is elsewhere.
+        let h = path_query(5);
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: 2,
+            domain: 2,
+            seed: 1,
+        };
+        let q: FaqQuery<Count> = faqs_relation::random_instance(
+            &h,
+            &cfg,
+            vec![Var(0), Var(5)],
+            |_| Count(1),
+        );
+        assert!(matches!(
+            solve_faq(&q),
+            Err(EngineError::FreeVarsOutsideCore(_))
+        ));
+    }
+
+    #[test]
+    fn max_aggregate_requires_lattice_entry_point() {
+        let h = star_query(2);
+        let cfg = RandomInstanceConfig::default();
+        let q: FaqQuery<Prob> =
+            faqs_relation::random_instance(&h, &cfg, vec![], |_| Prob(0.5))
+                .with_aggregate(Var(1), Aggregate::Max);
+        assert!(matches!(solve_faq(&q), Err(EngineError::NeedsLatticeOps(_))));
+        assert!(solve_faq_lattice(&q).is_ok());
+    }
+
+    #[test]
+    fn mixed_sum_max_aggregates_match_brute_force() {
+        use crate::brute::solve_faq_brute_force_lattice;
+        for seed in 0..20 {
+            for h in [path_query(3), star_query(3), example_h2()] {
+                let cfg = RandomInstanceConfig {
+                    tuples_per_factor: 5,
+                    domain: 3,
+                    seed,
+                };
+                let mut q: FaqQuery<Count> =
+                    faqs_relation::random_instance(&h, &cfg, vec![], |r| {
+                        use rand::Rng;
+                        Count(r.random_range(1..5))
+                    });
+                // Alternate Sum and Max over the bound variables: both are
+                // semiring aggregates on (ℕ, +, ×), so the push-down is
+                // sound for any interleaving.
+                let vars: Vec<Var> = q.hypergraph.vars().collect();
+                for v in vars {
+                    if v.index() % 2 == 1 {
+                        q = q.with_aggregate(v, Aggregate::Max);
+                    }
+                }
+                // The engine either computes the right answer or cleanly
+                // rejects orders its push-down cannot realise — never
+                // silently wrong.
+                match solve_faq_lattice(&q) {
+                    Ok(fast) => {
+                        let slow = solve_faq_brute_force_lattice(&q).total();
+                        assert_eq!(fast.total(), slow, "seed {seed} h {h:?}");
+                    }
+                    Err(EngineError::IncompatibleAggregateOrder(_, _)) => {}
+                    Err(e) => panic!("unexpected engine error {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_product_aggregate_matches_brute_force() {
+        // ∧-aggregates (universal quantification) are push-down-safe on
+        // the Boolean semiring because ∧ is idempotent.
+        for seed in 0..20 {
+            let h = star_query(3);
+            let cfg = RandomInstanceConfig {
+                tuples_per_factor: 5,
+                domain: 3,
+                seed,
+            };
+            let mut q = random_boolean_instance(&h, &cfg, seed % 2 == 0);
+            q = q.with_aggregate(Var(1), Aggregate::Product);
+            let fast = solve_faq(&q).unwrap().total();
+            let slow = solve_faq_brute_force(&q).total();
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_product_aggregate_on_counting() {
+        let h = star_query(2);
+        let cfg = RandomInstanceConfig::default();
+        let q: FaqQuery<Count> =
+            faqs_relation::random_instance(&h, &cfg, vec![], |_| Count(2))
+                .with_aggregate(Var(1), Aggregate::Product);
+        assert!(matches!(
+            solve_faq(&q),
+            Err(EngineError::NonIdempotentProduct(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! The centralized FAQ engine: ground truth for every distributed
+//! protocol in the workspace.
+//!
+//! Implements the upward message-passing pass of Theorem G.3 of the paper
+//! (a variable-elimination / "InsideOut"-style algorithm) on the GYO-GHDs
+//! of Construction 2.8:
+//!
+//! * [`solve_faq`] — general FAQ (Equation 4) with per-bound-variable
+//!   `Sum`/`Product` aggregates over any commutative semiring;
+//! * [`solve_faq_lattice`] — additionally supports `Max`/`Min` aggregates
+//!   on lattice-capable semirings;
+//! * [`solve_bcq`] — Boolean Conjunctive Queries (`F = ∅`, Boolean
+//!   semiring);
+//! * [`solve_faq_brute_force`] — a direct evaluation of Equation (4) by
+//!   nested-loop aggregation, used as the oracle in tests;
+//! * [`yannakakis_reduce`] / [`natural_join`] — the classic semijoin
+//!   full reducer and join materialisation for acyclic queries;
+//! * [`pgm`] — probabilistic-graphical-model conveniences (variable and
+//!   factor marginals, the paper's motivating PGM application).
+//!
+//! The paper's bounds hold for free variables contained in the core,
+//! `F ⊆ V(C(H))` (Appendix G.5); the engine enforces the same
+//! restriction but first tries to *re-root* the decomposition so that the
+//! restriction holds (any `F` inside a single hyperedge works, which
+//! covers both PGM marginal flavours).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod engine;
+pub mod pgm;
+mod yannakakis;
+
+pub use brute::{solve_faq_brute_force, solve_faq_brute_force_lattice};
+pub use engine::{
+    check_push_down, decomposition_for_free_vars, solve_bcq, solve_faq, solve_faq_lattice,
+    solve_faq_on_ghd, EngineError,
+};
+pub use yannakakis::{natural_join, yannakakis_reduce};

@@ -1,0 +1,41 @@
+//! TRIBES instances, the paper's reductions `TRIBES ≤ BCQ`, and the
+//! lower-bound formulas.
+//!
+//! All of the paper's round lower bounds (Section 2.2.2, 4.2, E, F)
+//! follow one recipe: start from a TRIBES instance (an AND of
+//! set-disjointness instances, whose randomized two-party complexity is
+//! `Ω(m·N)` by Jayram et al., Theorem 2.3), *embed* it as a BCQ instance
+//! of the target hypergraph so that `BCQ = 1 ⇔ TRIBES = 1`, then
+//! simulate any network protocol across a min cut of `G` to obtain a
+//! two-party protocol. This crate implements the embeddings as
+//! executable constructions:
+//!
+//! * [`embed_forest`] — Lemma 4.3 (forests, via degree-≥2 vertices of
+//!   one bipartition side),
+//! * [`embed_core`] — Theorem 4.4 / Appendix E.3 (cyclic cores, via
+//!   vertex-disjoint short cycles — Moore's bound — or an independent
+//!   set — Turán),
+//! * [`embed_hypergraph`] — Theorem F.8 (arity ≥ 3, via private
+//!   variables of MD-GHD internal nodes and strong independent sets),
+//! * [`hard_assignment`] — Lemma 4.4's worst-case placement of the
+//!   `S`/`T` relations across a witnessing min cut of `G`,
+//! * [`bcq_lower_bound`] / [`faq_lower_bound`] / [`mcm_lower_bound`] —
+//!   the closed-form `Ω̃(·)` expressions (polylog factors dropped) used
+//!   by the experiment tables.
+//!
+//! Every embedding is property-tested for the equivalence
+//! `BCQ(q_{H,S,T}) = TRIBES(S, T)` against the centralized engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod embed;
+mod formulas;
+mod tribes;
+
+pub use embed::{
+    core_capacity, embed_core, embed_forest, embed_hypergraph, forest_capacity, hard_assignment,
+    hypergraph_capacity, Embedding,
+};
+pub use formulas::{bcq_lower_bound, faq_lower_bound, mcm_lower_bound, LowerBoundReport};
+pub use tribes::{Disj, Tribes};

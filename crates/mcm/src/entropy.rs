@@ -1,0 +1,285 @@
+//! Min-entropy computations for the Section 6 lower bound.
+//!
+//! The paper's `Ω(kN)` bound rests on an induction (Lemma 6.2) showing
+//! that after `t_i = γ·i·N/4` rounds, `y_{i−1}` still has min-entropy
+//! `≥ N(1 − γ − √(2γ))` given the transcripts — Shannon entropy provably
+//! cannot run the induction (Appendix I.3, see [`crate::shannon`]). This
+//! module computes the relevant quantities *exactly* for small `N`:
+//!
+//! * [`min_entropy`] / [`conditional_min_entropy`] on explicit
+//!   distributions,
+//! * [`transcript_experiment`]: the truncated-protocol experiment — fix
+//!   the chain matrices, enumerate all `2^N` inputs, truncate every
+//!   link's traffic to a `t_i`-bit prefix, and measure
+//!   `H∞(y_k | transcripts)` exactly,
+//! * [`leaky_matrix_min_entropy`]: the Theorem 6.3 quantity
+//!   `H∞(Ax | leak)` when `A` is uniform with `ℓ` leaked rows and `x`
+//!   ranges over a source of min-entropy `αN`, computed in closed form
+//!   by enumerating the source.
+
+use crate::bits::{BitMatrix, BitVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// `H∞(X) = −log₂ max_x Pr[X = x]` of an explicit distribution
+/// (probabilities need not be normalised; they are normalised first).
+pub fn min_entropy<K: std::hash::Hash + Eq>(dist: &HashMap<K, f64>) -> f64 {
+    let total: f64 = dist.values().sum();
+    assert!(total > 0.0, "empty distribution");
+    let max = dist.values().fold(0.0f64, |a, &b| a.max(b)) / total;
+    -max.log2()
+}
+
+/// Worst-case conditional min-entropy `min_y H∞(X | Y = y)` of a joint
+/// distribution given as `(y, x) → mass`.
+pub fn conditional_min_entropy<Y, X>(joint: &HashMap<(Y, X), f64>) -> f64
+where
+    Y: std::hash::Hash + Eq + Clone,
+    X: std::hash::Hash + Eq + Clone,
+{
+    let mut per_y: HashMap<Y, (f64, f64)> = HashMap::new(); // (total, max)
+    for ((y, _), &mass) in joint {
+        let e = per_y.entry(y.clone()).or_insert((0.0, 0.0));
+        e.0 += mass;
+        e.1 = e.1.max(mass);
+    }
+    per_y
+        .values()
+        .map(|&(total, max)| -(max / total).log2())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Result of the truncated-protocol transcript experiment.
+#[derive(Clone, Debug)]
+pub struct TranscriptExperiment {
+    /// Dimension `N`.
+    pub n: usize,
+    /// Chain length `k`.
+    pub k: usize,
+    /// Per-link truncations `t_1 … t_{k+1}` in bits.
+    pub truncation_bits: Vec<usize>,
+    /// Exact `min` over transcripts of `H∞(y_k | transcript)`.
+    pub worst_case_entropy: f64,
+    /// The paper's target `N(1 − γ − √(2γ))` for the given `γ`.
+    pub paper_bound: f64,
+    /// The `γ` used.
+    pub gamma: f64,
+}
+
+/// Runs the Lemma 6.2 experiment on the *sequential protocol truncated
+/// to the paper's budgets*: link `i` (carrying `y_{i−1}`) only delivers
+/// its first `t_i = ⌈γ·i·N/4⌉` bits. The chain matrices are sampled
+/// uniformly (fixed by `seed`); `x` is uniform over `F₂^N` and fully
+/// enumerated, so the reported conditional min-entropy is exact for the
+/// sampled matrices.
+///
+/// Requires `N ≤ 20` (enumeration is `2^N · k`).
+pub fn transcript_experiment(n: usize, k: usize, gamma: f64, seed: u64) -> TranscriptExperiment {
+    assert!(n <= 20, "exact enumeration needs N ≤ 20");
+    assert!(n <= 64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let matrices: Vec<BitMatrix> = (0..k)
+        .map(|_| BitMatrix::random_invertible(n, &mut rng))
+        .collect();
+
+    // Truncations t_i = γ·i·N/4 for links i = 1..k+1 (link i carries
+    // y_{i-1}).
+    let truncation_bits: Vec<usize> = (1..=k + 1)
+        .map(|i| ((gamma * i as f64 * n as f64) / 4.0).ceil() as usize)
+        .map(|t| t.min(n))
+        .collect();
+
+    // Enumerate x; group by transcript tuple; measure y_k's conditional
+    // min-entropy in the worst transcript group.
+    let mut groups: HashMap<Vec<u64>, HashMap<u64, f64>> = HashMap::new();
+    for enc in 0..(1u64 << n) {
+        let mut y = BitVec::from_u64(n, enc);
+        let mut transcript = Vec::with_capacity(k + 1);
+        for (i, t) in truncation_bits.iter().enumerate() {
+            transcript.push(y.prefix_key(*t));
+            if i < k {
+                y = matrices[i].mul_vec(&y);
+            }
+        }
+        *groups
+            .entry(transcript)
+            .or_default()
+            .entry(y.to_u64())
+            .or_insert(0.0) += 1.0;
+    }
+    let worst_case_entropy = groups
+        .values()
+        .map(min_entropy)
+        .fold(f64::INFINITY, f64::min);
+
+    TranscriptExperiment {
+        n,
+        k,
+        truncation_bits,
+        worst_case_entropy,
+        paper_bound: n as f64 * (1.0 - gamma - (2.0 * gamma).sqrt()),
+        gamma,
+    }
+}
+
+/// Result of the Theorem 6.3 leaky-matrix computation.
+#[derive(Clone, Debug)]
+pub struct LeakyMatrixReport {
+    /// `H∞(x)` of the source (exact: `log₂ |S|`).
+    pub source_entropy: f64,
+    /// `H∞(A | leak)`-equivalent: `N² − ℓ·N` (uniform matrix, `ℓ` rows
+    /// leaked).
+    pub matrix_entropy: f64,
+    /// Exact worst-case `H∞(Ax | leak)` over the sampled leaks.
+    pub output_entropy: f64,
+    /// The theorem's target `(1 − √(2γ))·N`.
+    pub paper_bound: f64,
+}
+
+/// Computes `H∞(Ax | leaked rows)` exactly: `A` uniform over `F₂^{N×N}`
+/// with its first `ℓ` rows revealed, `x` uniform over a source set `S`
+/// (so `H∞(x) = log₂|S|`). Conditioned on a leak `L`, the first `ℓ`
+/// coordinates of `Ax` equal `L·x` while the rest are uniform, so
+///
+/// `Pr[Ax = z | L] = (Σ_{x∈S: Lx = z_head} 1/|S|) · 2^{−(N−ℓ)}`
+/// (plus the `x = 0` atom, handled by enumeration),
+///
+/// and the min-entropy follows from the heaviest head bucket. The leak
+/// is sampled `trials` times; the worst case is reported.
+pub fn leaky_matrix_min_entropy(
+    n: usize,
+    source: &[BitVec],
+    leaked_rows: usize,
+    gamma: f64,
+    trials: usize,
+    seed: u64,
+) -> LeakyMatrixReport {
+    assert!(leaked_rows <= n);
+    assert!(!source.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        // Sample the leaked rows.
+        let leak: Vec<BitVec> = (0..leaked_rows).map(|_| BitVec::random(n, &mut rng)).collect();
+        // Head buckets: L·x over the source.
+        let mut buckets: HashMap<u64, f64> = HashMap::new();
+        let mut zero_mass = 0.0f64;
+        for x in source {
+            let head: u64 = leak
+                .iter()
+                .enumerate()
+                .map(|(i, row)| (row.dot(x) as u64) << i)
+                .fold(0, |a, b| a | b);
+            if x.to_u64() == 0 {
+                // Ax = 0 deterministically for x = 0.
+                zero_mass += 1.0 / source.len() as f64;
+            } else {
+                *buckets.entry(head).or_insert(0.0) += 1.0 / source.len() as f64;
+            }
+        }
+        let tail = n - leaked_rows;
+        let max_bucket = buckets.values().fold(0.0f64, |a, &b| a.max(b));
+        // Max point probability of Ax: the heaviest head bucket spread
+        // uniformly over 2^tail tails, or the x = 0 atom.
+        let max_prob = (max_bucket / 2f64.powi(tail as i32)).max(zero_mass);
+        if max_prob > 0.0 {
+            worst = worst.min(-max_prob.log2());
+        }
+    }
+    LeakyMatrixReport {
+        source_entropy: (source.len() as f64).log2(),
+        matrix_entropy: (n * n - leaked_rows * n) as f64,
+        output_entropy: worst,
+        paper_bound: (1.0 - (2.0 * gamma).sqrt()) * n as f64,
+    }
+}
+
+/// A canonical min-entropy source: the `2^m` vectors whose last
+/// `N − m` coordinates are zero (`H∞ = m`).
+pub fn prefix_source(n: usize, m: usize) -> Vec<BitVec> {
+    assert!(m <= n && m <= 20);
+    (0..(1u64 << m)).map(|e| BitVec::from_u64(n, e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_entropy_uniform() {
+        let dist: HashMap<u64, f64> = (0..8u64).map(|i| (i, 1.0)).collect();
+        assert!((min_entropy(&dist) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_entropy_peaked() {
+        let mut dist: HashMap<u64, f64> = HashMap::new();
+        dist.insert(0, 0.5);
+        dist.insert(1, 0.25);
+        dist.insert(2, 0.25);
+        assert!((min_entropy(&dist) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_takes_worst_y() {
+        let mut joint: HashMap<(u8, u8), f64> = HashMap::new();
+        // y = 0: uniform over two xs (1 bit); y = 1: deterministic (0 bits).
+        joint.insert((0, 0), 0.25);
+        joint.insert((0, 1), 0.25);
+        joint.insert((1, 0), 0.5);
+        assert!((conditional_min_entropy(&joint) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transcript_experiment_keeps_entropy_high() {
+        // N = 12, k = 3, γ = 0.05: budgets t_i ≤ γ(k+1)N/4 ≈ 2.4 bits per
+        // link; the conditional min-entropy of y_k must stay near N minus
+        // the leaked bits and in particular above the paper's bound.
+        let e = transcript_experiment(12, 3, 0.05, 7);
+        assert!(
+            e.worst_case_entropy >= e.paper_bound,
+            "H∞ = {} vs bound {}",
+            e.worst_case_entropy,
+            e.paper_bound
+        );
+        // Leaked bits cap the loss: H∞ ≥ N − Σ t_i.
+        let leaked: usize = e.truncation_bits.iter().sum();
+        assert!(e.worst_case_entropy >= (e.n as f64 - leaked as f64) - 1e-9);
+    }
+
+    #[test]
+    fn transcript_entropy_decreases_with_gamma() {
+        let lo = transcript_experiment(10, 2, 0.05, 3);
+        let hi = transcript_experiment(10, 2, 0.4, 3);
+        assert!(lo.worst_case_entropy >= hi.worst_case_entropy);
+    }
+
+    #[test]
+    fn leaky_matrix_meets_theorem_bound() {
+        // γ = 0.02: α = 3γ + √(2γ) + h(√2γ) ≈ 0.98 → need H∞(x) ≈ αN.
+        let n = 14;
+        let gamma = 0.02f64;
+        let h = |p: f64| -p * p.log2() - (1.0 - p) * (1.0 - p).log2();
+        let alpha = 3.0 * gamma + (2.0 * gamma).sqrt() + h((2.0 * gamma).sqrt());
+        let m = (alpha * n as f64).ceil() as usize;
+        let source = prefix_source(n, m.min(n));
+        let leaked = ((gamma * (n * n) as f64) / n as f64).floor() as usize; // ℓ·N ≤ γN²
+        let rep = leaky_matrix_min_entropy(n, &source, leaked, gamma, 5, 11);
+        assert!(
+            rep.output_entropy >= rep.paper_bound - 1e-9,
+            "H∞(Ax|leak) = {} vs (1−√2γ)N = {}",
+            rep.output_entropy,
+            rep.paper_bound
+        );
+        assert!(rep.matrix_entropy >= (1.0 - gamma) * (n * n) as f64);
+    }
+
+    #[test]
+    fn prefix_source_has_advertised_entropy() {
+        let s = prefix_source(10, 4);
+        assert_eq!(s.len(), 16);
+        let dist: HashMap<u64, f64> = s.iter().map(|v| (v.to_u64(), 1.0)).collect();
+        assert!((min_entropy(&dist) - 4.0).abs() < 1e-9);
+    }
+}

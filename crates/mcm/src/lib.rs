@@ -1,0 +1,35 @@
+//! Matrix Chain Multiplication over `F₂` on a line (Section 6 of the
+//! paper) and its min-entropy lower-bound machinery.
+//!
+//! Problem 1.1: player `P0` holds `x ∈ F₂^N`, player `Pi` holds
+//! `A_i ∈ F₂^{N×N}` for `i ∈ [k]`, the topology is the line
+//! `P0 — P1 — … — P(k+1)`, and `P(k+1)` must learn
+//! `A_k · A_{k−1} ⋯ A_1 · x`. This crate provides:
+//!
+//! * bit-packed vectors and matrices over `F₂` ([`BitVec`], [`BitMatrix`])
+//!   with the chain product as ground truth,
+//! * the four protocols the paper discusses, each run on the round
+//!   scheduler with real data:
+//!   [`sequential_protocol`] (Proposition 6.1, `Θ(kN)`),
+//!   [`merge_protocol`] (Appendix I.1, `O(N²·log k + k)`),
+//!   [`trivial_protocol`] (ship everything, `Θ(kN²)`), and
+//!   [`random_assignment_protocol`] (matrices shuffled along the line),
+//! * exact **min-entropy** computations ([`entropy`]): `H∞`, conditional
+//!   min-entropy, the transcript experiment behind Lemma 6.2, and the
+//!   leaky-matrix computation behind Theorem 6.3,
+//! * the **Shannon-entropy counterexample** of Appendix I.3
+//!   ([`shannon`]), showing why the induction needs min-entropy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+pub mod entropy;
+mod protocols;
+pub mod shannon;
+
+pub use bits::{BitMatrix, BitVec};
+pub use protocols::{
+    merge_protocol, random_assignment_protocol, sequential_protocol, trivial_protocol,
+    McmOutcome, McmProblem,
+};

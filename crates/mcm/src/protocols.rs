@@ -1,0 +1,392 @@
+//! The matrix-chain protocols on the line (Section 6, Appendix I.1).
+
+use crate::bits::{chain_product, BitMatrix, BitVec};
+use faqs_network::{NetRun, Player, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An instance of Problem 1.1: `x` at `P0`, `A_i` at `P_i`, answer
+/// wanted at `P_{k+1}`, with `capacity_bits` per link per round (the
+/// two-party convention of footnote 12 is 1 bit).
+///
+/// ```
+/// use faqs_mcm::{sequential_protocol, McmProblem};
+/// let p = McmProblem::random(32, 4, 1, 9);
+/// let out = sequential_protocol(&p);
+/// assert_eq!(out.y, p.expected());          // correct product
+/// assert_eq!(out.rounds, 5 * 32);           // (k+1)·N — Proposition 6.1
+/// ```
+#[derive(Clone)]
+pub struct McmProblem {
+    /// Dimension `N`.
+    pub n: usize,
+    /// The matrices `A_1 … A_k` in application order.
+    pub matrices: Vec<BitMatrix>,
+    /// The input vector `x`.
+    pub x: BitVec,
+    /// Per-link capacity in bits per round.
+    pub capacity_bits: u64,
+}
+
+impl McmProblem {
+    /// A random instance, deterministic in the seed.
+    pub fn random(n: usize, k: usize, capacity_bits: u64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        McmProblem {
+            n,
+            matrices: (0..k).map(|_| BitMatrix::random(n, &mut rng)).collect(),
+            x: BitVec::random(n, &mut rng),
+            capacity_bits,
+        }
+    }
+
+    /// Chain length `k`.
+    pub fn k(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// The true answer `A_k ⋯ A_1 x`.
+    pub fn expected(&self) -> BitVec {
+        chain_product(&self.matrices, &self.x)
+    }
+
+    fn line(&self) -> Topology {
+        Topology::line(self.k() + 2).with_uniform_capacity(self.capacity_bits)
+    }
+}
+
+/// The result of an MCM protocol run.
+#[derive(Clone, Debug)]
+pub struct McmOutcome {
+    /// The vector delivered at `P_{k+1}`.
+    pub y: BitVec,
+    /// Measured rounds.
+    pub rounds: u64,
+    /// Total bits moved.
+    pub total_bits: u64,
+    /// The closed-form prediction for this protocol.
+    pub predicted_rounds: u64,
+}
+
+/// **Proposition 6.1** — the natural protocol: `P_i` waits for
+/// `y_{i−1}`, computes `y_i = A_i·y_{i−1}`, forwards it. Every hop must
+/// wait for the full vector (each output bit depends on all input bits),
+/// so the cost is `(k+1)·⌈N/B⌉ ≈ Θ(kN)` rounds at `B = 1`.
+pub fn sequential_protocol(p: &McmProblem) -> McmOutcome {
+    let g = p.line();
+    let mut run = NetRun::new(&g);
+    let n_bits = p.n as u64;
+
+    let mut y = p.x.clone();
+    let mut ready = 1u64; // round at which the current holder may send
+    for i in 0..=p.k() {
+        let from = Player(i as u32);
+        let to = Player(i as u32 + 1);
+        let done = run
+            .transmit(from, to, n_bits, ready)
+            .expect("line neighbours");
+        // The receiver applies its matrix (free local computation).
+        if i < p.k() {
+            y = p.matrices[i].mul_vec(&y);
+        }
+        ready = done + 1;
+    }
+    let stats = run.stats();
+    McmOutcome {
+        y,
+        rounds: stats.rounds,
+        total_bits: stats.total_bits,
+        predicted_rounds: (p.k() as u64 + 1) * n_bits.div_ceil(p.capacity_bits),
+    }
+}
+
+/// **Appendix I.1** — the bottom-up merge: in iteration `t`, range
+/// products of `2^{t−1}` matrices hop `2^{t−1}` players right and merge,
+/// costing `N²/B + 2^{t−1} − 1` rounds each (pipelined); after
+/// `⌈log₂ k⌉` iterations `P_k` holds `A_k ⋯ A_1`, meets `x` (sent
+/// concurrently), and forwards the product vector. Total
+/// `O(N²·log k + k)` — the better choice once `k ≫ N log k`.
+pub fn merge_protocol(p: &McmProblem) -> McmOutcome {
+    let g = p.line();
+    let mut run = NetRun::new(&g);
+    let k = p.k();
+    let n2 = (p.n * p.n) as u64;
+
+    // Range products: (lo, hi, product A_hi⋯A_lo, holder P_hi, ready).
+    struct Range {
+        hi: usize,
+        product: BitMatrix,
+        ready: u64,
+    }
+    let mut ranges: Vec<Range> = (1..=k)
+        .map(|i| Range {
+            hi: i,
+            product: p.matrices[i - 1].clone(),
+            ready: 1,
+        })
+        .collect();
+
+    // x travels toward P_k concurrently, chunk-pipelined.
+    let x_arrival = run
+        .send_via_shortest_path(Player(0), Player(k as u32), p.n as u64, 1)
+        .expect("line is connected");
+
+    while ranges.len() > 1 {
+        let mut next: Vec<Range> = Vec::with_capacity(ranges.len().div_ceil(2));
+        let mut it = ranges.into_iter();
+        while let Some(left) = it.next() {
+            match it.next() {
+                Some(right) => {
+                    // Left's product moves to right's holder, pipelined.
+                    let done = run
+                        .send_via_shortest_path(
+                            Player(left.hi as u32),
+                            Player(right.hi as u32),
+                            n2,
+                            left.ready,
+                        )
+                        .expect("line is connected");
+                    next.push(Range {
+                        hi: right.hi,
+                        product: right.product.mul(&left.product),
+                        ready: done.max(right.ready) + 1,
+                    });
+                }
+                None => next.push(left),
+            }
+        }
+        ranges = next;
+    }
+    let last = ranges.pop().expect("k >= 1");
+    debug_assert_eq!(last.hi, k);
+
+    // P_k computes y = M·x and forwards it to P_{k+1}.
+    let y = last.product.mul_vec(&p.x);
+    let send_ready = last.ready.max(x_arrival + 1);
+    run.transmit(Player(k as u32), Player(k as u32 + 1), p.n as u64, send_ready)
+        .expect("line neighbours");
+
+    let stats = run.stats();
+    let log_k = (k.max(2) as u64).ilog2() as u64 + 1;
+    McmOutcome {
+        y,
+        rounds: stats.rounds,
+        total_bits: stats.total_bits,
+        predicted_rounds: n2.div_ceil(p.capacity_bits) * log_k + k as u64,
+    }
+}
+
+/// The trivial protocol: every `A_i` ships to `P_{k+1}` (the last link
+/// carries all `k·N²` bits — `Θ(kN²)` rounds at `B = 1`).
+pub fn trivial_protocol(p: &McmProblem) -> McmOutcome {
+    let g = p.line();
+    let mut run = NetRun::new(&g);
+    let k = p.k();
+    let n2 = (p.n * p.n) as u64;
+    let sink = Player(k as u32 + 1);
+    for i in 1..=k {
+        run.send_via_shortest_path(Player(i as u32), sink, n2, 1)
+            .expect("line is connected");
+    }
+    run.send_via_shortest_path(Player(0), sink, p.n as u64, 1)
+        .expect("line is connected");
+    let y = p.expected(); // sink has everything: free local computation
+    let stats = run.stats();
+    McmOutcome {
+        y,
+        rounds: stats.rounds,
+        total_bits: stats.total_bits,
+        predicted_rounds: (k as u64) * n2.div_ceil(p.capacity_bits),
+    }
+}
+
+/// Matrices shuffled uniformly along the line (Section 6's contrast
+/// case): the partial product must *visit the matrices in chain order*,
+/// walking `Θ(k)` legs of expected length `Θ(k)`. With per-hop
+/// store-and-forward (`pipelined = false`) each leg costs
+/// `dist·N/B` rounds — the paper's `Θ(k²N)`; with chunk pipelining each
+/// leg costs `N/B + dist`, i.e. `Θ(kN + k²)`.
+pub fn random_assignment_protocol(p: &McmProblem, seed: u64, pipelined: bool) -> McmOutcome {
+    let g = p.line();
+    let mut run = NetRun::new(&g);
+    let k = p.k();
+    let n_bits = p.n as u64;
+
+    let mut order: Vec<usize> = (1..=k).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    // position[i] = player index holding A_{i+1}.
+    let mut position = vec![0usize; k + 1];
+    for (slot, &holder) in order.iter().enumerate() {
+        position[slot + 1] = holder;
+    }
+
+    let mut y = p.x.clone();
+    let mut cur = Player(0);
+    let mut ready = 1u64;
+    let mut total_distance = 0u64;
+    for (i, &pos) in position.iter().enumerate().skip(1) {
+        let target = Player(pos as u32);
+        let dist = g.distance(cur, target).unwrap_or(0) as u64;
+        total_distance += dist;
+        let done = if pipelined {
+            run.send_via_shortest_path(cur, target, n_bits, ready)
+                .expect("line is connected")
+        } else {
+            send_store_and_forward(&mut run, cur, target, n_bits, ready)
+        };
+        y = p.matrices[i - 1].mul_vec(&y);
+        cur = target;
+        ready = done + 1;
+    }
+    let sink = Player(k as u32 + 1);
+    let dist = g.distance(cur, sink).unwrap_or(0) as u64;
+    total_distance += dist;
+    if pipelined {
+        run.send_via_shortest_path(cur, sink, n_bits, ready)
+            .expect("line is connected");
+    } else {
+        send_store_and_forward(&mut run, cur, sink, n_bits, ready);
+    }
+
+    let stats = run.stats();
+    let per_hop = n_bits.div_ceil(p.capacity_bits);
+    let predicted = if pipelined {
+        (k as u64 + 1) * per_hop + total_distance
+    } else {
+        total_distance * per_hop
+    };
+    McmOutcome {
+        y,
+        rounds: stats.rounds,
+        total_bits: stats.total_bits,
+        predicted_rounds: predicted,
+    }
+}
+
+/// Whole-message store-and-forward along the line: every relay waits
+/// for the complete vector before forwarding (`dist · N/B` rounds).
+fn send_store_and_forward(
+    run: &mut NetRun<'_>,
+    from: Player,
+    to: Player,
+    bits: u64,
+    ready: u64,
+) -> u64 {
+    if from == to {
+        return ready.max(1) - 1;
+    }
+    let step: i64 = if to.0 > from.0 { 1 } else { -1 };
+    let mut cur = from;
+    let mut t = ready.max(1) - 1;
+    while cur != to {
+        let next = Player((cur.0 as i64 + step) as u32);
+        t = run.transmit(cur, next, bits, t + 1).expect("line neighbours");
+        cur = next;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_agree_with_ground_truth() {
+        let p = McmProblem::random(16, 5, 1, 42);
+        let expected = p.expected();
+        assert_eq!(sequential_protocol(&p).y, expected);
+        assert_eq!(merge_protocol(&p).y, expected);
+        assert_eq!(trivial_protocol(&p).y, expected);
+        assert_eq!(random_assignment_protocol(&p, 7, true).y, expected);
+        assert_eq!(random_assignment_protocol(&p, 7, false).y, expected);
+    }
+
+    #[test]
+    fn sequential_rounds_are_theta_kn() {
+        // Proposition 6.1: (k+1)·N rounds at B = 1.
+        let (n, k) = (32, 6);
+        let p = McmProblem::random(n, k, 1, 1);
+        let out = sequential_protocol(&p);
+        assert_eq!(out.rounds, ((k + 1) * n) as u64);
+        assert_eq!(out.rounds, out.predicted_rounds);
+    }
+
+    #[test]
+    fn trivial_is_theta_k_n_squared() {
+        let (n, k) = (16, 5);
+        let p = McmProblem::random(n, k, 1, 2);
+        let out = trivial_protocol(&p);
+        // Last link carries k·N² bits (plus x's N): at least k·N² rounds.
+        assert!(out.rounds >= (k * n * n) as u64);
+        assert!(out.rounds <= (k * n * n + n + k + 2) as u64);
+    }
+
+    #[test]
+    fn merge_beats_sequential_for_huge_k() {
+        // k ≫ N log k: merge O(N² log k + k) < sequential Θ(kN).
+        let (n, k) = (8, 192);
+        let p = McmProblem::random(n, k, 1, 3);
+        let seq = sequential_protocol(&p);
+        let merge = merge_protocol(&p);
+        assert_eq!(seq.y, merge.y);
+        assert!(
+            merge.rounds < seq.rounds,
+            "merge {} < sequential {}",
+            merge.rounds,
+            seq.rounds
+        );
+    }
+
+    #[test]
+    fn sequential_beats_merge_for_k_below_n() {
+        // The paper's regime k ≤ N: Θ(kN) beats Θ(N² log k).
+        let (n, k) = (64, 8);
+        let p = McmProblem::random(n, k, 1, 4);
+        let seq = sequential_protocol(&p);
+        let merge = merge_protocol(&p);
+        assert!(
+            seq.rounds < merge.rounds,
+            "sequential {} < merge {}",
+            seq.rounds,
+            merge.rounds
+        );
+    }
+
+    #[test]
+    fn random_assignment_is_slower_than_ordered() {
+        let (n, k) = (32, 12);
+        let p = McmProblem::random(n, k, 1, 5);
+        let seq = sequential_protocol(&p);
+        let rand_pip = random_assignment_protocol(&p, 9, true);
+        let rand_sf = random_assignment_protocol(&p, 9, false);
+        assert!(rand_pip.rounds >= seq.rounds);
+        // Store-and-forward pays dist·N per leg: Θ(k²N/3) ≫ kN.
+        assert!(
+            rand_sf.rounds > 2 * seq.rounds,
+            "store-and-forward {} vs sequential {}",
+            rand_sf.rounds,
+            seq.rounds
+        );
+    }
+
+    #[test]
+    fn capacity_scales_rounds_down() {
+        let p1 = McmProblem::random(32, 4, 1, 6);
+        let p8 = McmProblem {
+            capacity_bits: 8,
+            ..p1.clone()
+        };
+        let r1 = sequential_protocol(&p1).rounds;
+        let r8 = sequential_protocol(&p8).rounds;
+        assert_eq!(r1, 8 * r8);
+    }
+
+    #[test]
+    fn merge_handles_non_power_of_two() {
+        for k in [1usize, 2, 3, 5, 7, 11] {
+            let p = McmProblem::random(8, k, 2, 100 + k as u64);
+            assert_eq!(merge_protocol(&p).y, p.expected(), "k = {k}");
+        }
+    }
+}

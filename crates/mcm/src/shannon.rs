@@ -1,0 +1,175 @@
+//! The Shannon-entropy counterexample of Appendix I.3: why Lemma 6.2's
+//! induction *must* use min-entropy.
+//!
+//! Construction: fix linearly independent `x*_1 … x*_t` with `t = αN`
+//! and let `x` put mass `1−α` uniformly on their span `S` and mass `α`
+//! uniformly on the complement. Then `H_Sh(x) = 2α(1−α)N + O(1)`; but
+//! against the leak `f(A) = (A·x*_1, …, A·x*_t)` the *useful* residual
+//! entropy collapses: whenever `x ∈ S`, `A·x` is a known linear
+//! combination of the leaked images — conditioned on `(f(A), x)` it has
+//! zero entropy — so
+//!
+//! `H_Sh(Ax | f(A), x) ≈ α·N ≈ H_Sh(x) / (2(1−α))`,
+//!
+//! a constant-factor *drop* below `H_Sh(x)`. A chain-rule induction that
+//! needs the entropy to stay `≥ H_Sh(x)` therefore fails, while the
+//! min-entropy argument of Theorem 6.3 goes through.
+
+use crate::bits::{BitMatrix, BitVec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Exact Shannon entropy of an explicit distribution.
+pub fn shannon_entropy<K: std::hash::Hash + Eq>(dist: &HashMap<K, f64>) -> f64 {
+    let total: f64 = dist.values().sum();
+    assert!(total > 0.0);
+    dist.values()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| {
+            let q = p / total;
+            -q * q.log2()
+        })
+        .sum()
+}
+
+/// The numbers of the Appendix I.3 counterexample.
+#[derive(Clone, Debug)]
+pub struct ShannonCounterexample {
+    /// Dimension `N`.
+    pub n: usize,
+    /// Span dimension `t = αN`.
+    pub t: usize,
+    /// The mixing weight `α`.
+    pub alpha: f64,
+    /// Exact `H_Sh(x)` of the two-part source.
+    pub input_entropy: f64,
+    /// The paper's closed form `2α(1−α)N` (up to `O(1)`).
+    pub input_entropy_formula: f64,
+    /// Monte-Carlo average of `H_Sh(Ax | f(A), x ∈ S?)` — the residual
+    /// entropy available to the induction.
+    pub residual_entropy: f64,
+    /// The paper's ceiling for it: `α·N`.
+    pub residual_formula: f64,
+}
+
+impl ShannonCounterexample {
+    /// Whether the counterexample fires: the residual entropy drops
+    /// strictly below the input entropy (so a Shannon chain-rule
+    /// induction cannot maintain its invariant).
+    pub fn induction_fails(&self) -> bool {
+        self.residual_entropy < self.input_entropy - 0.5
+    }
+}
+
+/// Computes the counterexample exactly for small `N` (enumeration over
+/// `F₂^N`; Monte-Carlo over `trials` uniform matrices `A`).
+pub fn shannon_counterexample(
+    n: usize,
+    alpha: f64,
+    trials: usize,
+    seed: u64,
+) -> ShannonCounterexample {
+    assert!((4..=16).contains(&n), "exact enumeration needs 4 ≤ N ≤ 16");
+    assert!(alpha > 0.0 && alpha < 0.5);
+    let t = ((alpha * n as f64).round() as usize).clamp(1, n - 1);
+    let span_size = 1u64 << t;
+    let total = 1u64 << n;
+
+    // Source: x*_i = e_i, span S = vectors supported on the first t
+    // coordinates; mass 1−α uniform on S, mass α uniform on the rest.
+    let prob_of = |enc: u64| -> f64 {
+        if enc < span_size {
+            (1.0 - alpha) / span_size as f64
+        } else {
+            alpha / (total - span_size) as f64
+        }
+    };
+    let x_dist: HashMap<u64, f64> = (0..total).map(|e| (e, prob_of(e))).collect();
+    let input_entropy = shannon_entropy(&x_dist);
+
+    // Residual entropy: E_A [ Σ_x p(x) · H_Sh(Ax | f(A), x-part) ] where
+    // the conditional entropy is 0 for x ∈ S (Ax determined by the leak)
+    // and, for x ∉ S, the entropy of Ax given A's first-t-column images
+    // (computed exactly by enumerating the source part).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut residual_acc = 0.0;
+    for _ in 0..trials.max(1) {
+        let a = BitMatrix::random(n, &mut rng);
+        // For x ∉ S: conditioned on f(A) = images of the span basis, Ax
+        // for the non-span coordinates is still uniform-ish; compute the
+        // exact distribution of Ax over the complement part.
+        let mut comp_dist: HashMap<u64, f64> = HashMap::new();
+        for enc in span_size..total {
+            let y = a.mul_vec(&BitVec::from_u64(n, enc));
+            *comp_dist.entry(y.to_u64()).or_insert(0.0) += 1.0;
+        }
+        let comp_entropy = shannon_entropy(&comp_dist);
+        // x ∈ S contributes zero (Ax is a known combination of the leak).
+        residual_acc += alpha * comp_entropy;
+    }
+    let residual_entropy = residual_acc / trials.max(1) as f64;
+
+    ShannonCounterexample {
+        n,
+        t,
+        alpha,
+        input_entropy,
+        input_entropy_formula: 2.0 * alpha * (1.0 - alpha) * n as f64,
+        residual_entropy,
+        residual_formula: alpha * n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_entropy_uniform() {
+        let dist: HashMap<u64, f64> = (0..16u64).map(|i| (i, 1.0)).collect();
+        assert!((shannon_entropy(&dist) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counterexample_fires() {
+        let c = shannon_counterexample(12, 0.25, 4, 5);
+        assert!(
+            c.induction_fails(),
+            "residual {} must undercut input {}",
+            c.residual_entropy,
+            c.input_entropy
+        );
+    }
+
+    #[test]
+    fn input_entropy_tracks_formula() {
+        let c = shannon_counterexample(14, 0.25, 1, 6);
+        // H_Sh(x) = (1−α)·t + α·log₂(2^N − 2^t) + h-ish terms: the paper's
+        // 2α(1−α)N is the leading behaviour; allow O(1) + binary-entropy
+        // slack.
+        assert!(
+            (c.input_entropy - c.input_entropy_formula).abs() <= 2.5,
+            "exact {} vs formula {}",
+            c.input_entropy,
+            c.input_entropy_formula
+        );
+    }
+
+    #[test]
+    fn residual_stays_near_alpha_n() {
+        let c = shannon_counterexample(12, 0.25, 4, 7);
+        // Residual ≈ α·(entropy of Ax on the complement) ≤ α·N, and close
+        // to it for random A.
+        assert!(c.residual_entropy <= c.residual_formula + 1e-9);
+        assert!(c.residual_entropy >= 0.8 * c.residual_formula);
+    }
+
+    #[test]
+    fn gap_grows_with_n() {
+        let small = shannon_counterexample(8, 0.25, 3, 8);
+        let large = shannon_counterexample(14, 0.25, 3, 8);
+        let gap = |c: &ShannonCounterexample| c.input_entropy - c.residual_entropy;
+        assert!(gap(&large) > gap(&small));
+    }
+}

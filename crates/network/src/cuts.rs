@@ -1,0 +1,222 @@
+//! Max-flow / min-cut on topologies (Definition 3.6).
+
+use crate::topology::{Player, Topology};
+use std::collections::VecDeque;
+
+/// Edmonds–Karp max-flow between `s` and `t`, treating every undirected
+/// link as a pair of unit-capacity arcs — i.e. the number of pairwise
+/// edge-disjoint `s`–`t` paths (edge connectivity).
+pub fn max_flow(g: &Topology, s: Player, t: Player) -> usize {
+    assert!(s != t);
+    let n = g.num_players();
+    // Residual adjacency matrix of arc capacities (unit per direction).
+    let mut cap = vec![vec![0u32; n]; n];
+    for l in g.links() {
+        let (a, b) = g.link(l);
+        cap[a.index()][b.index()] += 1;
+        cap[b.index()][a.index()] += 1;
+    }
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        parent[s.index()] = Some(s.index());
+        let mut q = VecDeque::from([s.index()]);
+        'bfs: while let Some(u) = q.pop_front() {
+            for v in 0..n {
+                if parent[v].is_none() && cap[u][v] > 0 {
+                    parent[v] = Some(u);
+                    if v == t.index() {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        if parent[t.index()].is_none() {
+            return flow;
+        }
+        // Augment by 1 (unit capacities).
+        let mut v = t.index();
+        while v != s.index() {
+            let u = parent[v].unwrap();
+            cap[u][v] -= 1;
+            cap[v][u] += 1;
+            v = u;
+        }
+        flow += 1;
+    }
+}
+
+/// `MinCut(G, {a, b})`: the minimum number of edges whose removal
+/// separates `a` from `b`.
+pub fn min_cut_between(g: &Topology, a: Player, b: Player) -> usize {
+    max_flow(g, a, b)
+}
+
+/// `MinCut(G, K)` (Definition 3.6): the minimum number of edges whose
+/// removal disconnects some pair of players in `K`. Computed as the
+/// minimum over `t ∈ K∖{k₀}` of the `k₀`–`t` max-flow (every cut
+/// separating `K` separates `k₀` from some other terminal).
+///
+/// ```
+/// use faqs_network::{min_cut, Player, Topology};
+/// let g = Topology::clique(4); // G2 of Figure 1
+/// let k: Vec<Player> = (0..4).map(Player).collect();
+/// assert_eq!(min_cut(&g, &k), 3);
+/// ```
+pub fn min_cut(g: &Topology, k: &[Player]) -> usize {
+    assert!(k.len() >= 2, "need at least two terminals");
+    let k0 = k[0];
+    k[1..]
+        .iter()
+        .map(|&t| max_flow(g, k0, t))
+        .min()
+        .expect("non-empty terminal set")
+}
+
+/// A witnessing minimum cut `(A, B)` of `G` separating `K`
+/// (Lemma 4.4 needs the cut *sides* to place the `S`/`T` relations):
+/// returns `(cut size, side)` where `side[v] = true` ⇔ `v ∈ A` (the
+/// source side, containing `k[0]`).
+pub fn min_cut_partition(g: &Topology, k: &[Player]) -> (usize, Vec<bool>) {
+    assert!(k.len() >= 2, "need at least two terminals");
+    let n = g.num_players();
+    let k0 = k[0];
+    let mut best: Option<(usize, Player)> = None;
+    for &t in &k[1..] {
+        let f = max_flow(g, k0, t);
+        if best.map(|(bf, _)| f < bf).unwrap_or(true) {
+            best = Some((f, t));
+        }
+    }
+    let (cut, t) = best.expect("non-empty terminal set");
+
+    // Re-run the flow to its residual graph, then take the source side.
+    let mut cap = vec![vec![0u32; n]; n];
+    for l in g.links() {
+        let (a, b) = g.link(l);
+        cap[a.index()][b.index()] += 1;
+        cap[b.index()][a.index()] += 1;
+    }
+    loop {
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        parent[k0.index()] = Some(k0.index());
+        let mut q = VecDeque::from([k0.index()]);
+        'bfs: while let Some(u) = q.pop_front() {
+            for v in 0..n {
+                if parent[v].is_none() && cap[u][v] > 0 {
+                    parent[v] = Some(u);
+                    if v == t.index() {
+                        break 'bfs;
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        if parent[t.index()].is_none() {
+            // Residual reachability from k0 = the A side.
+            let mut side = vec![false; n];
+            for (v, p) in parent.iter().enumerate() {
+                side[v] = p.is_some();
+            }
+            return (cut, side);
+        }
+        let mut v = t.index();
+        while v != k0.index() {
+            let u = parent[v].unwrap();
+            cap[u][v] -= 1;
+            cap[v][u] += 1;
+            v = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn players(ids: &[u32]) -> Vec<Player> {
+        ids.iter().copied().map(Player).collect()
+    }
+
+    #[test]
+    fn partition_witnesses_the_cut() {
+        for (g, kids) in [
+            (Topology::line(5), vec![0u32, 4]),
+            (Topology::barbell(3, 2), vec![0, 5]),
+            (Topology::ring(6), vec![0, 3]),
+            (Topology::clique(4), vec![0, 1, 2, 3]),
+        ] {
+            let k = players(&kids);
+            let (cut, side) = min_cut_partition(&g, &k);
+            assert_eq!(cut, min_cut(&g, &k));
+            // k0 on side A, some terminal on side B.
+            assert!(side[k[0].index()]);
+            assert!(k.iter().any(|t| !side[t.index()]));
+            // Crossing edges count equals the cut value.
+            let crossing = g
+                .links()
+                .filter(|&l| {
+                    let (a, b) = g.link(l);
+                    side[a.index()] != side[b.index()]
+                })
+                .count();
+            assert_eq!(crossing, cut, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn line_min_cut_is_one() {
+        let g = Topology::line(5);
+        assert_eq!(min_cut(&g, &players(&[0, 4])), 1);
+        assert_eq!(min_cut(&g, &players(&[0, 2, 4])), 1);
+    }
+
+    #[test]
+    fn clique_min_cut() {
+        let g = Topology::clique(5);
+        assert_eq!(min_cut(&g, &players(&[0, 1, 2, 3, 4])), 4);
+        assert_eq!(min_cut_between(&g, Player(0), Player(1)), 4);
+    }
+
+    #[test]
+    fn ring_min_cut_is_two() {
+        let g = Topology::ring(6);
+        assert_eq!(min_cut(&g, &players(&[0, 3])), 2);
+    }
+
+    #[test]
+    fn grid_corner_cut() {
+        let g = Topology::grid(3, 3);
+        // Corner has degree 2.
+        assert_eq!(min_cut(&g, &players(&[0, 8])), 2);
+    }
+
+    #[test]
+    fn barbell_cut_is_bridge() {
+        let g = Topology::barbell(4, 1);
+        // Terminals on opposite sides: the single bridge edge is the cut.
+        assert_eq!(min_cut(&g, &players(&[0, 7])), 1);
+        // Terminals on the same side: K4 edge connectivity.
+        assert_eq!(min_cut(&g, &players(&[0, 1])), 3);
+    }
+
+    #[test]
+    fn mpc_cut_is_p() {
+        let g = Topology::mpc(4, 3);
+        // Each source has degree p = 3.
+        assert_eq!(min_cut(&g, &players(&[0, 1, 2, 3])), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        // Two vertex-disjoint paths 0-1-3 and 0-2-3.
+        let mut g = Topology::empty("theta", 4);
+        g.add_link(Player(0), Player(1), 1);
+        g.add_link(Player(1), Player(3), 1);
+        g.add_link(Player(0), Player(2), 1);
+        g.add_link(Player(2), Player(3), 1);
+        assert_eq!(max_flow(&g, Player(0), Player(3)), 2);
+    }
+}

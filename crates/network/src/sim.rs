@@ -1,0 +1,348 @@
+//! The capacity-respecting transmission scheduler: round accounting for
+//! Model 2.1.
+//!
+//! Protocol implementations issue [`NetRun::transmit`] calls: "starting
+//! no earlier than round `ready_at`, move `bits` from `from` to `to`
+//! across their link". The scheduler queues transmissions FIFO per
+//! directed link, lets every link direction carry up to its capacity per
+//! round (any subset of edges may communicate simultaneously, as the
+//! model allows), and reports the round at which the message has fully
+//! arrived. Pipelined protocols emerge naturally: a relay that receives
+//! a tuple at round `t` forwards it with `ready_at = t + 1`.
+//!
+//! Causality is the caller's contract: a payload may only be sent with
+//! `ready_at` after the round the sender learned it (the protocols in
+//! `faqs-protocols` thread arrival rounds through their dataflow, so the
+//! discipline is enforced by construction and asserted in tests).
+
+use crate::topology::{LinkId, Player, Topology};
+use std::collections::HashMap;
+
+/// Error from an impossible transmission request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransmitError {
+    /// `from` and `to` are not adjacent in the topology.
+    NotAdjacent(Player, Player),
+}
+
+impl std::fmt::Display for TransmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransmitError::NotAdjacent(a, b) => write!(f, "{a} and {b} share no link"),
+        }
+    }
+}
+
+impl std::error::Error for TransmitError {}
+
+/// Statistics of a finished run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// The last round in which any bit was in flight — the protocol's
+    /// round complexity.
+    pub rounds: u64,
+    /// Total bits moved across all links.
+    pub total_bits: u64,
+    /// Number of `transmit` calls.
+    pub transmissions: u64,
+}
+
+/// One directed link's schedule: bits already reserved per round.
+#[derive(Default, Clone)]
+struct LinkSchedule {
+    used: HashMap<u64, u64>,
+    /// Largest round `F` such that every round in `1..=F` is completely
+    /// full — lets sequential FIFO fills skip the saturated prefix, so a
+    /// stream of same-`ready_at` transmissions costs amortised O(1)
+    /// rounds scanned each.
+    full_prefix: u64,
+}
+
+/// A protocol run on a topology: accepts transmissions and accounts
+/// rounds/bits. Rounds are 1-based (round 0 = initial state; inputs are
+/// known locally before round 1).
+pub struct NetRun<'a> {
+    g: &'a Topology,
+    // One schedule per (link, direction); direction 0 = low→high id.
+    schedules: Vec<[LinkSchedule; 2]>,
+    // Total bits ever sent per link (both directions).
+    link_bits: Vec<u64>,
+    stats: RunStats,
+}
+
+impl<'a> NetRun<'a> {
+    /// Starts a run on the given topology.
+    pub fn new(g: &'a Topology) -> Self {
+        NetRun {
+            g,
+            schedules: vec![[LinkSchedule::default(), LinkSchedule::default()]; g.num_links()],
+            link_bits: vec![0; g.num_links()],
+            stats: RunStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        self.g
+    }
+
+    /// Finds the link between two adjacent players.
+    pub fn link_between(&self, a: Player, b: Player) -> Result<LinkId, TransmitError> {
+        self.g
+            .neighbors(a)
+            .iter()
+            .find(|(v, _)| *v == b)
+            .map(|(_, l)| *l)
+            .ok_or(TransmitError::NotAdjacent(a, b))
+    }
+
+    /// Schedules `bits` from `from` to its neighbour `to`, starting no
+    /// earlier than `ready_at` (≥ 1), FIFO behind earlier traffic on the
+    /// same directed link. Returns the round at the end of which the
+    /// message has fully arrived (the receiver may use it from the next
+    /// round). Zero-bit messages arrive instantly at
+    /// `ready_at.max(1) − 1`, modelling "nothing to say".
+    pub fn transmit(
+        &mut self,
+        from: Player,
+        to: Player,
+        bits: u64,
+        ready_at: u64,
+    ) -> Result<u64, TransmitError> {
+        let link = self.link_between(from, to)?;
+        Ok(self.transmit_on(link, from, bits, ready_at))
+    }
+
+    /// [`NetRun::transmit`] on an explicit link (used when routing along
+    /// a Steiner tree whose links are known).
+    pub fn transmit_on(&mut self, link: LinkId, from: Player, bits: u64, ready_at: u64) -> u64 {
+        let start = ready_at.max(1);
+        if bits == 0 {
+            return start - 1;
+        }
+        let (a, _b) = self.g.link(link);
+        let dir = usize::from(from != a);
+        let cap = self.g.capacity(link);
+        let sched = &mut self.schedules[link.index()][dir];
+
+        self.stats.transmissions += 1;
+        self.stats.total_bits += bits;
+        self.link_bits[link.index()] += bits;
+
+        let mut round = start.max(sched.full_prefix + 1);
+        let mut remaining = bits;
+        loop {
+            let used = sched.used.entry(round).or_insert(0);
+            let free = cap - *used;
+            if free > 0 {
+                let take = free.min(remaining);
+                *used += take;
+                remaining -= take;
+                if *used == cap && round == sched.full_prefix + 1 {
+                    sched.full_prefix = round;
+                    while sched.used.get(&(sched.full_prefix + 1)) == Some(&cap) {
+                        sched.full_prefix += 1;
+                    }
+                }
+                if remaining == 0 {
+                    self.stats.rounds = self.stats.rounds.max(round);
+                    return round;
+                }
+            }
+            round += 1;
+        }
+    }
+
+    /// Sends `bits` from `from` to an arbitrary (possibly distant)
+    /// player along a shortest path, pipelined in capacity-sized chunks
+    /// with single-round relay latency (so the cost is
+    /// `≈ bits/capacity + distance`, not their product). Returns the
+    /// arrival-completion round.
+    pub fn send_via_shortest_path(
+        &mut self,
+        from: Player,
+        to: Player,
+        bits: u64,
+        ready_at: u64,
+    ) -> Result<u64, TransmitError> {
+        if from == to || bits == 0 {
+            return Ok(ready_at.max(1) - 1);
+        }
+        // BFS path.
+        let dist = self.g.distances(to);
+        if dist[from.index()] == u32::MAX {
+            return Err(TransmitError::NotAdjacent(from, to));
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            let next = self
+                .g
+                .neighbors(cur)
+                .iter()
+                .map(|(v, _)| *v)
+                .find(|v| dist[v.index()] < dist[cur.index()])
+                .expect("BFS distance decreases toward target");
+            path.push(next);
+            cur = next;
+        }
+        // Chunk to the bottleneck capacity along the path.
+        let chunk = path
+            .windows(2)
+            .map(|w| {
+                let l = self.link_between(w[0], w[1]).expect("adjacent");
+                self.g.capacity(l)
+            })
+            .min()
+            .expect("non-trivial path");
+        let mut remaining = bits;
+        let mut last = ready_at.max(1) - 1;
+        let mut chunk_ready = ready_at.max(1);
+        while remaining > 0 {
+            let sz = chunk.min(remaining);
+            remaining -= sz;
+            let mut t = chunk_ready.max(1) - 1;
+            for w in path.windows(2) {
+                t = self.transmit(w[0], w[1], sz, t + 1)?;
+            }
+            last = last.max(t);
+            chunk_ready += 1;
+        }
+        Ok(last)
+    }
+
+    /// Current statistics (rounds = completion round of the latest
+    /// transmission so far).
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Total bits ever sent over one link (both directions).
+    pub fn link_total_bits(&self, l: LinkId) -> u64 {
+        self.link_bits[l.index()]
+    }
+
+    /// Bits that crossed a vertex cut: the information exchanged between
+    /// the two sides. This is exactly what the paper's two-party
+    /// simulation (Model 2.2 / Lemma 4.4) charges a protocol — on a
+    /// TRIBES-hard instance it must be `Ω(m·N)` bits regardless of the
+    /// topology.
+    pub fn bits_across(&self, side: &[bool]) -> u64 {
+        assert_eq!(side.len(), self.g.num_players());
+        self.g
+            .links()
+            .filter(|&l| {
+                let (a, b) = self.g.link(l);
+                side[a.index()] != side[b.index()]
+            })
+            .map(|l| self.link_bits[l.index()])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_message_rounds() {
+        let g = Topology::line(2).with_uniform_capacity(4);
+        let mut run = NetRun::new(&g);
+        // 10 bits at 4/round: rounds 1..3.
+        let done = run.transmit(Player(0), Player(1), 10, 1).unwrap();
+        assert_eq!(done, 3);
+        assert_eq!(run.stats().rounds, 3);
+        assert_eq!(run.stats().total_bits, 10);
+    }
+
+    #[test]
+    fn fifo_queuing_on_one_direction() {
+        let g = Topology::line(2).with_uniform_capacity(1);
+        let mut run = NetRun::new(&g);
+        let a = run.transmit(Player(0), Player(1), 1, 1).unwrap();
+        let b = run.transmit(Player(0), Player(1), 1, 1).unwrap();
+        assert_eq!((a, b), (1, 2), "second message queues behind the first");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let g = Topology::line(2).with_uniform_capacity(1);
+        let mut run = NetRun::new(&g);
+        let a = run.transmit(Player(0), Player(1), 1, 1).unwrap();
+        let b = run.transmit(Player(1), Player(0), 1, 1).unwrap();
+        assert_eq!((a, b), (1, 1), "full duplex per Model 2.1");
+    }
+
+    #[test]
+    fn links_are_independent() {
+        let g = Topology::line(3).with_uniform_capacity(1);
+        let mut run = NetRun::new(&g);
+        let a = run.transmit(Player(0), Player(1), 1, 1).unwrap();
+        let b = run.transmit(Player(1), Player(2), 1, 1).unwrap();
+        assert_eq!((a, b), (1, 1), "any subset of edges may fire per round");
+    }
+
+    #[test]
+    fn ready_at_delays_start() {
+        let g = Topology::line(2).with_uniform_capacity(2);
+        let mut run = NetRun::new(&g);
+        let done = run.transmit(Player(0), Player(1), 2, 5).unwrap();
+        assert_eq!(done, 5);
+    }
+
+    #[test]
+    fn pipelining_through_a_relay() {
+        // Tuple-by-tuple pipeline: N tuples over 2 hops at 1 tuple/round
+        // lands in N + 1 rounds (Example 2.1's N + O(1) shape).
+        let g = Topology::line(3).with_uniform_capacity(8);
+        let mut run = NetRun::new(&g);
+        let n = 16u64;
+        let mut last = 0;
+        for i in 0..n {
+            let t1 = run.transmit(Player(0), Player(1), 8, 1 + i).unwrap();
+            let t2 = run.transmit(Player(1), Player(2), 8, t1 + 1).unwrap();
+            last = t2;
+        }
+        assert_eq!(last, n + 1);
+    }
+
+    #[test]
+    fn zero_bits_are_free() {
+        let g = Topology::line(2);
+        let mut run = NetRun::new(&g);
+        let done = run.transmit(Player(0), Player(1), 0, 7).unwrap();
+        assert_eq!(done, 6, "available at the start of round 7");
+        assert_eq!(run.stats().rounds, 0);
+    }
+
+    #[test]
+    fn rejects_non_adjacent() {
+        let g = Topology::line(3);
+        let mut run = NetRun::new(&g);
+        assert!(matches!(
+            run.transmit(Player(0), Player(2), 1, 1),
+            Err(TransmitError::NotAdjacent(_, _))
+        ));
+    }
+
+    #[test]
+    fn shortest_path_send() {
+        let g = Topology::line(4).with_uniform_capacity(4);
+        let mut run = NetRun::new(&g);
+        // 4 bits over 3 hops, one round per hop.
+        let done = run.send_via_shortest_path(Player(0), Player(3), 4, 1).unwrap();
+        assert_eq!(done, 3);
+    }
+
+    #[test]
+    fn capacity_sharing_within_round() {
+        let g = Topology::line(2).with_uniform_capacity(10);
+        let mut run = NetRun::new(&g);
+        let a = run.transmit(Player(0), Player(1), 6, 1).unwrap();
+        let b = run.transmit(Player(0), Player(1), 4, 1).unwrap();
+        // Both fit in round 1 (6 + 4 = 10).
+        assert_eq!((a, b), (1, 1));
+        let c = run.transmit(Player(0), Player(1), 1, 1).unwrap();
+        assert_eq!(c, 2, "round 1 is full");
+    }
+}

@@ -1,0 +1,442 @@
+//! Bounded-diameter Steiner tree packing (Definitions 3.8/3.9).
+//!
+//! `ST(G, K, Δ)` is the maximum number of edge-disjoint Steiner trees
+//! connecting `K`, each with pairwise terminal distance at most `Δ`.
+//! Computing it exactly is NP-hard; Theorem 3.10 (Lau) guarantees
+//! `ST(G, K, |V|) = Ω(MinCut(G, K))`, and the paper's protocols only
+//! need a packing of that order. The greedy packer below combines three
+//! candidate generators per iteration:
+//!
+//! * **paths** — a nearest-neighbour traveling-salesman-style path
+//!   through `K` (packs Hamiltonian-path decompositions of cliques, the
+//!   `W1`/`W2` structure of Figure 2),
+//! * **hubs** — a node adjacent to every terminal (the diameter-2 trees
+//!   of the MPC topology, Appendix A.1.4),
+//! * **BFS trees** — union of shortest paths from a terminal root
+//!   (general fallback).
+
+use crate::topology::{LinkId, Player, Topology};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// An edge-disjoint Steiner tree of a packing.
+#[derive(Clone, Debug)]
+pub struct SteinerTree {
+    links: Vec<LinkId>,
+    adj: HashMap<Player, Vec<(Player, LinkId)>>,
+}
+
+impl SteinerTree {
+    fn new(g: &Topology, links: Vec<LinkId>) -> Self {
+        let mut adj: HashMap<Player, Vec<(Player, LinkId)>> = HashMap::new();
+        for &l in &links {
+            let (a, b) = g.link(l);
+            adj.entry(a).or_default().push((b, l));
+            adj.entry(b).or_default().push((a, l));
+        }
+        SteinerTree { links, adj }
+    }
+
+    /// Links of the tree.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Nodes of the tree.
+    pub fn nodes(&self) -> impl Iterator<Item = Player> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Whether `p` belongs to the tree.
+    pub fn contains(&self, p: Player) -> bool {
+        self.adj.contains_key(&p)
+    }
+
+    /// Tree neighbours of `p`.
+    pub fn neighbors(&self, p: Player) -> &[(Player, LinkId)] {
+        self.adj.get(&p).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Tree distances from `s` (nodes off the tree: absent).
+    pub fn distances(&self, s: Player) -> HashMap<Player, u32> {
+        let mut dist = HashMap::from([(s, 0u32)]);
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            let du = dist[&u];
+            for &(v, _) in self.neighbors(u) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(du + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The paper's tree diameter: max distance between two *terminals*.
+    pub fn terminal_diameter(&self, k: &[Player]) -> u32 {
+        let mut best = 0;
+        for &a in k {
+            let d = self.distances(a);
+            for &b in k {
+                best = best.max(*d.get(&b).unwrap_or(&u32::MAX));
+            }
+        }
+        best
+    }
+
+    /// Whether the tree spans all terminals and is connected and acyclic.
+    pub fn is_valid_for(&self, g: &Topology, k: &[Player]) -> bool {
+        if self.links.is_empty() {
+            return false;
+        }
+        let _ = g;
+        let start = *k.first().expect("terminals non-empty");
+        if !self.contains(start) {
+            return false;
+        }
+        let dist = self.distances(start);
+        if !k.iter().all(|t| dist.contains_key(t)) {
+            return false;
+        }
+        // Connected with |nodes| = |links| + 1 ⇔ tree.
+        dist.len() == self.links.len() + 1 && dist.len() == self.adj.len()
+    }
+
+    /// The path between two tree nodes, as `(hop player sequence, links)`.
+    pub fn path(&self, from: Player, to: Player) -> Option<(Vec<Player>, Vec<LinkId>)> {
+        let mut parent: HashMap<Player, (Player, LinkId)> = HashMap::new();
+        let mut seen = BTreeSet::from([from]);
+        let mut q = VecDeque::from([from]);
+        while let Some(u) = q.pop_front() {
+            if u == to {
+                break;
+            }
+            for &(v, l) in self.neighbors(u) {
+                if seen.insert(v) {
+                    parent.insert(v, (u, l));
+                    q.push_back(v);
+                }
+            }
+        }
+        if !seen.contains(&to) {
+            return None;
+        }
+        let mut nodes = vec![to];
+        let mut links = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (p, l) = parent[&cur];
+            links.push(l);
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        links.reverse();
+        Some((nodes, links))
+    }
+}
+
+/// Greedily packs edge-disjoint Steiner trees for `K` with terminal
+/// diameter at most `delta`.
+pub fn steiner_packing(g: &Topology, k: &[Player], delta: u32) -> Vec<SteinerTree> {
+    assert!(k.len() >= 2, "need at least two terminals");
+    let mut avail: BTreeSet<LinkId> = g.links().collect();
+    let mut packing = Vec::new();
+    loop {
+        let candidates = [
+            candidate_path(g, k, &avail),
+            candidate_hub(g, k, &avail),
+            candidate_bfs(g, k, &avail),
+        ];
+        // Among valid candidates within the diameter bound, prefer the
+        // one using the fewest links (leaving more for later trees).
+        let best = candidates
+            .into_iter()
+            .flatten()
+            .map(|links| SteinerTree::new(g, links))
+            .filter(|t| t.is_valid_for(g, k) && t.terminal_diameter(k) <= delta)
+            .min_by_key(|t| t.links().len());
+        match best {
+            Some(tree) => {
+                for l in tree.links() {
+                    avail.remove(l);
+                }
+                packing.push(tree);
+            }
+            None => break,
+        }
+    }
+    packing
+}
+
+/// Evaluates the paper's recurring bound
+/// `min_Δ ( N / ST(G,K,Δ) + Δ )` (Theorem 3.11's shape), returning
+/// `(delta, packing)` for the minimising Δ. `work = N` in tuple units.
+pub fn best_delta(g: &Topology, k: &[Player], work: u64) -> (u32, Vec<SteinerTree>) {
+    let mut best: Option<(u64, u32, Vec<SteinerTree>)> = None;
+    let max_delta = (g.num_players() as u32).max(1);
+    let mut delta = 1;
+    while delta <= max_delta {
+        let packing = steiner_packing(g, k, delta);
+        if !packing.is_empty() {
+            let rounds = work.div_ceil(packing.len() as u64) + delta as u64;
+            if best.as_ref().map(|(r, _, _)| rounds < *r).unwrap_or(true) {
+                best = Some((rounds, delta, packing));
+            }
+        }
+        delta = if delta < 4 { delta + 1 } else { delta * 2 };
+    }
+    // Always evaluate the unbounded case too.
+    let packing = steiner_packing(g, k, max_delta);
+    if !packing.is_empty() {
+        let rounds = work.div_ceil(packing.len() as u64) + max_delta as u64;
+        if best.as_ref().map(|(r, _, _)| rounds < *r).unwrap_or(true) {
+            best = Some((rounds, max_delta, packing));
+        }
+    }
+    let (_, delta, packing) = best.expect("connected topology always packs one tree");
+    (delta, packing)
+}
+
+/// Candidate: nearest-neighbour path through all terminals over
+/// available links.
+fn candidate_path(g: &Topology, k: &[Player], avail: &BTreeSet<LinkId>) -> Option<Vec<LinkId>> {
+    let mut remaining: BTreeSet<Player> = k.iter().copied().collect();
+    let mut cur = k[0];
+    remaining.remove(&cur);
+    let mut used_links: Vec<LinkId> = Vec::new();
+    let mut used_set: BTreeSet<LinkId> = BTreeSet::new();
+    let mut visited_nodes: BTreeSet<Player> = BTreeSet::from([cur]);
+    while !remaining.is_empty() {
+        // BFS over available, unused links, avoiding revisiting nodes
+        // (keeps the result a simple path/tree).
+        let (target, path) = bfs_to_nearest(g, cur, &remaining, avail, &used_set, &visited_nodes)?;
+        for &l in &path {
+            used_links.push(l);
+            used_set.insert(l);
+            let (a, b) = g.link(l);
+            visited_nodes.insert(a);
+            visited_nodes.insert(b);
+        }
+        remaining.remove(&target);
+        cur = target;
+    }
+    Some(used_links)
+}
+
+/// BFS from `from` to the nearest player in `targets` using available
+/// links not yet used by this candidate; interior nodes must be fresh.
+fn bfs_to_nearest(
+    g: &Topology,
+    from: Player,
+    targets: &BTreeSet<Player>,
+    avail: &BTreeSet<LinkId>,
+    used: &BTreeSet<LinkId>,
+    visited_nodes: &BTreeSet<Player>,
+) -> Option<(Player, Vec<LinkId>)> {
+    let mut parent: HashMap<Player, (Player, LinkId)> = HashMap::new();
+    let mut seen: BTreeSet<Player> = BTreeSet::from([from]);
+    let mut q = VecDeque::from([from]);
+    while let Some(u) = q.pop_front() {
+        for &(v, l) in g.neighbors(u) {
+            if !avail.contains(&l) || used.contains(&l) || seen.contains(&v) {
+                continue;
+            }
+            // Interior nodes must not revisit the partial path (except
+            // the target itself which ends the hop).
+            if visited_nodes.contains(&v) && !targets.contains(&v) {
+                continue;
+            }
+            parent.insert(v, (u, l));
+            if targets.contains(&v) {
+                // Reconstruct.
+                let mut links = Vec::new();
+                let mut cur = v;
+                while cur != from {
+                    let (p, l) = parent[&cur];
+                    links.push(l);
+                    cur = p;
+                }
+                links.reverse();
+                return Some((v, links));
+            }
+            seen.insert(v);
+            q.push_back(v);
+        }
+    }
+    None
+}
+
+/// Candidate: a hub node directly connected (by available links) to all
+/// terminals (other than itself).
+fn candidate_hub(g: &Topology, k: &[Player], avail: &BTreeSet<LinkId>) -> Option<Vec<LinkId>> {
+    let kset: BTreeSet<Player> = k.iter().copied().collect();
+    'hub: for h in g.players() {
+        let mut links = Vec::new();
+        for &t in &kset {
+            if t == h {
+                continue;
+            }
+            let found = g
+                .neighbors(h)
+                .iter()
+                .find(|(v, l)| *v == t && avail.contains(l));
+            match found {
+                Some((_, l)) => links.push(*l),
+                None => continue 'hub,
+            }
+        }
+        if !links.is_empty() {
+            return Some(links);
+        }
+    }
+    None
+}
+
+/// Candidate: union of BFS shortest paths from a terminal root (tried
+/// from every root, shortest result kept).
+fn candidate_bfs(g: &Topology, k: &[Player], avail: &BTreeSet<LinkId>) -> Option<Vec<LinkId>> {
+    let mut best: Option<Vec<LinkId>> = None;
+    for &root in k {
+        let mut parent: HashMap<Player, (Player, LinkId)> = HashMap::new();
+        let mut seen: BTreeSet<Player> = BTreeSet::from([root]);
+        let mut q = VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            for &(v, l) in g.neighbors(u) {
+                if avail.contains(&l) && seen.insert(v) {
+                    parent.insert(v, (u, l));
+                    q.push_back(v);
+                }
+            }
+        }
+        if !k.iter().all(|t| seen.contains(t)) {
+            continue;
+        }
+        let mut links: BTreeSet<LinkId> = BTreeSet::new();
+        for &t in k {
+            let mut cur = t;
+            while cur != root {
+                let (p, l) = parent[&cur];
+                if !links.insert(l) {
+                    break; // joined an existing branch
+                }
+                cur = p;
+            }
+        }
+        let links: Vec<LinkId> = links.into_iter().collect();
+        if best.as_ref().map(|b| links.len() < b.len()).unwrap_or(true) {
+            best = Some(links);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts::min_cut;
+
+    fn players(ids: &[u32]) -> Vec<Player> {
+        ids.iter().copied().map(Player).collect()
+    }
+
+    #[test]
+    fn line_packs_exactly_one() {
+        let g = Topology::line(4);
+        let k = players(&[0, 1, 2, 3]);
+        let p = steiner_packing(&g, &k, 3);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].is_valid_for(&g, &k));
+        assert!(steiner_packing(&g, &k, 2).is_empty(), "diameter too tight");
+    }
+
+    #[test]
+    fn clique4_packs_two_paths_at_diameter_three() {
+        // Example 2.3 / Figure 2: K4 decomposes into two edge-disjoint
+        // Hamiltonian paths W1, W2.
+        let g = Topology::clique(4);
+        let k = players(&[0, 1, 2, 3]);
+        let p = steiner_packing(&g, &k, 3);
+        assert_eq!(p.len(), 2, "two edge-disjoint Hamiltonian paths");
+        for t in &p {
+            assert!(t.is_valid_for(&g, &k));
+            assert!(t.terminal_diameter(&k) <= 3);
+        }
+        // Edge-disjointness.
+        let all: Vec<LinkId> = p.iter().flat_map(|t| t.links().iter().copied()).collect();
+        let set: BTreeSet<LinkId> = all.iter().copied().collect();
+        assert_eq!(all.len(), set.len());
+    }
+
+    #[test]
+    fn clique_diameter_two_packs_one_star() {
+        let g = Topology::clique(4);
+        let k = players(&[0, 1, 2, 3]);
+        let p = steiner_packing(&g, &k, 2);
+        assert_eq!(p.len(), 1, "spanning stars pairwise share hub edges");
+    }
+
+    #[test]
+    fn mpc_packs_p_hub_trees() {
+        // Appendix A.1.4: each relay of the p-clique forms a diameter-2
+        // Steiner tree with its k source links.
+        let (k_count, p_count) = (4, 3);
+        let g = Topology::mpc(k_count, p_count);
+        let k: Vec<Player> = (0..k_count as u32).map(Player).collect();
+        let packing = steiner_packing(&g, &k, 2);
+        assert_eq!(packing.len(), p_count);
+    }
+
+    #[test]
+    fn packing_order_of_min_cut() {
+        // Theorem 3.10 shape: unbounded-diameter packing is Ω(MinCut).
+        for (g, kids) in [
+            (Topology::clique(6), vec![0u32, 1, 2, 3, 4, 5]),
+            (Topology::grid(3, 3), vec![0, 8]),
+            (Topology::ring(8), vec![0, 4]),
+            (Topology::random_connected(12, 0.4, 7), vec![0, 5, 11]),
+        ] {
+            let k = players(&kids);
+            let mc = min_cut(&g, &k);
+            let st = steiner_packing(&g, &k, g.num_players() as u32).len();
+            assert!(
+                4 * st >= mc,
+                "{}: ST = {st} too far below MinCut = {mc}",
+                g.name()
+            );
+            assert!(st <= mc, "packing can never exceed the min cut");
+        }
+    }
+
+    #[test]
+    fn best_delta_trades_off() {
+        // Large N on a clique: prefer many trees (larger Δ); tiny N:
+        // prefer small Δ.
+        let g = Topology::clique(6);
+        let k: Vec<Player> = (0..6u32).map(Player).collect();
+        let (_, packing_large) = best_delta(&g, &k, 10_000);
+        assert!(packing_large.len() >= 2);
+        let (delta_small, _) = best_delta(&g, &k, 1);
+        assert!(delta_small <= 2);
+    }
+
+    #[test]
+    fn tree_path_reconstruction() {
+        let g = Topology::line(5);
+        let k = players(&[0, 4]);
+        let p = steiner_packing(&g, &k, 4);
+        let (nodes, links) = p[0].path(Player(0), Player(4)).unwrap();
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(links.len(), 4);
+    }
+
+    #[test]
+    fn terminal_diameter_ignores_steiner_points() {
+        // Star topology: terminals are leaves, hub is a Steiner point.
+        let g = Topology::star(5);
+        let k = players(&[1, 2, 3, 4]);
+        let p = steiner_packing(&g, &k, 2);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].terminal_diameter(&k), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! The hash-split variant of Appendix G.6 (Theorem G.8): relations are
+//! *sharded* across the players by a consistent hash family instead of
+//! assigned whole.
+//!
+//! Definition G.7's consistency requirement — `h_{χ(v)}(t)` depends only
+//! on the projection of `t` onto `χ(u) ∩ χ(v)` for the GHD parent `u` —
+//! means every tuple of a leaf relation that can join a given center
+//! value lives on one known player. The protocol below implements the
+//! star case of Section G.6.3: center shards are broadcast (everybody
+//! reassembles the full center list), each player answers for the
+//! center values it *owns*, and a converge-cast AND combines ownership
+//! verdicts. The `log |K|` counter overhead of the paper's description
+//! is accounted in the predicted bound.
+
+use crate::bounds::model_capacity_bits;
+use crate::outcome::{ProtocolError, ProtocolOutcome};
+use crate::star::{broadcast_over_packing, convergecast_over_packing};
+use faqs_core::solve_bcq;
+use faqs_hypergraph::Var;
+use faqs_network::{best_delta, NetRun, Player, Topology};
+use faqs_relation::FaqQuery;
+use faqs_semiring::{Boolean, Semiring};
+use std::collections::HashMap;
+
+/// A consistent "bitmap-style" hash family (Definition G.7): a tuple is
+/// owned by the player indexed by its join-key value modulo `|K|`.
+#[derive(Clone, Copy, Debug)]
+pub struct ConsistentHashSplit {
+    shards: usize,
+}
+
+impl ConsistentHashSplit {
+    /// A split across `shards` players.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1);
+        ConsistentHashSplit { shards }
+    }
+
+    /// The shard owning join-key value `key`.
+    #[inline]
+    pub fn owner(&self, key: u32) -> usize {
+        key as usize % self.shards
+    }
+}
+
+/// Runs the hash-split BCQ protocol for a *star* query: every relation
+/// is sharded across `players` by the consistent hash of its center
+/// value; `output` learns the answer.
+pub fn run_hash_split_protocol(
+    q: &FaqQuery<Boolean>,
+    g: &Topology,
+    players: &[Player],
+    output: Player,
+) -> Result<ProtocolOutcome<bool>, ProtocolError> {
+    q.validate()
+        .map_err(|e| ProtocolError::Invalid(e.to_string()))?;
+    if players.len() < 2 {
+        return Err(ProtocolError::Invalid("need at least two shards".into()));
+    }
+    // The star's center: a variable present in every hyperedge.
+    let center_var: Var = q
+        .hypergraph
+        .vars()
+        .find(|v| q.hypergraph.edges().all(|(_, e)| e.contains(v)))
+        .ok_or_else(|| ProtocolError::Invalid("hash-split protocol requires a star".into()))?;
+
+    let split = ConsistentHashSplit::new(players.len());
+    let mut k: Vec<Player> = players.to_vec();
+    if !k.contains(&output) {
+        k.push(output);
+    }
+    k.sort_unstable();
+    k.dedup();
+
+    let scaled = g
+        .clone()
+        .with_uniform_capacity(model_capacity_bits(q) + (players.len() as u64).ilog2() as u64 + 1);
+    let mut run = NetRun::new(&scaled);
+
+    // Treat edge 0 as the center relation; the rest as leaves (for a
+    // star every choice is isomorphic).
+    let center = q.factor(faqs_hypergraph::EdgeId(0));
+    let center_pos = center
+        .schema()
+        .iter()
+        .position(|v| *v == center_var)
+        .expect("center variable in schema");
+
+    let cap_min = scaled.links().map(|l| scaled.capacity(l)).min().unwrap_or(1);
+    let center_bits = center.bits(q.domain);
+    let (delta, packing) = best_delta(&scaled, &k, center_bits.div_ceil(cap_min));
+    if packing.is_empty() {
+        return Err(ProtocolError::Unreachable("players not connected".into()));
+    }
+
+    // 1. Every center shard is broadcast from its owner; all players
+    //    reassemble the full center listing.
+    let mut arrival: HashMap<Player, u64> = k.iter().map(|&p| (p, 0)).collect();
+    for (shard_idx, &holder) in players.iter().enumerate() {
+        let shard_tuples = center
+            .iter()
+            .filter(|(t, _)| split.owner(t[center_pos]) == shard_idx)
+            .count() as u64;
+        let bits = shard_tuples * model_capacity_bits(q);
+        let a = broadcast_over_packing(&mut run, &packing, holder, &k, bits, 1)?;
+        for (p, t) in a {
+            let e = arrival.entry(p).or_insert(0);
+            *e = (*e).max(t);
+        }
+    }
+
+    // 2. Ownership verdicts: player p's vector entry j is the AND over
+    //    leaf relations of "does my shard witness center value a_j", for
+    //    owned values; `true` elsewhere.
+    let mut vectors: HashMap<Player, Vec<Boolean>> = HashMap::new();
+    let leaf_edges: Vec<faqs_hypergraph::EdgeId> =
+        q.hypergraph.edge_ids().skip(1).collect();
+    for (shard_idx, &holder) in players.iter().enumerate() {
+        let vec: Vec<Boolean> = center
+            .iter()
+            .map(|(t, _)| {
+                let a = t[center_pos];
+                if split.owner(a) != shard_idx {
+                    return Boolean::TRUE;
+                }
+                let ok = leaf_edges.iter().all(|&e| {
+                    let f = q.factor(e);
+                    let pos = f
+                        .schema()
+                        .iter()
+                        .position(|v| *v == center_var)
+                        .expect("star edge contains the center");
+                    f.iter().any(|(u, _)| u[pos] == a)
+                });
+                Boolean(ok)
+            })
+            .collect();
+        vectors
+            .entry(holder)
+            .and_modify(|existing| {
+                for (e, v) in existing.iter_mut().zip(vec.iter()) {
+                    *e = e.mul(v);
+                }
+            })
+            .or_insert(vec);
+    }
+
+    // 3. Converge-cast the AND to the output player.
+    let (verdicts, _) =
+        convergecast_over_packing(&mut run, &packing, output, &vectors, 1, &arrival)?;
+    let answer = verdicts.iter().any(|b| b.get());
+
+    debug_assert_eq!(answer, solve_bcq(q), "hash-split protocol is sound");
+
+    // Predicted (Theorem G.8 star case): N(r + log|K|)/ST + |K|·Δ.
+    let n = q.n_max() as u64;
+    let st = packing.len() as u64;
+    let predicted = n.div_ceil(st) + (k.len() as u64) * delta as u64;
+    Ok(ProtocolOutcome::from_stats(answer, run.stats(), predicted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_hypergraph::star_query;
+    use faqs_relation::{random_boolean_instance, RandomInstanceConfig};
+
+    fn star_instance(n: usize, seed: u64, satisfiable: bool) -> FaqQuery<Boolean> {
+        random_boolean_instance(
+            &star_query(4),
+            &RandomInstanceConfig {
+                tuples_per_factor: n,
+                domain: 64,
+                seed,
+            },
+            satisfiable,
+        )
+    }
+
+    #[test]
+    fn hash_split_answers_match_engine() {
+        for seed in 0..8 {
+            let q = star_instance(24, seed, seed % 2 == 0);
+            let g = Topology::clique(4);
+            let players: Vec<Player> = (0..4u32).map(Player).collect();
+            let out = run_hash_split_protocol(&q, &g, &players, Player(0)).unwrap();
+            assert_eq!(out.answer, solve_bcq(&q), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hash_split_on_line_works() {
+        let q = star_instance(32, 3, true);
+        let g = Topology::line(4);
+        let players: Vec<Player> = (0..4u32).map(Player).collect();
+        let out = run_hash_split_protocol(&q, &g, &players, Player(3)).unwrap();
+        assert!(out.answer);
+        assert!(out.rounds > 0, "sharded inputs force communication");
+    }
+
+    #[test]
+    fn owner_is_consistent() {
+        let s = ConsistentHashSplit::new(4);
+        assert_eq!(s.owner(0), 0);
+        assert_eq!(s.owner(5), 1);
+        assert_eq!(s.owner(5), s.owner(5));
+    }
+
+    #[test]
+    fn rejects_non_star() {
+        let q = random_boolean_instance(
+            &faqs_hypergraph::path_query(3),
+            &RandomInstanceConfig::default(),
+            true,
+        );
+        let g = Topology::line(4);
+        let players: Vec<Player> = (0..4u32).map(Player).collect();
+        assert!(run_hash_split_protocol(&q, &g, &players, Player(0)).is_err());
+    }
+}

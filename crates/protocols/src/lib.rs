@@ -1,0 +1,44 @@
+//! The paper's distributed protocols, executed on the Model 2.1
+//! scheduler of `faqs-network` with real data.
+//!
+//! * [`run_set_intersection`] — Theorem 3.11: bitwise AND of `{0,1}^N`
+//!   vectors held by `K`, pipelined over a bounded-diameter Steiner-tree
+//!   packing in `min_Δ (N / ST(G,K,Δ) + Δ)` rounds.
+//! * [`run_trivial`] — Lemma 3.1: ship every relation to the output
+//!   player (`τ_MCF` rounds) and solve locally.
+//! * [`star`] — Algorithm 1 (BCQ) / Algorithm 3 (general FAQ with
+//!   aggregate push-down): broadcast the star's center relation over the
+//!   packing, compute leaf messages locally, converge-cast their
+//!   `⊗`-product back.
+//! * [`run_faq_protocol`] / [`run_bcq_protocol`] — the full d-degenerate
+//!   pipeline of Theorem 4.1 / F.1 / G.4: peel `y(H)` stars off the
+//!   GYO-GHD bottom-up, then finish the core with the trivial protocol
+//!   (or a final star when the query is acyclic).
+//! * [`run_hash_split_protocol`] — the Appendix G.6 variant where
+//!   relations are split across players by a consistent hash family.
+//!
+//! Every run returns a [`ProtocolOutcome`]: the actual answer (validated
+//! against the centralized engine in tests), the measured rounds and
+//! bits, and the closed-form predicted bound for comparison in the
+//! experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod degenerate;
+mod hash_split;
+mod outcome;
+mod setint;
+pub mod star;
+mod trivial;
+
+pub use bounds::{model_capacity_bits, BoundReport};
+pub use degenerate::{
+    run_bcq_protocol, run_bcq_protocol_with_cut, run_faq_protocol, run_faq_protocol_lattice,
+    BcqOutcome,
+};
+pub use hash_split::{run_hash_split_protocol, ConsistentHashSplit};
+pub use outcome::{ProtocolError, ProtocolOutcome};
+pub use setint::run_set_intersection;
+pub use trivial::run_trivial;

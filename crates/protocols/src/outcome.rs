@@ -1,0 +1,67 @@
+//! Protocol run results.
+
+use faqs_network::RunStats;
+
+/// Failure modes of a protocol run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    /// The topology is disconnected or a player cannot be reached.
+    Unreachable(String),
+    /// The query/assignment pair is malformed.
+    Invalid(String),
+    /// The local (free) computation failed — e.g. free variables outside
+    /// the core (the engine's restriction applies to the distributed
+    /// protocols identically).
+    Engine(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Unreachable(s) => write!(f, "unreachable: {s}"),
+            ProtocolError::Invalid(s) => write!(f, "invalid: {s}"),
+            ProtocolError::Engine(s) => write!(f, "local computation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The result of executing a protocol on the round scheduler.
+#[derive(Clone, Debug)]
+pub struct ProtocolOutcome<T> {
+    /// The computed answer, available at the designated output player.
+    pub answer: T,
+    /// Measured rounds — the protocol's round complexity on this input.
+    pub rounds: u64,
+    /// Total bits moved across all links.
+    pub total_bits: u64,
+    /// Number of scheduled transmissions.
+    pub transmissions: u64,
+    /// The closed-form upper-bound prediction for this run (the paper's
+    /// formula evaluated on this topology/instance), for harness tables.
+    pub predicted_rounds: u64,
+}
+
+impl<T> ProtocolOutcome<T> {
+    pub(crate) fn from_stats(answer: T, stats: RunStats, predicted_rounds: u64) -> Self {
+        ProtocolOutcome {
+            answer,
+            rounds: stats.rounds,
+            total_bits: stats.total_bits,
+            transmissions: stats.transmissions,
+            predicted_rounds,
+        }
+    }
+
+    /// Maps the answer, keeping the measurements.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> ProtocolOutcome<U> {
+        ProtocolOutcome {
+            answer: f(self.answer),
+            rounds: self.rounds,
+            total_bits: self.total_bits,
+            transmissions: self.transmissions,
+            predicted_rounds: self.predicted_rounds,
+        }
+    }
+}

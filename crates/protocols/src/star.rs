@@ -1,0 +1,490 @@
+//! The star protocol (Algorithm 1 for BCQ, Algorithm 3 for general FAQ)
+//! and its two communication primitives over a Steiner-tree packing:
+//! pipelined **broadcast** of the center relation and pipelined
+//! **converge-cast** of the `⊗`-product of leaf-message vectors.
+//!
+//! One star phase computes, for a GHD star with center bag `χ(v₁)` and
+//! leaves `v₂ … v_k`:
+//!
+//! `R'_P(t) = R_{χ(v₁)}(t) ⊗ ⨂_i m_i(π_{χ(v₁)∩χ(v_i)}(t))`
+//!
+//! where `m_i` is leaf `i`'s message (its relation with subtree-private
+//! variables aggregated out, Corollary G.2). The value vector is indexed
+//! by the center relation's canonical tuple order, so the converge-cast
+//! is exactly the set-intersection pattern of Theorem 3.11 with `∧`
+//! generalised to `⊗`.
+
+use crate::outcome::ProtocolError;
+use faqs_network::{best_delta, NetRun, Player, SteinerTree};
+use faqs_relation::Relation;
+use faqs_semiring::Semiring;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// One leaf's contribution to a star phase.
+#[derive(Clone, Debug)]
+pub struct LeafInput<S: Semiring> {
+    /// The leaf's message: its relation with subtree-private variables
+    /// already aggregated out; schema ⊆ the center's schema.
+    pub message: Relation<S>,
+    /// The player holding the leaf relation.
+    pub holder: Player,
+}
+
+/// Result of one star phase.
+#[derive(Clone, Debug)]
+pub struct StarPhaseResult<S: Semiring> {
+    /// The updated center relation `R'_P`, now held by `output`.
+    pub new_center: Relation<S>,
+    /// Round at which the phase completed.
+    pub completed_at: u64,
+}
+
+/// Orientation of a Steiner tree from a chosen root: `(bfs order,
+/// parent map)`.
+fn orient(tree: &SteinerTree, root: Player) -> (Vec<Player>, HashMap<Player, Player>) {
+    let mut order = vec![root];
+    let mut parent = HashMap::new();
+    let mut seen: BTreeSet<Player> = BTreeSet::from([root]);
+    let mut q = VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        for &(v, _) in tree.neighbors(u) {
+            if seen.insert(v) {
+                parent.insert(v, u);
+                order.push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    (order, parent)
+}
+
+/// Broadcasts `total_bits` of data from `source` to every player of
+/// `members` over the packing: the payload is split round-robin across
+/// the trees; within each tree the part is flooded from the source with
+/// per-chunk pipelining. Returns each member's completion round.
+pub fn broadcast_over_packing(
+    run: &mut NetRun,
+    packing: &[SteinerTree],
+    source: Player,
+    members: &[Player],
+    total_bits: u64,
+    phase_start: u64,
+) -> Result<HashMap<Player, u64>, ProtocolError> {
+    let mut arrival: HashMap<Player, u64> =
+        members.iter().map(|&m| (m, phase_start.saturating_sub(1))).collect();
+    arrival.insert(source, phase_start.saturating_sub(1));
+    if total_bits == 0 || members.iter().all(|m| *m == source) {
+        return Ok(arrival);
+    }
+    let trees = packing.len().max(1) as u64;
+    let part = total_bits.div_ceil(trees);
+    for tree in packing {
+        if !tree.contains(source) {
+            return Err(ProtocolError::Unreachable(format!(
+                "broadcast source {source} not spanned by packing tree"
+            )));
+        }
+        let (order, parent) = orient(tree, source);
+        // Chunk the part to the smallest link capacity in the tree.
+        let chunk = tree
+            .links()
+            .iter()
+            .map(|l| run.topology().capacity(*l))
+            .min()
+            .unwrap_or(1);
+        let chunks: Vec<u64> = split_chunks(part, chunk);
+        // ready[player][chunk] = round after which the chunk is local.
+        let mut ready: HashMap<Player, Vec<u64>> =
+            HashMap::from([(source, vec![phase_start.saturating_sub(1); chunks.len()])]);
+        for &node in order.iter().skip(1) {
+            let p = parent[&node];
+            let up = ready[&p].clone();
+            let mut mine = Vec::with_capacity(chunks.len());
+            for (c, &sz) in chunks.iter().enumerate() {
+                let done = run
+                    .transmit(p, node, sz, up[c] + 1)
+                    .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
+                mine.push(done);
+            }
+            ready.insert(node, mine);
+        }
+        for (&player, times) in &ready {
+            if let Some(t) = times.last() {
+                let e = arrival.entry(player).or_insert(0);
+                *e = (*e).max(*t);
+            }
+        }
+    }
+    // Members must be covered by every tree (they are terminals).
+    for m in members {
+        if !arrival.contains_key(m) {
+            return Err(ProtocolError::Unreachable(format!(
+                "member {m} not reached by broadcast"
+            )));
+        }
+    }
+    Ok(arrival)
+}
+
+fn split_chunks(total: u64, chunk: u64) -> Vec<u64> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::with_capacity((total / chunk + 1) as usize);
+    let mut rem = total;
+    while rem > 0 {
+        let c = chunk.min(rem);
+        out.push(c);
+        rem -= c;
+    }
+    if out.is_empty() {
+        out.push(0);
+    }
+    out
+}
+
+/// Converge-casts the `⊗`-product of per-player value vectors to
+/// `output` over the packing: coordinates are split across trees; within
+/// a tree, each node combines its own entries with its children's and
+/// forwards upward, chunk-pipelined. `ready[p]` is the round after which
+/// player `p`'s vector is available locally. Entries cost `entry_bits`
+/// on the wire. Returns the combined vector and the completion round.
+pub fn convergecast_over_packing<S: Semiring>(
+    run: &mut NetRun,
+    packing: &[SteinerTree],
+    output: Player,
+    vectors: &HashMap<Player, Vec<S>>,
+    entry_bits: u64,
+    ready: &HashMap<Player, u64>,
+) -> Result<(Vec<S>, u64), ProtocolError> {
+    let n = vectors
+        .values()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0);
+    for v in vectors.values() {
+        assert_eq!(v.len(), n, "all vectors share the index space");
+    }
+    let mut result = vec![S::one(); n];
+    let mut completed = ready.values().copied().max().unwrap_or(0);
+    if n == 0 {
+        return Ok((result, completed));
+    }
+    let trees = packing.len().max(1);
+    // Coordinate blocks: round-robin so blocks are near-equal.
+    let blocks: Vec<Vec<usize>> = (0..trees)
+        .map(|t| (t..n).step_by(trees).collect())
+        .collect();
+
+    for (tree, block) in packing.iter().zip(blocks.iter()) {
+        if block.is_empty() {
+            continue;
+        }
+        if !tree.contains(output) {
+            return Err(ProtocolError::Unreachable(format!(
+                "output {output} not spanned by packing tree"
+            )));
+        }
+        let (order, parent) = orient(tree, output);
+        let chunk_entries = {
+            let min_cap = tree
+                .links()
+                .iter()
+                .map(|l| run.topology().capacity(*l))
+                .min()
+                .unwrap_or(1);
+            (min_cap / entry_bits.max(1)).max(1) as usize
+        };
+        // Per node: (vector over block, per-chunk ready rounds).
+        let mut acc: HashMap<Player, (Vec<S>, Vec<u64>)> = HashMap::new();
+        let n_chunks = block.len().div_ceil(chunk_entries);
+        for &p in order.iter() {
+            let own: Vec<S> = match vectors.get(&p) {
+                Some(v) => block.iter().map(|&i| v[i].clone()).collect(),
+                None => vec![S::one(); block.len()],
+            };
+            let t0 = ready.get(&p).copied().unwrap_or(0);
+            acc.insert(p, (own, vec![t0; n_chunks]));
+        }
+        // Children before parents: reverse BFS order.
+        for &node in order.iter().rev() {
+            if node == output {
+                continue;
+            }
+            let p = parent[&node];
+            let (vec_n, ready_n) = acc.remove(&node).expect("node present");
+            let mut times = Vec::with_capacity(n_chunks);
+            for (c, r) in ready_n.iter().enumerate() {
+                let lo = c * chunk_entries;
+                let hi = ((c + 1) * chunk_entries).min(block.len());
+                let bits = (hi - lo) as u64 * entry_bits.max(1);
+                let done = run
+                    .transmit(node, p, bits, r + 1)
+                    .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
+                times.push(done);
+            }
+            let entry = acc.get_mut(&p).expect("parent present");
+            for (e, v) in entry.0.iter_mut().zip(vec_n.iter()) {
+                *e = e.mul(v);
+            }
+            for (c, t) in times.iter().enumerate() {
+                entry.1[c] = entry.1[c].max(*t);
+            }
+        }
+        let (vec_out, ready_out) = &acc[&output];
+        for (slot, &i) in block.iter().enumerate() {
+            result[i] = result[i].mul(&vec_out[slot]);
+        }
+        completed = completed.max(ready_out.iter().copied().max().unwrap_or(0));
+    }
+    Ok((result, completed))
+}
+
+/// Executes one star phase: broadcast the center relation to every
+/// participant, build leaf-message value vectors locally, converge-cast
+/// their product to `output`, and form `R'_P` there.
+#[allow(clippy::too_many_arguments)]
+pub fn run_star_phase<S: Semiring>(
+    run: &mut NetRun,
+    center: &Relation<S>,
+    center_holder: Player,
+    leaves: &[LeafInput<S>],
+    output: Player,
+    domain: u32,
+    phase_start: u64,
+) -> Result<StarPhaseResult<S>, ProtocolError> {
+    // Participants.
+    let mut kset: BTreeSet<Player> = leaves.iter().map(|l| l.holder).collect();
+    kset.insert(center_holder);
+    kset.insert(output);
+    let k: Vec<Player> = kset.into_iter().collect();
+
+    // All local: no communication.
+    if k.len() == 1 {
+        let new_center = apply_messages(center, leaves);
+        return Ok(StarPhaseResult {
+            new_center,
+            completed_at: phase_start.saturating_sub(1),
+        });
+    }
+
+    let cap_min = run
+        .topology()
+        .links()
+        .map(|l| run.topology().capacity(l))
+        .min()
+        .unwrap_or(1);
+    let center_bits = center.bits(domain);
+    let (_delta, packing) = best_delta(run.topology(), &k, center_bits.div_ceil(cap_min));
+    if packing.is_empty() {
+        return Err(ProtocolError::Unreachable(
+            "no Steiner tree connects the participants".into(),
+        ));
+    }
+
+    // 1. Broadcast the center relation.
+    let arrival =
+        broadcast_over_packing(run, &packing, center_holder, &k, center_bits, phase_start)?;
+
+    // 2. Leaf-message value vectors, indexed by center tuple order.
+    let mut vectors: HashMap<Player, Vec<S>> = HashMap::new();
+    for leaf in leaves {
+        let vec = message_vector(center, &leaf.message);
+        match vectors.get_mut(&leaf.holder) {
+            Some(existing) => {
+                for (e, v) in existing.iter_mut().zip(vec) {
+                    e.mul_assign(&v);
+                }
+            }
+            None => {
+                vectors.insert(leaf.holder, vec);
+            }
+        }
+    }
+    if vectors.is_empty() {
+        // A star with no leaves: the center is already the result.
+        let done = arrival.get(&output).copied().unwrap_or(phase_start);
+        return Ok(StarPhaseResult {
+            new_center: center.clone(),
+            completed_at: done,
+        });
+    }
+
+    // 3. Converge-cast the ⊗-product to the output player.
+    let entry_bits = S::value_bits().max(1);
+    let (product, completed) =
+        convergecast_over_packing(run, &packing, output, &vectors, entry_bits, &arrival)?;
+
+    // 4. Output forms R'_P locally (it received the center broadcast).
+    let mut new_center = Relation::new(center.schema().to_vec());
+    for ((t, v), p) in center.iter().zip(product.iter()) {
+        let val = v.mul(p);
+        if !val.is_zero() {
+            new_center.insert(t.to_vec(), val);
+        }
+    }
+    Ok(StarPhaseResult {
+        new_center,
+        completed_at: completed,
+    })
+}
+
+/// The value vector of one leaf message against the center's tuple
+/// order: entry `j` is `m(π_overlap(t_j))`, or `0` when absent.
+fn message_vector<S: Semiring>(center: &Relation<S>, message: &Relation<S>) -> Vec<S> {
+    let overlap: Vec<faqs_hypergraph::Var> = message.schema().to_vec();
+    let positions: Vec<usize> = overlap
+        .iter()
+        .map(|v| {
+            center
+                .schema()
+                .iter()
+                .position(|w| w == v)
+                .expect("message schema ⊆ center schema")
+        })
+        .collect();
+    center
+        .iter()
+        .map(|(t, _)| {
+            let key: Vec<u32> = positions.iter().map(|&i| t[i]).collect();
+            message.get(&key).cloned().unwrap_or_else(S::zero)
+        })
+        .collect()
+}
+
+/// Local (zero-communication) application of leaf messages to the
+/// center — used when every participant is the same player.
+fn apply_messages<S: Semiring>(center: &Relation<S>, leaves: &[LeafInput<S>]) -> Relation<S> {
+    let mut out = center.clone();
+    for leaf in leaves {
+        out = out.join(&leaf.message);
+    }
+    // The join keeps the center schema (message schemas are subsets).
+    out.reorder(center.schema())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_network::Topology;
+    use faqs_semiring::{Boolean, Count};
+
+    fn bool_rel(vals: &[u32]) -> Relation<Boolean> {
+        Relation::from_pairs(
+            vec![faqs_hypergraph::Var(0)],
+            vals.iter().map(|v| (vec![*v], Boolean::TRUE)),
+        )
+    }
+
+    #[test]
+    fn star_phase_computes_intersection_on_line() {
+        // Example 2.1's structure: center {1,2,3,4,5} at P0; leaves at
+        // P1..P3 filter it down to {3}.
+        let g = Topology::line(4).with_uniform_capacity(8);
+        let mut run = NetRun::new(&g);
+        let center = bool_rel(&[1, 2, 3, 4, 5]);
+        let leaves = vec![
+            LeafInput {
+                message: bool_rel(&[2, 3, 9]),
+                holder: Player(1),
+            },
+            LeafInput {
+                message: bool_rel(&[3, 2]),
+                holder: Player(2),
+            },
+            LeafInput {
+                message: bool_rel(&[3]),
+                holder: Player(3),
+            },
+        ];
+        let res =
+            run_star_phase(&mut run, &center, Player(0), &leaves, Player(3), 16, 1).unwrap();
+        assert_eq!(res.new_center.len(), 1);
+        assert!(res.new_center.get(&[3]).is_some());
+        // N = 5 tuples over a 3-hop line: rounds ≈ N + diameter, well
+        // under 3·N (trivial).
+        assert!(res.completed_at <= 5 + 3 + 5 + 3);
+    }
+
+    #[test]
+    fn star_phase_multiplies_annotations() {
+        let g = Topology::clique(3).with_uniform_capacity(128);
+        let mut run = NetRun::new(&g);
+        let center: Relation<Count> = Relation::from_pairs(
+            vec![faqs_hypergraph::Var(0)],
+            [(vec![0], Count(2)), (vec![1], Count(3))],
+        );
+        let leaves = vec![
+            LeafInput {
+                message: Relation::from_pairs(
+                    vec![faqs_hypergraph::Var(0)],
+                    [(vec![0], Count(5)), (vec![1], Count(7))],
+                ),
+                holder: Player(1),
+            },
+            LeafInput {
+                message: Relation::from_pairs(
+                    vec![faqs_hypergraph::Var(0)],
+                    [(vec![0], Count(11))],
+                ),
+                holder: Player(2),
+            },
+        ];
+        let res =
+            run_star_phase(&mut run, &center, Player(0), &leaves, Player(0), 4, 1).unwrap();
+        assert_eq!(res.new_center.get(&[0]), Some(&Count(2 * 5 * 11)));
+        assert_eq!(res.new_center.get(&[1]), None, "no match at P2 for 1");
+    }
+
+    #[test]
+    fn colocated_star_is_free() {
+        let g = Topology::line(2);
+        let mut run = NetRun::new(&g);
+        let center = bool_rel(&[1, 2]);
+        let leaves = vec![LeafInput {
+            message: bool_rel(&[2]),
+            holder: Player(0),
+        }];
+        let res =
+            run_star_phase(&mut run, &center, Player(0), &leaves, Player(0), 4, 1).unwrap();
+        assert_eq!(res.new_center.len(), 1);
+        assert_eq!(run.stats().total_bits, 0);
+    }
+
+    #[test]
+    fn clique_broadcast_uses_packing() {
+        // On a clique with 4 participants the packing has ≥ 2 trees, so
+        // broadcasting N tuples costs ≈ N/2 + O(1) rounds (Example 2.3).
+        let n = 64u64;
+        let g = Topology::clique(4).with_uniform_capacity(8);
+        let mut run = NetRun::new(&g);
+        let k: Vec<Player> = (0..4u32).map(Player).collect();
+        let (_, packing) = best_delta(&g, &k, n);
+        assert!(packing.len() >= 2);
+        let arrival =
+            broadcast_over_packing(&mut run, &packing, Player(0), &k, n * 8, 1).unwrap();
+        let worst = arrival.values().max().unwrap();
+        assert!(
+            *worst <= n / 2 + 8,
+            "broadcast should parallelise: {worst} rounds for N = {n}"
+        );
+    }
+
+    #[test]
+    fn convergecast_products_are_correct() {
+        let g = Topology::star(4).with_uniform_capacity(4);
+        let mut run = NetRun::new(&g);
+        let k: Vec<Player> = (1..4u32).map(Player).collect();
+        let (_, packing) = best_delta(&g, &k, 8);
+        let vectors: HashMap<Player, Vec<Count>> = [
+            (Player(1), vec![Count(2), Count(3)]),
+            (Player(2), vec![Count(5), Count(1)]),
+            (Player(3), vec![Count(1), Count(4)]),
+        ]
+        .into_iter()
+        .collect();
+        let ready: HashMap<Player, u64> = k.iter().map(|&p| (p, 0)).collect();
+        let (product, _) =
+            convergecast_over_packing(&mut run, &packing, Player(1), &vectors, 64, &ready)
+                .unwrap();
+        assert_eq!(product, vec![Count(10), Count(12)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Listing-representation relations and FAQ query definitions.
+//!
+//! The paper assumes every input function `f_e : ∏_{v∈e} Dom(v) → D` is
+//! given in *listing representation*: the list of its non-zero entries
+//! `R_e = {(y, f_e(y)) : f_e(y) ≠ 0}` (Section 1). [`Relation`] is exactly
+//! that: a schema over variables plus semiring-annotated tuples, with the
+//! relational-algebra kernel the engine and the distributed protocols
+//! share — natural join (Definition 3.4), semijoin (Definition 3.5),
+//! projection and per-variable `⊕`-aggregation, and the FAQ "push-down"
+//! aggregation of Corollary G.2.
+//!
+//! [`FaqQuery`] bundles a hypergraph with one relation per hyperedge, the
+//! set of free variables `F`, and a per-bound-variable [`Aggregate`]
+//! operator — i.e. an instance of Equation (4) of the paper. [`BcqBuilder`]
+//! is a convenience layer for the Boolean case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod generators;
+mod query;
+mod relation;
+
+pub use builder::BcqBuilder;
+pub use faqs_semiring::Aggregate;
+pub use generators::{random_boolean_instance, random_instance, RandomInstanceConfig};
+pub use query::{FaqQuery, QueryError};
+pub use relation::{Relation, Tuple};

@@ -1,0 +1,619 @@
+//! The annotated relation type and its relational-algebra kernel.
+
+use faqs_hypergraph::Var;
+use faqs_semiring::{Aggregate, LatticeOps, Semiring};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A tuple of domain values, one per schema variable, in schema order.
+pub type Tuple = Box<[u32]>;
+
+/// A semiring-annotated relation in listing representation.
+///
+/// Invariants maintained by every operation:
+///
+/// * the schema lists distinct variables; tuples have `schema.len()`
+///   entries in schema order;
+/// * no tuple is annotated with the semiring zero (the listing
+///   representation stores non-zero entries only);
+/// * each tuple appears at most once (duplicate inserts `⊕`-accumulate);
+/// * entries are kept sorted by tuple, so equal relations compare equal
+///   structurally.
+#[derive(Clone, PartialEq)]
+pub struct Relation<S: Semiring> {
+    schema: Vec<Var>,
+    entries: Vec<(Tuple, S)>,
+}
+
+impl<S: Semiring> fmt::Debug for Relation<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation{:?} {{", self.schema)?;
+        for (t, v) in &self.entries {
+            write!(f, " {t:?}→{v:?}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl<S: Semiring> Relation<S> {
+    /// An empty relation over the given schema (distinct variables).
+    pub fn new<I: IntoIterator<Item = Var>>(schema: I) -> Self {
+        let schema: Vec<Var> = schema.into_iter().collect();
+        let mut sorted = schema.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), schema.len(), "schema variables must be distinct");
+        Relation {
+            schema,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from `(tuple, value)` pairs, `⊕`-accumulating
+    /// duplicates and dropping zeros.
+    pub fn from_pairs<I>(schema: Vec<Var>, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<u32>, S)>,
+    {
+        let mut r = Relation::new(schema);
+        let mut map: HashMap<Tuple, S> = HashMap::new();
+        for (t, v) in pairs {
+            assert_eq!(t.len(), r.schema.len(), "tuple arity mismatch");
+            let t: Tuple = t.into_boxed_slice();
+            match map.get_mut(&t) {
+                Some(acc) => acc.add_assign(&v),
+                None => {
+                    map.insert(t, v);
+                }
+            }
+        }
+        r.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        r.normalize();
+        r
+    }
+
+    /// The "all ones" relation over a uniform domain `[0, domain)^r` —
+    /// the `[N] × {1}`-style paddings of the lower-bound constructions.
+    /// Panics if the result would exceed `2^24` tuples (guard against
+    /// accidental blowup).
+    pub fn full(schema: Vec<Var>, domain: u32) -> Self {
+        let r = schema.len();
+        let total = (domain as u64).pow(r as u32);
+        assert!(total <= 1 << 24, "full relation too large: {total}");
+        let mut rel = Relation::new(schema);
+        let mut tuple = vec![0u32; r];
+        for idx in 0..total {
+            let mut rem = idx;
+            for slot in tuple.iter_mut().rev() {
+                *slot = (rem % domain as u64) as u32;
+                rem /= domain as u64;
+            }
+            rel.entries
+                .push((tuple.clone().into_boxed_slice(), S::one()));
+        }
+        rel.normalize();
+        rel
+    }
+
+    /// The schema, in tuple order.
+    #[inline]
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// Number of listed (non-zero) tuples — the paper's `|R_e| ≤ N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the relation lists no tuples (the function is identically
+    /// zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(tuple, value)` entries in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], &S)> + '_ {
+        self.entries.iter().map(|(t, v)| (t.as_ref(), v))
+    }
+
+    /// Inserts (⊕-accumulates) one entry.
+    pub fn insert(&mut self, tuple: Vec<u32>, value: S) {
+        assert_eq!(tuple.len(), self.schema.len(), "tuple arity mismatch");
+        if value.is_zero() {
+            return;
+        }
+        let t: Tuple = tuple.into_boxed_slice();
+        match self.entries.binary_search_by(|(u, _)| u.cmp(&t)) {
+            Ok(i) => {
+                self.entries[i].1.add_assign(&value);
+                if self.entries[i].1.is_zero() {
+                    self.entries.remove(i);
+                }
+            }
+            Err(i) => self.entries.insert(i, (t, value)),
+        }
+    }
+
+    /// The annotation of an exact tuple, if listed.
+    pub fn get(&self, tuple: &[u32]) -> Option<&S> {
+        self.entries
+            .binary_search_by(|(u, _)| u.as_ref().cmp(tuple))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Restores the canonical sorted-by-tuple order (internal).
+    fn normalize(&mut self) {
+        self.entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    }
+
+    /// Positions of `vars` inside this schema; panics when absent.
+    fn positions(&self, vars: &[Var]) -> Vec<usize> {
+        vars.iter()
+            .map(|v| {
+                self.schema
+                    .iter()
+                    .position(|w| w == v)
+                    .unwrap_or_else(|| panic!("{v} not in schema {:?}", self.schema))
+            })
+            .collect()
+    }
+
+    /// The variables shared with `other`, in this schema's order.
+    pub fn shared_vars(&self, other: &Relation<S>) -> Vec<Var> {
+        self.schema
+            .iter()
+            .copied()
+            .filter(|v| other.schema.contains(v))
+            .collect()
+    }
+
+    /// Projection `π_vars` with `⊕`-aggregation of collapsed tuples: the
+    /// FAQ-SS marginalisation of every variable outside `vars`.
+    pub fn project(&self, vars: &[Var]) -> Relation<S> {
+        let pos = self.positions(vars);
+        let mut map: HashMap<Tuple, S> = HashMap::with_capacity(self.entries.len());
+        for (t, v) in &self.entries {
+            let key: Tuple = pos.iter().map(|&i| t[i]).collect();
+            match map.get_mut(&key) {
+                Some(acc) => acc.add_assign(v),
+                None => {
+                    map.insert(key, v.clone());
+                }
+            }
+        }
+        let mut out = Relation::new(vars.to_vec());
+        out.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        out.normalize();
+        out
+    }
+
+    /// Aggregates out a single variable with the given operator — the
+    /// push-down step of Corollary G.2. `Sum`/`Product` work on any
+    /// semiring; `Max`/`Min` require [`LatticeOps`] (see
+    /// [`Relation::aggregate_out_lattice`]).
+    pub fn aggregate_out(&self, var: Var, op: Aggregate) -> Relation<S> {
+        self.aggregate_out_with(var, |a, b| {
+            op.apply_semiring(a, b)
+                .expect("Max/Min need aggregate_out_lattice")
+        })
+    }
+
+    /// [`Relation::aggregate_out`] for lattice-capable semirings,
+    /// accepting all four aggregate operators.
+    pub fn aggregate_out_lattice(&self, var: Var, op: Aggregate) -> Relation<S>
+    where
+        S: LatticeOps,
+    {
+        self.aggregate_out_with(var, |a, b| op.apply(a, b))
+    }
+
+    fn aggregate_out_with(&self, var: Var, combine: impl Fn(&S, &S) -> S) -> Relation<S> {
+        let drop = self.positions(&[var])[0];
+        let rest: Vec<Var> = self
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| *v != var)
+            .collect();
+        let mut map: HashMap<Tuple, S> = HashMap::with_capacity(self.entries.len());
+        for (t, v) in &self.entries {
+            let key: Tuple = t
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != drop)
+                .map(|(_, x)| *x)
+                .collect();
+            match map.get_mut(&key) {
+                Some(acc) => *acc = combine(acc, v),
+                None => {
+                    map.insert(key, v.clone());
+                }
+            }
+        }
+        let mut out = Relation::new(rest);
+        out.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        out.normalize();
+        out
+    }
+
+    /// Natural join `⋈` (Definition 3.4) with `⊗`-multiplied annotations:
+    /// the output schema is this schema followed by `other`'s fresh
+    /// variables.
+    ///
+    /// ```
+    /// use faqs_relation::Relation;
+    /// use faqs_hypergraph::Var;
+    /// use faqs_semiring::Count;
+    /// let r = Relation::from_pairs(vec![Var(0), Var(1)], [(vec![1, 2], Count(2))]);
+    /// let s = Relation::from_pairs(vec![Var(1), Var(2)], [(vec![2, 7], Count(3))]);
+    /// let j = r.join(&s);
+    /// assert_eq!(j.get(&[1, 2, 7]), Some(&Count(6)));
+    /// ```
+    pub fn join(&self, other: &Relation<S>) -> Relation<S> {
+        let shared = self.shared_vars(other);
+        let my_pos = self.positions(&shared);
+        let their_pos = other.positions(&shared);
+        let fresh: Vec<Var> = other
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| !self.schema.contains(v))
+            .collect();
+        let fresh_pos = other.positions(&fresh);
+
+        // Index the smaller side on the shared variables.
+        let mut index: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(other.len());
+        for (i, (t, _)) in other.entries.iter().enumerate() {
+            let key: Tuple = their_pos.iter().map(|&p| t[p]).collect();
+            index.entry(key).or_default().push(i);
+        }
+
+        let mut schema = self.schema.clone();
+        schema.extend(fresh.iter().copied());
+        let mut out = Relation::new(schema);
+        for (t, v) in &self.entries {
+            let key: Tuple = my_pos.iter().map(|&p| t[p]).collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for &j in matches {
+                let (u, w) = &other.entries[j];
+                let prod = v.mul(w);
+                if prod.is_zero() {
+                    continue;
+                }
+                let mut tuple: Vec<u32> = t.to_vec();
+                tuple.extend(fresh_pos.iter().map(|&p| u[p]));
+                out.entries.push((tuple.into_boxed_slice(), prod));
+            }
+        }
+        // Join of duplicate-free inputs is duplicate-free.
+        out.normalize();
+        out
+    }
+
+    /// Semijoin `⋉` (Definition 3.5): keeps this relation's entries whose
+    /// projection onto the shared variables appears in `other`
+    /// (annotations unchanged — the filtering semantics the BCQ protocols
+    /// use, cf. Example 2.1's `((R ⋉ S) ⋉ T) ⋉ U`).
+    pub fn semijoin(&self, other: &Relation<S>) -> Relation<S> {
+        let shared = self.shared_vars(other);
+        let my_pos = self.positions(&shared);
+        let their_pos = other.positions(&shared);
+        let keys: std::collections::HashSet<Tuple> = other
+            .entries
+            .iter()
+            .map(|(t, _)| their_pos.iter().map(|&p| t[p]).collect())
+            .collect();
+        let mut out = Relation::new(self.schema.clone());
+        out.entries = self
+            .entries
+            .iter()
+            .filter(|(t, _)| {
+                let key: Tuple = my_pos.iter().map(|&p| t[p]).collect();
+                keys.contains(&key)
+            })
+            .cloned()
+            .collect();
+        out
+    }
+
+    /// Pointwise `⊗`-product of two relations over the *same* schema
+    /// (tuple intersection): the combine step of the distributed star
+    /// protocol (Algorithm 1 step 5 / Algorithm 3 step 10).
+    pub fn product_same_schema(&self, other: &Relation<S>) -> Relation<S> {
+        assert_eq!(self.schema, other.schema, "schemas must match");
+        let mut out = Relation::new(self.schema.clone());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let prod = self.entries[i].1.mul(&other.entries[j].1);
+                    if !prod.is_zero() {
+                        out.entries.push((self.entries[i].0.clone(), prod));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Replaces every annotation with `1` — the "identity map" trick of
+    /// Algorithm 3 (step 8) that stops the star center's values being
+    /// multiplied in more than once.
+    pub fn identity_map(&self) -> Relation<S> {
+        let mut out = Relation::new(self.schema.clone());
+        out.entries = self
+            .entries
+            .iter()
+            .map(|(t, _)| (t.clone(), S::one()))
+            .collect();
+        out
+    }
+
+    /// `⊕`-total of all annotations: with `F = ∅` this is the FAQ answer
+    /// scalar (for BCQ, non-zero ⇔ `true`).
+    pub fn total(&self) -> S {
+        S::sum(self.entries.iter().map(|(_, v)| v.clone()))
+    }
+
+    /// Reorders the schema (and all tuples) to the given permutation of
+    /// the current schema.
+    pub fn reorder(&self, schema: &[Var]) -> Relation<S> {
+        let pos = self.positions(schema);
+        assert_eq!(schema.len(), self.schema.len(), "must be a permutation");
+        let mut out = Relation::new(schema.to_vec());
+        out.entries = self
+            .entries
+            .iter()
+            .map(|(t, v)| {
+                let tuple: Tuple = pos.iter().map(|&p| t[p]).collect();
+                (tuple, v.clone())
+            })
+            .collect();
+        out.normalize();
+        out
+    }
+
+    /// The number of bits needed to ship this relation in Model 2.1:
+    /// every tuple costs `r · ⌈log₂ D⌉` bits plus the semiring
+    /// annotation.
+    pub fn bits(&self, domain: u32) -> u64 {
+        let per_value = (32 - domain.saturating_sub(1).leading_zeros()).max(1) as u64;
+        self.len() as u64 * (self.schema.len() as u64 * per_value + S::value_bits())
+    }
+
+    /// Approximate structural equality (same schema, same tuples,
+    /// `approx_eq` values) — for float-carrying semirings in tests.
+    pub fn approx_eq(&self, other: &Relation<S>) -> bool {
+        self.schema == other.schema
+            && self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .all(|((t, v), (u, w))| t == u && v.approx_eq(w))
+    }
+
+    /// Splits the relation into `parts` chunks of near-equal size
+    /// (round-robin over the canonical order) — used by the Steiner-tree
+    /// pipelining and the hash-split experiments.
+    pub fn split(&self, parts: usize) -> Vec<Relation<S>> {
+        assert!(parts >= 1);
+        let mut out: Vec<Relation<S>> = (0..parts)
+            .map(|_| Relation::new(self.schema.clone()))
+            .collect();
+        for (i, (t, v)) in self.entries.iter().enumerate() {
+            out[i % parts].entries.push((t.clone(), v.clone()));
+        }
+        out
+    }
+
+    /// Union of same-schema relations with `⊕`-accumulation of duplicate
+    /// tuples (inverse of [`Relation::split`]).
+    pub fn union_all(parts: &[Relation<S>]) -> Relation<S> {
+        assert!(!parts.is_empty());
+        let schema = parts[0].schema.clone();
+        let mut map: HashMap<Tuple, S> = HashMap::new();
+        for p in parts {
+            assert_eq!(p.schema, schema, "schemas must match");
+            for (t, v) in &p.entries {
+                match map.get_mut(t) {
+                    Some(acc) => acc.add_assign(v),
+                    None => {
+                        map.insert(t.clone(), v.clone());
+                    }
+                }
+            }
+        }
+        let mut out = Relation::new(schema);
+        out.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        out.normalize();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_semiring::{Boolean, Count, Prob};
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn count_rel(schema: &[u32], rows: &[(&[u32], u64)]) -> Relation<Count> {
+        Relation::from_pairs(
+            schema.iter().map(|i| v(*i)).collect(),
+            rows.iter().map(|(t, c)| (t.to_vec(), Count(*c))),
+        )
+    }
+
+    #[test]
+    fn insert_accumulates_and_drops_zero() {
+        let mut r: Relation<Count> = Relation::new([v(0)]);
+        r.insert(vec![1], Count(2));
+        r.insert(vec![1], Count(3));
+        assert_eq!(r.get(&[1]), Some(&Count(5)));
+        r.insert(vec![2], Count(0));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn schema_rejects_duplicates() {
+        let _: Relation<Count> = Relation::new([v(0), v(0)]);
+    }
+
+    #[test]
+    fn projection_aggregates() {
+        let r = count_rel(&[0, 1], &[(&[1, 1], 2), (&[1, 2], 3), (&[2, 1], 5)]);
+        let p = r.project(&[v(0)]);
+        assert_eq!(p.get(&[1]), Some(&Count(5)));
+        assert_eq!(p.get(&[2]), Some(&Count(5)));
+    }
+
+    #[test]
+    fn aggregate_out_matches_project_for_sum() {
+        let r = count_rel(&[0, 1], &[(&[1, 1], 2), (&[1, 2], 3), (&[2, 1], 5)]);
+        assert_eq!(r.aggregate_out(v(1), Aggregate::Sum), r.project(&[v(0)]));
+    }
+
+    #[test]
+    fn aggregate_out_max() {
+        let r = count_rel(&[0, 1], &[(&[1, 1], 2), (&[1, 2], 3)]);
+        let m = r.aggregate_out_lattice(v(1), Aggregate::Max);
+        assert_eq!(m.get(&[1]), Some(&Count(3)));
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        let r = count_rel(&[0, 1], &[(&[1, 2], 2)]);
+        let s = count_rel(&[1, 2], &[(&[2, 7], 3), (&[9, 9], 1)]);
+        let j = r.join(&s);
+        assert_eq!(j.schema(), &[v(0), v(1), v(2)]);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.get(&[1, 2, 7]), Some(&Count(6)));
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_reorder() {
+        let r = count_rel(&[0, 1], &[(&[1, 2], 2), (&[3, 4], 7)]);
+        let s = count_rel(&[1, 2], &[(&[2, 7], 3), (&[4, 1], 5)]);
+        let a = r.join(&s);
+        let b = s.join(&r).reorder(&[v(0), v(1), v(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cartesian_join_when_disjoint() {
+        let r = count_rel(&[0], &[(&[1], 1), (&[2], 1)]);
+        let s = count_rel(&[1], &[(&[5], 1), (&[6], 1)]);
+        assert_eq!(r.join(&s).len(), 4);
+    }
+
+    #[test]
+    fn semijoin_filters_without_changing_values() {
+        let r = count_rel(&[0, 1], &[(&[1, 2], 2), (&[3, 4], 7)]);
+        let s = count_rel(&[1, 2], &[(&[2, 9], 1)]);
+        let sj = r.semijoin(&s);
+        assert_eq!(sj.len(), 1);
+        assert_eq!(sj.get(&[1, 2]), Some(&Count(2)));
+    }
+
+    #[test]
+    fn semijoin_example_2_1_chain() {
+        // Set intersection via chained semijoins on single-attribute
+        // relations, as in Example 2.1.
+        let mk = |xs: &[u32]| {
+            Relation::<Boolean>::from_pairs(
+                vec![v(0)],
+                xs.iter().map(|x| (vec![*x], Boolean::TRUE)),
+            )
+        };
+        let r = mk(&[1, 2, 3, 4]);
+        let s = mk(&[2, 3, 9]);
+        let t = mk(&[3, 2]);
+        let u = mk(&[3]);
+        let result = r.semijoin(&s).semijoin(&t).semijoin(&u);
+        assert_eq!(result.len(), 1);
+        assert!(result.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn product_same_schema_intersects() {
+        let r = count_rel(&[0, 1], &[(&[1, 1], 2), (&[2, 2], 3)]);
+        let s = count_rel(&[0, 1], &[(&[1, 1], 10), (&[3, 3], 1)]);
+        let p = r.product_same_schema(&s);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(&[1, 1]), Some(&Count(20)));
+    }
+
+    #[test]
+    fn identity_map_resets_values() {
+        let r = count_rel(&[0], &[(&[1], 5), (&[2], 9)]);
+        let id = r.identity_map();
+        assert_eq!(id.get(&[1]), Some(&Count(1)));
+        assert_eq!(id.get(&[2]), Some(&Count(1)));
+    }
+
+    #[test]
+    fn total_sums_annotations() {
+        let r = count_rel(&[0], &[(&[1], 5), (&[2], 9)]);
+        assert_eq!(r.total(), Count(14));
+    }
+
+    #[test]
+    fn full_relation_enumerates_domain() {
+        let r: Relation<Boolean> = Relation::full(vec![v(0), v(1)], 3);
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn split_and_union_roundtrip() {
+        let r = count_rel(&[0], &[(&[1], 1), (&[2], 2), (&[3], 3), (&[4], 4)]);
+        let parts = r.split(3);
+        assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 4);
+        assert_eq!(Relation::union_all(&parts), r);
+    }
+
+    #[test]
+    fn bits_accounts_for_arity_and_domain() {
+        let r = count_rel(&[0, 1], &[(&[1, 1], 1)]);
+        // 2 vars × 4 bits (domain 16) + 64 value bits.
+        assert_eq!(r.bits(16), 2 * 4 + 64);
+        let b: Relation<Boolean> =
+            Relation::from_pairs(vec![v(0)], [(vec![1], Boolean::TRUE)]);
+        assert_eq!(b.bits(16), 4, "boolean annotations are free");
+    }
+
+    #[test]
+    fn prob_join_and_project_compose() {
+        let r: Relation<Prob> = Relation::from_pairs(
+            vec![v(0), v(1)],
+            [(vec![0, 0], Prob(0.5)), (vec![0, 1], Prob(0.5))],
+        );
+        let s: Relation<Prob> = Relation::from_pairs(
+            vec![v(1), v(2)],
+            [(vec![0, 0], Prob(0.25)), (vec![1, 0], Prob(0.75))],
+        );
+        let joint = r.join(&s);
+        let marginal = joint.project(&[v(2)]);
+        assert!(marginal.get(&[0]).unwrap().approx_eq(&Prob(0.5)));
+    }
+
+    #[test]
+    fn reorder_permutes() {
+        let r = count_rel(&[0, 1], &[(&[1, 2], 3)]);
+        let p = r.reorder(&[v(1), v(0)]);
+        assert_eq!(p.get(&[2, 1]), Some(&Count(3)));
+    }
+}

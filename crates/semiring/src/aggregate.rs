@@ -1,0 +1,139 @@
+//! Per-variable aggregate operators for *general* FAQ queries.
+//!
+//! Equation (4) of the paper allows every bound variable `i > ℓ` its own
+//! binary operator `⊕⁽ⁱ⁾`, which must either equal the product `⊗` or form
+//! a commutative semiring `(D, ⊕⁽ⁱ⁾, ⊗)` sharing identities `0`/`1` with
+//! the base semiring. [`Aggregate`] describes that choice.
+
+use crate::traits::{LatticeOps, Semiring};
+
+/// The aggregate operator attached to a bound variable of a general FAQ.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Aggregate {
+    /// The base semiring's `⊕` (the FAQ-SS case when used everywhere).
+    #[default]
+    Sum,
+    /// The product aggregate `⊕⁽ⁱ⁾ = ⊗`.
+    Product,
+    /// Binary maximum — legal when `(D, max, ⊗)` shares identities with
+    /// the base semiring ([`LatticeOps::max_forms_semiring`]).
+    Max,
+    /// Binary minimum — legal when `(D, min, ⊗)` shares identities.
+    Min,
+}
+
+/// Error returned when an aggregate is not a legal semiring aggregate for
+/// the chosen carrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateError {
+    /// The offending aggregate.
+    pub aggregate: Aggregate,
+    /// The semiring's `NAME`.
+    pub semiring: &'static str,
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "aggregate {:?} does not form a commutative semiring with shared identities over {}",
+            self.aggregate, self.semiring
+        )
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+impl Aggregate {
+    /// Applies the aggregate to two values of a lattice-capable semiring.
+    #[must_use]
+    pub fn apply<S: LatticeOps>(self, a: &S, b: &S) -> S {
+        match self {
+            Aggregate::Sum => a.add(b),
+            Aggregate::Product => a.mul(b),
+            Aggregate::Max => a.join(b),
+            Aggregate::Min => a.meet(b),
+        }
+    }
+
+    /// Applies the aggregate when only plain [`Semiring`] structure is
+    /// available; `Max`/`Min` are rejected at runtime.
+    pub fn apply_semiring<S: Semiring>(self, a: &S, b: &S) -> Result<S, AggregateError> {
+        match self {
+            Aggregate::Sum => Ok(a.add(b)),
+            Aggregate::Product => Ok(a.mul(b)),
+            Aggregate::Max | Aggregate::Min => Err(AggregateError {
+                aggregate: self,
+                semiring: S::NAME,
+            }),
+        }
+    }
+
+    /// Validates the aggregate against the carrier per the paper's
+    /// requirement that each `⊕⁽ⁱ⁾ ≠ ⊗` form a semiring with shared
+    /// identities.
+    pub fn validate<S: LatticeOps>(self) -> Result<(), AggregateError> {
+        let ok = match self {
+            Aggregate::Sum | Aggregate::Product => true,
+            Aggregate::Max => S::max_forms_semiring(),
+            Aggregate::Min => S::min_forms_semiring(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(AggregateError {
+                aggregate: self,
+                semiring: S::NAME,
+            })
+        }
+    }
+
+    /// Whether this aggregate is a semiring aggregate (as opposed to the
+    /// product aggregate). The distributed push-down rule (Corollary G.2)
+    /// treats both uniformly, but the centralized engine orders semiring
+    /// aggregates after product aggregates within a bag.
+    #[must_use]
+    pub fn is_semiring_aggregate(self) -> bool {
+        !matches!(self, Aggregate::Product)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Boolean, Count, Prob};
+
+    #[test]
+    fn apply_dispatches() {
+        let a = Count(3);
+        let b = Count(5);
+        assert_eq!(Aggregate::Sum.apply(&a, &b), Count(8));
+        assert_eq!(Aggregate::Product.apply(&a, &b), Count(15));
+        assert_eq!(Aggregate::Max.apply(&a, &b), Count(5));
+        assert_eq!(Aggregate::Min.apply(&a, &b), Count(3));
+    }
+
+    #[test]
+    fn validate_respects_carrier() {
+        assert!(Aggregate::Max.validate::<Prob>().is_ok());
+        assert!(Aggregate::Min.validate::<Prob>().is_err());
+        assert!(Aggregate::Max.validate::<Boolean>().is_ok());
+        assert!(Aggregate::Sum.validate::<Count>().is_ok());
+    }
+
+    #[test]
+    fn apply_semiring_rejects_lattice_ops() {
+        let err = Aggregate::Max
+            .apply_semiring(&Count(1), &Count(2))
+            .unwrap_err();
+        assert_eq!(err.aggregate, Aggregate::Max);
+        assert!(err.to_string().contains("counting"));
+    }
+
+    #[test]
+    fn default_is_sum() {
+        assert_eq!(Aggregate::default(), Aggregate::Sum);
+        assert!(Aggregate::Sum.is_semiring_aggregate());
+        assert!(!Aggregate::Product.is_semiring_aggregate());
+    }
+}

@@ -1,0 +1,114 @@
+//! The counting semiring `(ℕ, +, ×)`.
+
+use crate::traits::{LatticeOps, Semiring};
+
+/// The counting semiring `(ℕ, +, ×)` over `u64` with wrapping-checked
+/// arithmetic (saturating, since FAQ counts can legitimately overflow on
+/// adversarial inputs and the round-complexity experiments only need
+/// correct *relative* results).
+///
+/// Instantiating FAQ-SS with [`Count`] and `F = ∅` computes the number of
+/// join results (`#CQ`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, PartialOrd, Ord)]
+pub struct Count(pub u64);
+
+impl Count {
+    /// Returns the inner counter.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Count {
+    fn from(v: u64) -> Self {
+        Count(v)
+    }
+}
+
+impl Semiring for Count {
+    const NAME: &'static str = "counting";
+
+    #[inline]
+    fn zero() -> Self {
+        Count(0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Count(1)
+    }
+
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        Count(self.0.saturating_add(other.0))
+    }
+
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        Count(self.0.saturating_mul(other.0))
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl LatticeOps for Count {
+    #[inline]
+    fn join(&self, other: &Self) -> Self {
+        Count(self.0.max(other.0))
+    }
+
+    #[inline]
+    fn meet(&self, other: &Self) -> Self {
+        Count(self.0.min(other.0))
+    }
+
+    fn max_forms_semiring() -> bool {
+        // (ℕ, max, ×): identity of max is 0, a·max(b,c) = max(ab,ac). ✓
+        true
+    }
+
+    fn min_forms_semiring() -> bool {
+        // min has no identity on ℕ (would need +∞).
+        false
+    }
+}
+
+// `Count` deliberately does not implement `Ring`: ℕ has no additive
+// inverses. `Gf2` is the ring/field used by the matrix-chain substrate.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(Count::zero().get(), 0);
+        assert_eq!(Count::one().get(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Count(3).add(&Count(4)), Count(7));
+        assert_eq!(Count(3).mul(&Count(4)), Count(12));
+        assert_eq!(Count(3).mul(&Count::zero()), Count(0));
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let big = Count(u64::MAX);
+        assert_eq!(big.add(&Count(1)), big);
+        assert_eq!(big.mul(&Count(2)), big);
+    }
+
+    #[test]
+    fn lattice_ops() {
+        assert_eq!(Count(3).join(&Count(4)), Count(4));
+        assert_eq!(Count(3).meet(&Count(4)), Count(3));
+        assert!(Count::max_forms_semiring());
+        assert!(!Count::min_forms_semiring());
+    }
+}

@@ -1,0 +1,190 @@
+//! The probability semiring `(ℝ≥0, +, ×)` and the Viterbi / max-product
+//! semiring `(ℝ≥0, max, ×)`.
+
+use crate::traits::{LatticeOps, Semiring};
+
+const EPS: f64 = 1e-9;
+
+/// The probability (sum-product) semiring `(ℝ≥0, +, ×)`.
+///
+/// This is the semiring used by the paper's PGM application: with `F = e`
+/// for some hyperedge `e`, FAQ-SS computes a *factor marginal* of the
+/// graphical model whose factors are the input functions.
+#[derive(Clone, Copy, PartialEq, Debug, Default, PartialOrd)]
+pub struct Prob(pub f64);
+
+impl Prob {
+    /// Creates a probability value, panicking on negative or non-finite
+    /// input (the carrier is ℝ≥0).
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "Prob requires finite v >= 0, got {v}");
+        Prob(v)
+    }
+
+    /// Returns the inner float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for Prob {
+    fn from(v: f64) -> Self {
+        Prob::new(v)
+    }
+}
+
+impl Semiring for Prob {
+    const NAME: &'static str = "probability";
+
+    #[inline]
+    fn zero() -> Self {
+        Prob(0.0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Prob(1.0)
+    }
+
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        Prob(self.0 + other.0)
+    }
+
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        Prob(self.0 * other.0)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+
+    fn approx_eq(&self, other: &Self) -> bool {
+        let scale = self.0.abs().max(other.0.abs()).max(1.0);
+        (self.0 - other.0).abs() <= EPS * scale
+    }
+}
+
+impl LatticeOps for Prob {
+    #[inline]
+    fn join(&self, other: &Self) -> Self {
+        Prob(self.0.max(other.0))
+    }
+
+    #[inline]
+    fn meet(&self, other: &Self) -> Self {
+        Prob(self.0.min(other.0))
+    }
+
+    fn max_forms_semiring() -> bool {
+        // (ℝ≥0, max, ×) has identities 0 and 1 and a·max(b,c) = max(ab,ac)
+        // for a ≥ 0: a legal alternative aggregate for bound variables.
+        true
+    }
+
+    fn min_forms_semiring() -> bool {
+        false // identity of min on ℝ≥0 would be +∞, outside the carrier.
+    }
+}
+
+/// The max-product (Viterbi) semiring `(ℝ≥0, max, ×)`.
+///
+/// Instantiating FAQ-SS with [`MaxProd`] computes maximum a-posteriori
+/// (MAP) scores in a PGM — one of the classic non-sum examples listed in
+/// the generalized-distributive-law literature the paper cites.
+#[derive(Clone, Copy, PartialEq, Debug, Default, PartialOrd)]
+pub struct MaxProd(pub f64);
+
+impl MaxProd {
+    /// Creates a value, panicking on negative or non-finite input.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "MaxProd requires finite v >= 0, got {v}");
+        MaxProd(v)
+    }
+
+    /// Returns the inner float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Semiring for MaxProd {
+    const NAME: &'static str = "max-product";
+
+    #[inline]
+    fn zero() -> Self {
+        MaxProd(0.0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        MaxProd(1.0)
+    }
+
+    #[inline]
+    fn add(&self, other: &Self) -> Self {
+        MaxProd(self.0.max(other.0))
+    }
+
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        MaxProd(self.0 * other.0)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+
+    fn approx_eq(&self, other: &Self) -> bool {
+        let scale = self.0.abs().max(other.0.abs()).max(1.0);
+        (self.0 - other.0).abs() <= EPS * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prob_identities() {
+        assert!(Prob::zero().is_zero());
+        assert_eq!(Prob::one().get(), 1.0);
+    }
+
+    #[test]
+    fn prob_arithmetic() {
+        assert!(Prob(0.25).add(&Prob(0.5)).approx_eq(&Prob(0.75)));
+        assert!(Prob(0.25).mul(&Prob(0.5)).approx_eq(&Prob(0.125)));
+    }
+
+    #[test]
+    #[should_panic(expected = "Prob requires")]
+    fn prob_rejects_negative() {
+        let _ = Prob::new(-0.5);
+    }
+
+    #[test]
+    fn maxprod_is_idempotent_additively() {
+        let v = MaxProd(0.7);
+        assert_eq!(v.add(&v), v);
+        assert_eq!(v.add(&MaxProd(0.2)), v);
+    }
+
+    #[test]
+    fn maxprod_mul() {
+        assert!(MaxProd(0.5).mul(&MaxProd(0.5)).approx_eq(&MaxProd(0.25)));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_rounding() {
+        let a = Prob(0.1 + 0.2);
+        let b = Prob(0.3);
+        assert!(a.approx_eq(&b));
+        assert_ne!(a, b); // exact equality fails, approx passes
+    }
+}

@@ -1,0 +1,134 @@
+//! The core algebraic traits.
+
+use std::fmt::Debug;
+
+/// A commutative semiring `(D, ⊕, ⊗)` in the sense of the paper's
+/// footnote 2:
+///
+/// 1. `(D, ⊕)` is a commutative monoid with identity [`Semiring::zero`];
+/// 2. `(D, ⊗)` is a commutative monoid with identity [`Semiring::one`];
+/// 3. `⊗` distributes over `⊕`;
+/// 4. `0 ⊗ d = d ⊗ 0 = 0` for every `d ∈ D` (zero is absorbing).
+///
+/// Values are stored inside relations in *listing representation*: only
+/// entries whose value is not [`Semiring::zero`] are materialised, exactly
+/// as the paper assumes for the input functions `f_e`.
+///
+/// Implementations must satisfy the semiring laws; the crate's property
+/// tests check them on every provided instance.
+pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
+    /// A short human-readable name, used by the benchmark harness when
+    /// printing per-semiring experiment rows.
+    const NAME: &'static str;
+
+    /// Whether `⊗` is idempotent (`d ⊗ d = d`). Idempotence makes the
+    /// *product aggregate* of general FAQs commute with semiring
+    /// aggregates across factorised subexpressions (the multiplicity
+    /// blow-up `f^m` collapses to `f`), which is what the engine's
+    /// push-down rewriting needs; see `faqs-core` for the discussion.
+    const IDEMPOTENT_MUL: bool = false;
+
+    /// The additive identity `0` (also the absorbing element of `⊗`).
+    fn zero() -> Self;
+
+    /// The multiplicative identity `1`.
+    fn one() -> Self;
+
+    /// The semiring addition `⊕`.
+    #[must_use]
+    fn add(&self, other: &Self) -> Self;
+
+    /// The semiring multiplication `⊗`.
+    #[must_use]
+    fn mul(&self, other: &Self) -> Self;
+
+    /// Whether this value equals the additive identity.
+    ///
+    /// Relations drop zero-valued entries eagerly, mirroring the listing
+    /// representation `R_e = {(y, f_e(y)) : f_e(y) ≠ 0}`.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// In-place `⊕`-accumulation; override when cheaper than `add`.
+    fn add_assign(&mut self, other: &Self) {
+        *self = self.add(other);
+    }
+
+    /// In-place `⊗`-accumulation; override when cheaper than `mul`.
+    fn mul_assign(&mut self, other: &Self) {
+        *self = self.mul(other);
+    }
+
+    /// `⊕`-sum of an iterator of values (`0` on empty input).
+    fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = Self::zero();
+        for v in iter {
+            acc.add_assign(&v);
+        }
+        acc
+    }
+
+    /// `⊗`-product of an iterator of values (`1` on empty input).
+    fn product<I: IntoIterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = Self::one();
+        for v in iter {
+            acc.mul_assign(&v);
+        }
+        acc
+    }
+
+    /// The number of bits needed to communicate one value of this semiring
+    /// in the distributed model (Model 2.1 charges `O(r·log₂ D)` bits per
+    /// tuple; the value annotation contributes these extra bits for
+    /// non-Boolean semirings).
+    fn value_bits() -> u64 {
+        64
+    }
+
+    /// Approximate equality, used by tests on inexact carriers such as
+    /// [`crate::Prob`]. Exact by default.
+    fn approx_eq(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+/// Extra lattice structure available on ordered semirings.
+///
+/// General FAQ queries (Section 5) allow each bound variable its own
+/// aggregate `⊕⁽ⁱ⁾` as long as `(D, ⊕⁽ⁱ⁾, ⊗)` is a commutative semiring
+/// sharing the identities `0`/`1`. For numeric carriers, `max` (and
+/// sometimes `min`) are such aggregates; this trait exposes them.
+pub trait LatticeOps: Semiring {
+    /// Binary maximum (lattice join); must distribute with `⊗` on the carrier.
+    #[must_use]
+    fn join(&self, other: &Self) -> Self;
+
+    /// Binary minimum (lattice meet).
+    #[must_use]
+    fn meet(&self, other: &Self) -> Self;
+
+    /// Whether `(D, max, ⊗)` is a commutative semiring with the same
+    /// identities as `(D, ⊕, ⊗)` — i.e. whether `max` is a legal semiring
+    /// aggregate for a bound variable in a general FAQ.
+    fn max_forms_semiring() -> bool;
+
+    /// Whether `(D, min, ⊗)` shares identities with `(D, ⊕, ⊗)`.
+    fn min_forms_semiring() -> bool;
+}
+
+/// A commutative ring: a semiring with additive inverses.
+///
+/// Used by the matrix-chain-multiplication substrate (Section 6), which
+/// works over the two-element field `F₂`.
+pub trait Ring: Semiring {
+    /// The additive inverse `-self`.
+    #[must_use]
+    fn neg(&self) -> Self;
+
+    /// Subtraction `self ⊕ (-other)`.
+    #[must_use]
+    fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+}

@@ -1,0 +1,37 @@
+//! Matrix Chain Multiplication on a line (Section 6 of the paper).
+//!
+//! Runs the four protocols on the same instance and prints the measured
+//! round counts against the paper's predictions: sequential `Θ(kN)`
+//! (optimal for `k ≤ N`, Theorem 6.4), merge `O(N² log k + k)` (wins
+//! for huge `k`, Appendix I.1), trivial `Θ(kN²)`, and the shuffled
+//! assignment.
+//!
+//! Run with `cargo run --release --example matrix_chain`.
+
+use faqs::lowerbounds::mcm_lower_bound;
+use faqs::mcm::{
+    merge_protocol, random_assignment_protocol, sequential_protocol, trivial_protocol, McmProblem,
+};
+
+fn main() {
+    println!("{:<22} {:>10} {:>12}", "protocol", "rounds", "predicted");
+    for (n, k) in [(64usize, 8usize), (16, 128)] {
+        let p = McmProblem::random(n, k, 1, 7);
+        let expected = p.expected();
+        println!("--- N = {n}, k = {k} (lower bound Ω(kN) = {}) ---", mcm_lower_bound(k as u64, n as u64, 1));
+        let rows: Vec<(&str, faqs::mcm::McmOutcome)> = vec![
+            ("sequential (Prop 6.1)", sequential_protocol(&p)),
+            ("merge (App I.1)", merge_protocol(&p)),
+            ("trivial", trivial_protocol(&p)),
+            ("shuffled + pipeline", random_assignment_protocol(&p, 3, true)),
+            ("shuffled store&fwd", random_assignment_protocol(&p, 3, false)),
+        ];
+        for (name, out) in rows {
+            assert_eq!(out.y, expected, "{name} computes the right product");
+            println!("{:<22} {:>10} {:>12}", name, out.rounds, out.predicted_rounds);
+        }
+    }
+    println!();
+    println!("shape check: sequential wins for k ≤ N; merge takes over once k ≫ N·log k —");
+    println!("exactly the crossover the paper describes after Proposition 6.1.");
+}

@@ -1,0 +1,76 @@
+//! # faqs — Topology Dependent Bounds For FAQs
+//!
+//! A production-quality Rust reproduction of *"Topology Dependent Bounds
+//! For FAQs"* (Langberg, Li, Mani Jayaraman, Rudra — PODS 2019,
+//! arXiv:2003.05575): a distributed FAQ/BCQ engine over arbitrary network
+//! topologies, the paper's protocols and width machinery, its TRIBES-based
+//! lower-bound reductions, and the matrix-chain min-entropy experiments.
+//!
+//! This crate is the facade: it re-exports the public API of every
+//! workspace member. See the individual crates for details:
+//!
+//! * [`semiring`] — commutative semirings (`Boolean`, `Prob`, `Gf2`, …).
+//! * [`hypergraph`] — query hypergraphs, GYO elimination, GHDs, the
+//!   internal-node-width `y(H)`, core/forest decomposition.
+//! * [`relation`] — listing-representation relations, joins, semijoins,
+//!   aggregation, FAQ query definitions.
+//! * [`network`] — communication topologies, min-cuts, Steiner-tree
+//!   packings, multicommodity-flow routing, the synchronous round
+//!   simulator of Model 2.1.
+//! * [`engine`] — the centralized FAQ engine (ground truth).
+//! * [`protocols`] — the paper's distributed protocols (trivial, star,
+//!   forest, d-degenerate, general-FAQ, hash-split).
+//! * [`mcm`] — matrix-chain multiplication over `F₂` on a line, plus the
+//!   min-entropy machinery of Section 6.
+//! * [`lowerbounds`] — TRIBES instances and the reductions to BCQ.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use faqs::prelude::*;
+//!
+//! // The star query H1 of Figure 1: R(A,B), S(A,C), T(A,D), U(A,E).
+//! let h = star_query(4);
+//! // The line topology G1 of Figure 1 with 4 players.
+//! let g = Topology::line(4);
+//!
+//! // Build a BCQ instance with a common value witnessed by every relation.
+//! let n = 16;
+//! let mut builder = BcqBuilder::new(&h, n);
+//! for e in 0..4 {
+//!     builder.relation_from_pairs(e, (0..n as u32).map(|i| (i, 1)));
+//! }
+//! let query = builder.finish();
+//!
+//! // Centralized answer.
+//! assert!(solve_bcq(&query));
+//!
+//! // Distributed answer: one relation per player, P1..P4 in order.
+//! let assignment = Assignment::round_robin(&query, &g, &[0, 1, 2, 3]);
+//! let outcome = run_bcq_protocol(&query, &g, &assignment, 1).unwrap();
+//! assert!(outcome.answer);
+//! // The paper's Example 2.2: N + O(k) rounds on the line.
+//! assert!(outcome.rounds <= (n as u64) + 16);
+//! ```
+
+pub use faqs_core as engine;
+pub use faqs_hypergraph as hypergraph;
+pub use faqs_lowerbounds as lowerbounds;
+pub use faqs_mcm as mcm;
+pub use faqs_network as network;
+pub use faqs_protocols as protocols;
+pub use faqs_relation as relation;
+pub use faqs_semiring as semiring;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use faqs_core::{solve_bcq, solve_faq, solve_faq_brute_force};
+    pub use faqs_hypergraph::{
+        clique_query, cycle_query, path_query, star_query, Hypergraph, Var,
+    };
+    pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
+    pub use faqs_network::{Assignment, Topology};
+    pub use faqs_protocols::{run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice};
+    pub use faqs_relation::{BcqBuilder, FaqQuery, Relation};
+    pub use faqs_semiring::{Aggregate, Boolean, Count, Gf2, Prob, Semiring};
+}
