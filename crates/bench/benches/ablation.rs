@@ -89,5 +89,10 @@ fn bench_relation_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_width_pipeline, bench_steiner, bench_relation_kernels);
+criterion_group!(
+    benches,
+    bench_width_pipeline,
+    bench_steiner,
+    bench_relation_kernels
+);
 criterion_main!(benches);

@@ -65,5 +65,10 @@ fn bench_width(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_vs_brute, bench_engine_scaling, bench_width);
+criterion_group!(
+    benches,
+    bench_engine_vs_brute,
+    bench_engine_scaling,
+    bench_width
+);
 criterion_main!(benches);

@@ -13,11 +13,9 @@ fn bench_regimes(c: &mut Criterion) {
     group.sample_size(10);
     for (n, k, tag) in [(64usize, 8usize, "k<N"), (16, 128, "k>N")] {
         let p = McmProblem::random(n, k, 1, 5);
-        group.bench_with_input(
-            BenchmarkId::new("sequential", tag),
-            &p,
-            |b, p| b.iter(|| black_box(sequential_protocol(black_box(p)).rounds)),
-        );
+        group.bench_with_input(BenchmarkId::new("sequential", tag), &p, |b, p| {
+            b.iter(|| black_box(sequential_protocol(black_box(p)).rounds))
+        });
         group.bench_with_input(BenchmarkId::new("merge", tag), &p, |b, p| {
             b.iter(|| black_box(merge_protocol(black_box(p)).rounds))
         });

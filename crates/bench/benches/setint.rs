@@ -28,7 +28,13 @@ fn bench_topologies(c: &mut Criterion) {
         Topology::grid(2, 3).with_uniform_capacity(4),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(g.name()), &g, |b, g| {
-            b.iter(|| black_box(run_set_intersection(g, black_box(&ins), Player(0)).unwrap().rounds))
+            b.iter(|| {
+                black_box(
+                    run_set_intersection(g, black_box(&ins), Player(0))
+                        .unwrap()
+                        .rounds,
+                )
+            })
         });
     }
     group.finish();
@@ -43,7 +49,13 @@ fn bench_scaling(c: &mut Criterion) {
     for n in [256usize, 1024, 4096] {
         let ins = inputs(6, n, 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(run_set_intersection(&g, black_box(&ins), Player(0)).unwrap().rounds))
+            b.iter(|| {
+                black_box(
+                    run_set_intersection(&g, black_box(&ins), Player(0))
+                        .unwrap()
+                        .rounds,
+                )
+            })
         });
     }
     group.finish();

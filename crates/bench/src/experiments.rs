@@ -4,17 +4,18 @@
 use crate::{banner, header, row};
 use faqs_core::{solve_bcq, solve_faq};
 use faqs_hypergraph::{
-    clique_query, example_h0, example_h1, example_h2, exact_internal_node_width,
+    clique_query, exact_internal_node_width, example_h0, example_h1, example_h2,
     internal_node_width, random_degenerate_query, random_uniform_hypergraph, star_query,
     tree_query, EdgeId, Ghd, Hypergraph,
 };
 use faqs_lowerbounds::{
-    bcq_lower_bound, embed_core, embed_forest, embed_hypergraph, faq_lower_bound,
-    forest_capacity, hard_assignment, hypergraph_capacity, mcm_lower_bound, Tribes,
+    bcq_lower_bound, embed_core, embed_forest, embed_hypergraph, faq_lower_bound, forest_capacity,
+    hard_assignment, hypergraph_capacity, mcm_lower_bound, Tribes,
 };
 use faqs_mcm::{
-    entropy::{transcript_experiment, leaky_matrix_min_entropy, prefix_source},
-    merge_protocol, random_assignment_protocol, sequential_protocol, shannon::shannon_counterexample,
+    entropy::{leaky_matrix_min_entropy, prefix_source, transcript_experiment},
+    merge_protocol, random_assignment_protocol, sequential_protocol,
+    shannon::shannon_counterexample,
     trivial_protocol, McmProblem,
 };
 use faqs_network::{min_cut, steiner_packing, Assignment, Player, Topology};
@@ -47,13 +48,18 @@ fn ratio(a: u64, b: u64) -> String {
 pub fn e1_table1(n: usize) {
     banner("E1 · Table 1 — per-row reproduction");
     header(&[
-        "row", "query", "topology", "d", "r", "measured", "upper", "lower(cert)", "UB/LB",
+        "row",
+        "query",
+        "topology",
+        "d",
+        "r",
+        "measured",
+        "upper",
+        "lower(cert)",
+        "UB/LB",
     ]);
 
-    let run_row = |label: &str,
-                       h: &Hypergraph,
-                       g: &Topology,
-                       counting: bool| {
+    let run_row = |label: &str, h: &Hypergraph, g: &Topology, counting: bool| {
         let cfg = RandomInstanceConfig {
             tuples_per_factor: n,
             domain: (4 * n) as u32,
@@ -140,7 +146,11 @@ pub fn e2_figures() {
     let w1 = internal_node_width(&h1);
     let w2 = internal_node_width(&h2);
     row(&["y(H1)".to_string(), w1.y.to_string(), "1".into()]);
-    row(&["y(H2)".to_string(), w2.y.to_string(), "1 (T1 of Fig 2)".into()]);
+    row(&[
+        "y(H2)".to_string(),
+        w2.y.to_string(),
+        "1 (T1 of Fig 2)".into(),
+    ]);
     row(&[
         "exact y(H1)".to_string(),
         exact_internal_node_width(&h1, 8).unwrap().to_string(),
@@ -231,9 +241,8 @@ pub fn e3_examples(ns: &[u32]) {
             b1.relation_from_pairs(e, (0..n).map(|x| (x, 0)));
         }
         let q1 = b1.finish();
-        let mk = |g: &Topology| {
-            Assignment::round_robin(&q1, g, &[0, 1, 2, 3]).with_output(Player(1))
-        };
+        let mk =
+            |g: &Topology| Assignment::round_robin(&q1, g, &[0, 1, 2, 3]).with_output(Player(1));
         let r_line = run_bcq_protocol(&q1, &g1, &mk(&g1), 1).unwrap().rounds;
         let g2 = Topology::clique(4);
         let r_clique = run_bcq_protocol(&q1, &g2, &mk(&g2), 1).unwrap().rounds;
@@ -262,9 +271,9 @@ pub fn e4_lowerbounds(n_universe: u32, trials: u64) {
     banner("E4 · TRIBES ⇒ BCQ reductions (Lemma 4.3, Thm 4.4, Thm F.8)");
     header(&["embedding", "H", "pairs m", "equivalence checks", "status"]);
     let check = |label: &str,
-                     h: &Hypergraph,
-                     embed: &dyn Fn(&Tribes) -> Option<faqs_lowerbounds::Embedding>,
-                     m: usize| {
+                 h: &Hypergraph,
+                 embed: &dyn Fn(&Tribes) -> Option<faqs_lowerbounds::Embedding>,
+                 m: usize| {
         let mut ok = 0;
         for seed in 0..trials {
             for planted in [true, false] {
@@ -280,20 +289,39 @@ pub fn e4_lowerbounds(n_universe: u32, trials: u64) {
             format!("{h:?}").chars().take(28).collect(),
             m.to_string(),
             format!("{ok}/{}", 2 * trials),
-            if ok == 2 * trials as usize { "✓".into() } else { "✗ MISMATCH".to_string() },
+            if ok == 2 * trials as usize {
+                "✓".into()
+            } else {
+                "✗ MISMATCH".to_string()
+            },
         ]);
     };
 
     let star = example_h1();
-    check("forest (4.3)", &star, &|t| embed_forest(&star, t), forest_capacity(&star));
+    check(
+        "forest (4.3)",
+        &star,
+        &|t| embed_forest(&star, t),
+        forest_capacity(&star),
+    );
     let tree = tree_query(2, 3);
-    check("forest (4.3)", &tree, &|t| embed_forest(&tree, t), forest_capacity(&tree));
+    check(
+        "forest (4.3)",
+        &tree,
+        &|t| embed_forest(&tree, t),
+        forest_capacity(&tree),
+    );
     let cyc = faqs_hypergraph::cycle_query(5);
     check("core/cycles (4.4)", &cyc, &|t| embed_core(&cyc, t), 1);
     let grid = faqs_hypergraph::grid_query(3, 3);
     check("core/IS (4.4)", &grid, &|t| embed_core(&grid, t), 2);
     let h2 = example_h2();
-    check("hypergraph (F.8)", &h2, &|t| embed_hypergraph(&h2, t), hypergraph_capacity(&h2));
+    check(
+        "hypergraph (F.8)",
+        &h2,
+        &|t| embed_hypergraph(&h2, t),
+        hypergraph_capacity(&h2),
+    );
 
     println!();
     header(&[
@@ -337,7 +365,13 @@ pub fn e4_lowerbounds(n_universe: u32, trials: u64) {
 pub fn e5_mcm() {
     banner("E5 · Matrix chain — protocol sweep (Prop 6.1, App I.1)");
     header(&[
-        "N", "k", "sequential", "merge", "trivial", "shuffled(s&f)", "Ω(kN)",
+        "N",
+        "k",
+        "sequential",
+        "merge",
+        "trivial",
+        "shuffled(s&f)",
+        "Ω(kN)",
     ]);
     for (n, k) in [
         (64usize, 4usize),
@@ -374,7 +408,14 @@ pub fn e5_mcm() {
 /// truncated transcripts, and the leaky-matrix `H∞(Ax | leak)` bound.
 pub fn e6_entropy() {
     banner("E6 · Min-entropy experiments (Lemma 6.2, Thm 6.3)");
-    header(&["N", "k", "γ", "Σ tᵢ bits", "H∞(y_k | transcripts)", "paper bound"]);
+    header(&[
+        "N",
+        "k",
+        "γ",
+        "Σ tᵢ bits",
+        "H∞(y_k | transcripts)",
+        "paper bound",
+    ]);
     for (n, k, gamma) in [
         (12usize, 2usize, 0.05f64),
         (12, 3, 0.05),
@@ -424,7 +465,13 @@ pub fn e6_entropy() {
 pub fn e7_shannon() {
     banner("E7 · Shannon counterexample (App I.3)");
     header(&[
-        "N", "α", "H_Sh(x)", "2α(1−α)N", "residual", "α·N", "induction fails?",
+        "N",
+        "α",
+        "H_Sh(x)",
+        "2α(1−α)N",
+        "residual",
+        "α·N",
+        "induction fails?",
     ]);
     for (n, alpha) in [(8usize, 0.25f64), (12, 0.25), (14, 0.25), (12, 0.125)] {
         let c = shannon_counterexample(n, alpha, 4, 0xE7);
@@ -435,7 +482,11 @@ pub fn e7_shannon() {
             format!("{:.2}", c.input_entropy_formula),
             format!("{:.2}", c.residual_entropy),
             format!("{:.2}", c.residual_formula),
-            if c.induction_fails() { "yes ✓".into() } else { "NO ✗".to_string() },
+            if c.induction_fails() {
+                "yes ✓".into()
+            } else {
+                "NO ✗".to_string()
+            },
         ]);
     }
 }
@@ -482,15 +533,16 @@ pub fn e9_mpc(n: usize) {
     let h = star_query(k_sources);
     for p in [2usize, 4, 8] {
         let g = Topology::mpc(k_sources, p);
-        let cap = ((n / p).max(1) as u64) * model_capacity_bits(&random_boolean_instance(
-            &h,
-            &RandomInstanceConfig {
-                tuples_per_factor: 1,
-                domain: (4 * n) as u32,
-                seed: 0,
-            },
-            true,
-        ));
+        let cap = ((n / p).max(1) as u64)
+            * model_capacity_bits(&random_boolean_instance(
+                &h,
+                &RandomInstanceConfig {
+                    tuples_per_factor: 1,
+                    domain: (4 * n) as u32,
+                    seed: 0,
+                },
+                true,
+            ));
         let g = g.with_uniform_capacity(cap);
         let cfg = RandomInstanceConfig {
             tuples_per_factor: n,
@@ -593,7 +645,13 @@ pub fn e11_faq_general(n: usize) {
 /// whole-relation assignment.
 pub fn e12_hash_split(n: usize) {
     banner("E12 · Hash-split relations (Thm G.8)");
-    header(&["|K|", "G", "rounds (split)", "rounds (whole)", "answers agree"]);
+    header(&[
+        "|K|",
+        "G",
+        "rounds (split)",
+        "rounds (whole)",
+        "answers agree",
+    ]);
     let h = star_query(4);
     let cfg = RandomInstanceConfig {
         tuples_per_factor: n,
@@ -622,7 +680,12 @@ pub fn e12_hash_split(n: usize) {
 /// (DESIGN.md §5).
 pub fn ablation_width() {
     banner("Ablation · internal-node-width minimisation");
-    header(&["H", "canonical y", "hoisted+rerooted y", "exact for canonical root (≤8 nodes)"]);
+    header(&[
+        "H",
+        "canonical y",
+        "hoisted+rerooted y",
+        "exact for canonical root (≤8 nodes)",
+    ]);
     for (name, h) in [
         ("H1", example_h1()),
         ("H2", example_h2()),

@@ -34,9 +34,7 @@ type AggFn<'a, S> = &'a dyn Fn(&Relation<S>, Var, Aggregate) -> Relation<S>;
 /// experiments. `Max`/`Min` aggregates are rejected; use
 /// [`solve_faq_brute_force_lattice`].
 pub fn solve_faq_brute_force<S: Semiring>(q: &FaqQuery<S>) -> Relation<S> {
-    brute(q, &|rel, var, op| {
-        rel.aggregate_out(var, op)
-    })
+    brute(q, &|rel, var, op| rel.aggregate_out(var, op))
 }
 
 /// [`solve_faq_brute_force`] accepting all four aggregate operators.
@@ -141,8 +139,7 @@ mod tests {
             .edges()
             .map(|(_, vars)| Relation::full(vars.to_vec(), 2))
             .collect();
-        let q: FaqQuery<Count> =
-            FaqQuery::new_ss(h, factors, vec![faqs_hypergraph::Var(0)], 2);
+        let q: FaqQuery<Count> = FaqQuery::new_ss(h, factors, vec![faqs_hypergraph::Var(0)], 2);
         let r = solve_faq_brute_force(&q);
         // For each x0: 2 choices of x1 × 2 choices of x2 = 4.
         assert_eq!(r.get(&[0]), Some(&Count(4)));

@@ -33,13 +33,19 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::FreeVarsOutsideCore(vs) => {
-                write!(f, "free variables {vs:?} cannot be placed in the core V(C(H))")
+                write!(
+                    f,
+                    "free variables {vs:?} cannot be placed in the core V(C(H))"
+                )
             }
             EngineError::NeedsLatticeOps(v) => {
                 write!(f, "variable {v} uses Max/Min; call solve_faq_lattice")
             }
             EngineError::NonIdempotentProduct(v) => {
-                write!(f, "variable {v} uses a product aggregate over a non-idempotent ⊗")
+                write!(
+                    f,
+                    "variable {v} uses a product aggregate over a non-idempotent ⊗"
+                )
             }
             EngineError::IncompatibleAggregateOrder(v, w) => {
                 write!(
@@ -239,7 +245,8 @@ pub fn solve_faq_on_ghd<S: Semiring>(
     ghd: &Ghd,
     agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
 ) -> Result<Relation<S>, EngineError> {
-    q.validate().map_err(|e| EngineError::Invalid(e.to_string()))?;
+    q.validate()
+        .map_err(|e| EngineError::Invalid(e.to_string()))?;
     let root = ghd.root();
     let root_chi = ghd.chi(root);
     if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
@@ -318,7 +325,10 @@ pub fn solve_faq_on_ghd<S: Semiring>(
 /// satisfies every relation.
 pub fn solve_bcq(q: &FaqQuery<Boolean>) -> bool {
     assert!(q.free_vars.is_empty(), "BCQ has no free variables");
-    !solve_faq(q).expect("BCQ always satisfies F ⊆ V(C(H))").total().is_zero()
+    !solve_faq(q)
+        .expect("BCQ always satisfies F ⊆ V(C(H))")
+        .total()
+        .is_zero()
 }
 
 #[cfg(test)]
@@ -398,9 +408,8 @@ mod tests {
                 domain: 3,
                 seed,
             };
-            let q: FaqQuery<Count> = faqs_relation::random_instance(&h, &cfg, vec![], |r| {
-                Count(r.random_range(1..4))
-            });
+            let q: FaqQuery<Count> =
+                faqs_relation::random_instance(&h, &cfg, vec![], |r| Count(r.random_range(1..4)));
             use rand::Rng;
             let fast = solve_faq(&q).unwrap().total();
             let slow = solve_faq_brute_force(&q).total();
@@ -433,12 +442,8 @@ mod tests {
             domain: 3,
             seed: 10,
         };
-        let q: FaqQuery<Prob> = faqs_relation::random_instance(
-            &h,
-            &cfg,
-            vec![Var(1), Var(2)],
-            |_| Prob(0.5),
-        );
+        let q: FaqQuery<Prob> =
+            faqs_relation::random_instance(&h, &cfg, vec![Var(1), Var(2)], |_| Prob(0.5));
         let fast = solve_faq(&q).unwrap();
         let slow = solve_faq_brute_force(&q);
         assert!(fast.approx_eq(&slow));
@@ -454,12 +459,8 @@ mod tests {
             domain: 2,
             seed: 1,
         };
-        let q: FaqQuery<Count> = faqs_relation::random_instance(
-            &h,
-            &cfg,
-            vec![Var(0), Var(5)],
-            |_| Count(1),
-        );
+        let q: FaqQuery<Count> =
+            faqs_relation::random_instance(&h, &cfg, vec![Var(0), Var(5)], |_| Count(1));
         assert!(matches!(
             solve_faq(&q),
             Err(EngineError::FreeVarsOutsideCore(_))
@@ -470,10 +471,12 @@ mod tests {
     fn max_aggregate_requires_lattice_entry_point() {
         let h = star_query(2);
         let cfg = RandomInstanceConfig::default();
-        let q: FaqQuery<Prob> =
-            faqs_relation::random_instance(&h, &cfg, vec![], |_| Prob(0.5))
-                .with_aggregate(Var(1), Aggregate::Max);
-        assert!(matches!(solve_faq(&q), Err(EngineError::NeedsLatticeOps(_))));
+        let q: FaqQuery<Prob> = faqs_relation::random_instance(&h, &cfg, vec![], |_| Prob(0.5))
+            .with_aggregate(Var(1), Aggregate::Max);
+        assert!(matches!(
+            solve_faq(&q),
+            Err(EngineError::NeedsLatticeOps(_))
+        ));
         assert!(solve_faq_lattice(&q).is_ok());
     }
 
@@ -539,9 +542,8 @@ mod tests {
     fn rejects_product_aggregate_on_counting() {
         let h = star_query(2);
         let cfg = RandomInstanceConfig::default();
-        let q: FaqQuery<Count> =
-            faqs_relation::random_instance(&h, &cfg, vec![], |_| Count(2))
-                .with_aggregate(Var(1), Aggregate::Product);
+        let q: FaqQuery<Count> = faqs_relation::random_instance(&h, &cfg, vec![], |_| Count(2))
+            .with_aggregate(Var(1), Aggregate::Product);
         assert!(matches!(
             solve_faq(&q),
             Err(EngineError::NonIdempotentProduct(_))

@@ -12,10 +12,7 @@ use faqs_relation::{FaqQuery, Relation};
 use faqs_semiring::Prob;
 
 /// The unnormalised marginal of a single variable: `ϕ({v})`.
-pub fn variable_marginal(
-    q: &FaqQuery<Prob>,
-    v: Var,
-) -> Result<Relation<Prob>, EngineError> {
+pub fn variable_marginal(q: &FaqQuery<Prob>, v: Var) -> Result<Relation<Prob>, EngineError> {
     let mut qv = q.clone();
     qv.free_vars = vec![v];
     solve_faq(&qv)
@@ -23,10 +20,7 @@ pub fn variable_marginal(
 
 /// The unnormalised factor marginal `ϕ(e)` for hyperedge `e` — the
 /// paper's PGM instantiation (`F = e`).
-pub fn factor_marginal(
-    q: &FaqQuery<Prob>,
-    e: EdgeId,
-) -> Result<Relation<Prob>, EngineError> {
+pub fn factor_marginal(q: &FaqQuery<Prob>, e: EdgeId) -> Result<Relation<Prob>, EngineError> {
     let mut qe = q.clone();
     qe.free_vars = q.hypergraph.edge(e).to_vec();
     solve_faq(&qe)
@@ -58,9 +52,9 @@ pub fn normalize(marginal: &Relation<Prob>) -> Option<Relation<Prob>> {
 mod tests {
     use super::*;
     use crate::brute::solve_faq_brute_force;
-    use faqs_semiring::Semiring;
     use faqs_hypergraph::{path_query, star_query, EdgeId, Hypergraph};
     use faqs_relation::RandomInstanceConfig;
+    use faqs_semiring::Semiring;
     use rand::Rng;
 
     /// A small chain PGM (an HMM slice): factors on consecutive pairs.
@@ -140,7 +134,9 @@ mod tests {
         let h: Hypergraph = path_query(1);
         let q: FaqQuery<Prob> = FaqQuery::new_ss(
             h.clone(),
-            h.edges().map(|(_, vars)| Relation::new(vars.to_vec())).collect(),
+            h.edges()
+                .map(|(_, vars)| Relation::new(vars.to_vec()))
+                .collect(),
             vec![],
             2,
         );

@@ -15,13 +15,14 @@ use faqs_semiring::Semiring;
 /// Runs the two-pass semijoin full reducer over the query's GYO-GHD,
 /// returning the reduced factors (every dangling tuple removed). The
 /// query must be acyclic.
-pub fn yannakakis_reduce<S: Semiring>(
-    q: &FaqQuery<S>,
-) -> Result<Vec<Relation<S>>, EngineError> {
+pub fn yannakakis_reduce<S: Semiring>(q: &FaqQuery<S>) -> Result<Vec<Relation<S>>, EngineError> {
     if !is_acyclic(&q.hypergraph) {
-        return Err(EngineError::Invalid("yannakakis requires an acyclic query".into()));
+        return Err(EngineError::Invalid(
+            "yannakakis requires an acyclic query".into(),
+        ));
     }
-    q.validate().map_err(|e| EngineError::Invalid(e.to_string()))?;
+    q.validate()
+        .map_err(|e| EngineError::Invalid(e.to_string()))?;
 
     let ghd = internal_node_width(&q.hypergraph).ghd;
     let mut reduced: Vec<Relation<S>> = q.factors.clone();
@@ -52,7 +53,8 @@ pub fn yannakakis_reduce<S: Semiring>(
 /// first (so intermediate results stay output-bounded); cyclic queries
 /// fall back to a left-deep join.
 pub fn natural_join<S: Semiring>(q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
-    q.validate().map_err(|e| EngineError::Invalid(e.to_string()))?;
+    q.validate()
+        .map_err(|e| EngineError::Invalid(e.to_string()))?;
     let factors = if is_acyclic(&q.hypergraph) {
         yannakakis_reduce(q)?
     } else {

@@ -75,10 +75,7 @@ pub fn short_vertex_disjoint_cycles(
 /// of arity `r`: each chosen vertex forbids at most `deg·(r−1)` others.
 /// Only vertices with positive degree participate.
 pub fn strong_independent_set(h: &Hypergraph) -> Vec<Var> {
-    let mut alive: BTreeSet<Var> = h
-        .vars()
-        .filter(|v| h.degree(*v) > 0)
-        .collect();
+    let mut alive: BTreeSet<Var> = h.vars().filter(|v| h.degree(*v) > 0).collect();
     let mut out = Vec::new();
     while !alive.is_empty() {
         // Pick the vertex excluding the fewest alive peers.
@@ -162,11 +159,9 @@ mod tests {
 
     #[test]
     fn cycles_extracted_from_dense_graph() {
-        // Two disjoint triangles joined loosely: avg degree 2, below the
-        // paper's threshold of 10, so with threshold 1.5 we extract.
-        let mut h = cycle_query(3);
-        let base = h.num_vars() as u32;
-        let _ = base;
+        // A triangle: avg degree 2, above threshold 1.5, so we extract
+        // it and the remainder is forest.
+        let h = cycle_query(3);
         let g = SimpleGraph::from_hypergraph(&h).unwrap();
         let (cycles, rest) = short_vertex_disjoint_cycles(&g, 1.5);
         assert_eq!(cycles.len(), 1);

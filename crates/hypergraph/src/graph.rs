@@ -186,11 +186,7 @@ impl SimpleGraph {
                         // endpoints' paths go back to s; reconstruct and
                         // keep if shorter than the incumbent.
                         if let Some(cycle) = reconstruct_cycle(&par, v, w) {
-                            if best
-                                .as_ref()
-                                .map(|b| cycle.len() < b.len())
-                                .unwrap_or(true)
-                            {
+                            if best.as_ref().map(|b| cycle.len() < b.len()).unwrap_or(true) {
                                 best = Some(cycle);
                             }
                         }
@@ -249,11 +245,7 @@ impl SimpleGraph {
 /// Reconstructs the cycle closed by the non-tree edge `(v, w)` from BFS
 /// parent pointers; `None` when the walk-backs do not merge (should not
 /// happen in a BFS tree, kept defensive).
-fn reconstruct_cycle(
-    par: &[Option<(Var, EdgeId)>],
-    v: Var,
-    w: Var,
-) -> Option<Vec<Var>> {
+fn reconstruct_cycle(par: &[Option<(Var, EdgeId)>], v: Var, w: Var) -> Option<Vec<Var>> {
     let path_to_root = |mut x: Var| -> Vec<Var> {
         let mut p = vec![x];
         while let Some((q, _)) = par[x.index()] {

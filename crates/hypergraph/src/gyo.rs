@@ -187,10 +187,7 @@ pub fn gyo(h: &Hypergraph) -> GyoTrace {
         }
         // Any removed witness was live at this edge's deletion time and
         // therefore removed later, so parent pointers follow removal order.
-        parent[ei] = candidates[ei]
-            .iter()
-            .copied()
-            .find(|w| removed[w.index()]);
+        parent[ei] = candidates[ei].iter().copied().find(|w| removed[w.index()]);
     }
     // Back-fill the witnesses in the recorded steps for debuggability.
     for s in &mut steps {

@@ -1,0 +1,154 @@
+//! Structural-predicate tests against the *public* crate API: GYO
+//! acyclicity on the paper's worked examples `H0`–`H3` (Figure 1 /
+//! Appendix C.2) and the internal-node-width `y(H)` (Definition 2.9) on
+//! the star/path/clique query families.
+
+use faqs_hypergraph::{
+    clique_query, cycle_query, exact_internal_node_width, example_h0, example_h1, example_h2,
+    example_h3, gyo, internal_node_width, is_acyclic, path_query, star_query, Decomposition,
+    EdgeId,
+};
+
+#[test]
+fn h0_set_intersection_is_acyclic() {
+    // Example 2.1: four unary relations over one variable. GYO removes
+    // the duplicate edges immediately.
+    let h = example_h0();
+    assert!(is_acyclic(&h));
+    assert!(gyo(&h).is_acyclic());
+    let d = Decomposition::of(&h);
+    assert!(d.core_edges.is_empty());
+    assert_eq!(d.forest_edges.len(), 4);
+}
+
+#[test]
+fn h1_star_is_acyclic() {
+    // Figure 1's star: every leaf edge is an ear of the center.
+    let h = example_h1();
+    assert!(is_acyclic(&h));
+    let d = Decomposition::of(&h);
+    assert!(d.core_edges.is_empty());
+    assert_eq!(d.n2(), 2);
+}
+
+#[test]
+fn h2_is_acyclic_with_empty_core() {
+    // Figure 1's H2 = R(A,B,C), S(B,D), T(C,F), U(A,B,E): acyclic, so the
+    // GYO reduction consumes every edge.
+    let h = example_h2();
+    assert!(is_acyclic(&h));
+    let d = Decomposition::of(&h);
+    assert!(d.core_edges.is_empty());
+    assert_eq!(d.forest_edges.len(), 4);
+    assert!(d.is_acyclic());
+}
+
+#[test]
+fn h3_has_the_appendix_c2_cyclic_core() {
+    // Appendix C.2: GYO gets stuck on the 2-overlapping triangle edges
+    // e1(A,B,C), e2(B,C,D), e3(A,C,D) and peels off the pendant forest
+    // e4(A,B,E), e5(A,F), e6(B,G), e7(G,H).
+    let h = example_h3();
+    assert!(!is_acyclic(&h));
+    assert!(!gyo(&h).is_acyclic());
+
+    let d = Decomposition::of(&h);
+    let mut core = d.core_edges.clone();
+    core.sort();
+    assert_eq!(core, vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+
+    let mut forest = d.forest_edges.clone();
+    forest.sort();
+    assert_eq!(forest, vec![EdgeId(3), EdgeId(4), EdgeId(5), EdgeId(6)]);
+
+    // n2(H3) = |V(C(H3))| = |{A, B, C, D} ∪ {A}| = 5 with the paper's
+    // accounting (the forest attachment var A is counted once).
+    assert_eq!(d.n2(), 5);
+}
+
+#[test]
+fn acyclicity_on_query_families() {
+    for k in 1..8 {
+        assert!(is_acyclic(&star_query(k)), "stars are acyclic (k={k})");
+        assert!(is_acyclic(&path_query(k)), "paths are acyclic (k={k})");
+    }
+    for n in 3..7 {
+        assert!(!is_acyclic(&cycle_query(n)), "cycles are cyclic (n={n})");
+        assert!(!is_acyclic(&clique_query(n)), "K_{n} is cyclic");
+        // The whole clique survives as its own core.
+        let d = Decomposition::of(&clique_query(n));
+        assert_eq!(d.core_edges.len(), n * (n - 1) / 2);
+        assert!(d.forest_edges.is_empty());
+    }
+    // K_2 is a single edge, hence acyclic.
+    assert!(is_acyclic(&clique_query(2)));
+}
+
+#[test]
+fn star_width_is_one_internal_node() {
+    // A star decomposes as one internal node (the center bag) with all
+    // leaves below it — the shape Algorithm 1 exploits.
+    for k in 2..10 {
+        let h = star_query(k);
+        let report = internal_node_width(&h);
+        assert_eq!(report.y, 1, "y(star_{k})");
+        assert!(report.ghd.validate(&h).is_ok());
+    }
+    // The exhaustive search is exponential; confirm the heuristic on
+    // small stars only so the suite stays fast without optimizations.
+    for k in 2..5 {
+        assert_eq!(exact_internal_node_width(&star_query(k), 8), Some(1));
+    }
+    // A single-edge "star" is one bag: no internal node at all.
+    assert_eq!(internal_node_width(&star_query(1)).y, 0);
+}
+
+#[test]
+fn path_width_grows_as_k_minus_two() {
+    // The GYO-GHD of a k-edge path is a path of k bags; after hoisting,
+    // the two end bags are leaves and the k−2 middle bags are internal.
+    for k in 3..12 {
+        let h = path_query(k);
+        let report = internal_node_width(&h);
+        assert_eq!(report.y, k - 2, "y(path_{k})");
+        assert!(report.ghd.validate(&h).is_ok());
+    }
+    // Degenerate paths: a single bag (y=0), and a two-bag path whose
+    // root stays internal (y=1).
+    assert_eq!(internal_node_width(&path_query(1)).y, 0);
+    assert_eq!(internal_node_width(&path_query(2)).y, 1);
+    // The heuristic is exact on small paths (kept small: the exhaustive
+    // search is exponential and this suite also runs unoptimized).
+    for k in 2..6 {
+        let h = path_query(k);
+        assert_eq!(
+            exact_internal_node_width(&h, 8),
+            Some(internal_node_width(&h).y),
+            "heuristic vs exact on path_{k}"
+        );
+    }
+}
+
+#[test]
+fn clique_width_is_one_core_node() {
+    // Cliques GYO-reduce to nothing: the entire core becomes a single
+    // internal bag (the trivial protocol's shape), with n2 = n.
+    for n in 3..7 {
+        let h = clique_query(n);
+        let report = internal_node_width(&h);
+        assert_eq!(report.y, 1, "y(K_{n})");
+        assert_eq!(report.n2(), n, "n2(K_{n})");
+        assert!(report.ghd.validate(&h).is_ok());
+    }
+}
+
+#[test]
+fn width_report_decomposition_is_consistent_with_gyo() {
+    for h in [example_h0(), example_h1(), example_h2(), example_h3()] {
+        let report = internal_node_width(&h);
+        let d = Decomposition::of(&h);
+        assert_eq!(report.decomposition.core_edges, d.core_edges);
+        assert_eq!(report.n2(), d.n2());
+        assert!(report.y >= usize::from(!d.core_edges.is_empty()));
+    }
+}

@@ -66,9 +66,8 @@ pub fn forest_capacity(h: &Hypergraph) -> usize {
 
 fn forest_sites(h: &Hypergraph, g: &SimpleGraph) -> Vec<VertexSite> {
     let (left, right) = g.bipartition();
-    let deg2 = |side: &[Var]| -> Vec<Var> {
-        side.iter().copied().filter(|v| g.degree(*v) >= 2).collect()
-    };
+    let deg2 =
+        |side: &[Var]| -> Vec<Var> { side.iter().copied().filter(|v| g.degree(*v) >= 2).collect() };
     let (l2, r2) = (deg2(&left), deg2(&right));
     let o_side = if l2.len() >= r2.len() { l2 } else { r2 };
     let parent = g.rooted_forest();
@@ -187,9 +186,10 @@ fn build_vertex_site_embedding(
     let domain = tribes.n.max(2);
 
     let site_of_edge = |e: EdgeId| -> Option<(usize, Var)> {
-        sites.iter().enumerate().find_map(|(i, s)| {
-            h.edge(e).contains(&s.o).then_some((i, s.o))
-        })
+        sites
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| h.edge(e).contains(&s.o).then_some((i, s.o)))
     };
 
     let mut factors: Vec<Relation<Boolean>> = Vec::with_capacity(h.num_edges());
@@ -289,12 +289,22 @@ fn build_cycle_embedding(
             Some(Role::S(i)) => {
                 // (c1, c2) → pairs of S_i, oriented c1 = high digit.
                 let cyc = &cycles[i];
-                pair_relation(vars, cyc[0], cyc[1], tribes.pairs[i].x.iter().map(|&s| encode(s)))
+                pair_relation(
+                    vars,
+                    cyc[0],
+                    cyc[1],
+                    tribes.pairs[i].x.iter().map(|&s| encode(s)),
+                )
             }
             Some(Role::T(i)) => {
                 // (c2, c3) carries T_i reversed: c3 = high digit, c2 = low.
                 let cyc = &cycles[i];
-                pair_relation(vars, cyc[2 % cyc.len()], cyc[1], tribes.pairs[i].y.iter().map(|&s| encode(s)))
+                pair_relation(
+                    vars,
+                    cyc[2 % cyc.len()],
+                    cyc[1],
+                    tribes.pairs[i].y.iter().map(|&s| encode(s)),
+                )
             }
             Some(Role::Identity) => Relation::from_pairs(
                 vars.to_vec(),
@@ -391,17 +401,15 @@ pub fn embed_hypergraph(h: &Hypergraph, tribes: &Tribes) -> Option<Embedding> {
     let mut chosen: Vec<(Var, EdgeId, EdgeId)> = Vec::new();
     let mut used_vars: BTreeSet<Var> = BTreeSet::new();
     for (u, c, p) in pairs {
-        let (Some(&ue), Some(&ce)) = (
-            ghd.node(u).lambda.first(),
-            ghd.node(c).lambda.first(),
-        ) else {
+        let (Some(&ue), Some(&ce)) = (ghd.node(u).lambda.first(), ghd.node(c).lambda.first())
+        else {
             continue; // synthetic root: no carrier relation
         };
         // Strong independence: p must share no hyperedge with any chosen
         // variable.
-        let clash = h.edges().any(|(_, e)| {
-            e.contains(&p) && used_vars.iter().any(|q| e.contains(q))
-        });
+        let clash = h
+            .edges()
+            .any(|(_, e)| e.contains(&p) && used_vars.iter().any(|q| e.contains(q)));
         if clash {
             continue;
         }
@@ -479,11 +487,7 @@ pub fn hypergraph_capacity(h: &Hypergraph) -> usize {
 /// player on the `A` side of a witnessing min cut of `(G, K)`, every
 /// `R_{T_i}` to the `B` side, padding relations round-robin. The output
 /// player is the first terminal.
-pub fn hard_assignment(
-    embedding: &Embedding,
-    g: &Topology,
-    k: &[Player],
-) -> Assignment {
+pub fn hard_assignment(embedding: &Embedding, g: &Topology, k: &[Player]) -> Assignment {
     assert!(k.len() >= 2);
     let (_, side) = min_cut_partition(g, k);
     let a_players: Vec<Player> = k.iter().copied().filter(|p| side[p.index()]).collect();
@@ -633,7 +637,10 @@ mod tests {
         let (_, side) = min_cut_partition(&g, &k);
         for (i, &se) in e.s_edges.iter().enumerate() {
             assert!(side[a.holder(se).index()], "S relation on side A");
-            assert!(!side[a.holder(e.t_edges[i]).index()], "T relation on side B");
+            assert!(
+                !side[a.holder(e.t_edges[i]).index()],
+                "T relation on side B"
+            );
         }
     }
 

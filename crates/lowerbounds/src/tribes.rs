@@ -107,10 +107,8 @@ impl Tribes {
                 // high half (disjoint by construction), plus an optional
                 // planted witness.
                 let half = n / 2;
-                let mut x: BTreeSet<u32> =
-                    (0..half).filter(|_| rng.random_bool(0.5)).collect();
-                let mut y: BTreeSet<u32> =
-                    (half..n).filter(|_| rng.random_bool(0.5)).collect();
+                let mut x: BTreeSet<u32> = (0..half).filter(|_| rng.random_bool(0.5)).collect();
+                let mut y: BTreeSet<u32> = (half..n).filter(|_| rng.random_bool(0.5)).collect();
                 if x.is_empty() {
                     x.insert(0);
                 }

@@ -161,7 +161,9 @@ pub fn leaky_matrix_min_entropy(
     let mut worst = f64::INFINITY;
     for _ in 0..trials.max(1) {
         // Sample the leaked rows.
-        let leak: Vec<BitVec> = (0..leaked_rows).map(|_| BitVec::random(n, &mut rng)).collect();
+        let leak: Vec<BitVec> = (0..leaked_rows)
+            .map(|_| BitVec::random(n, &mut rng))
+            .collect();
         // Head buckets: L·x over the source.
         let mut buckets: HashMap<u64, f64> = HashMap::new();
         let mut zero_mass = 0.0f64;

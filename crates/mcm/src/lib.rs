@@ -30,6 +30,6 @@ pub mod shannon;
 
 pub use bits::{BitMatrix, BitVec};
 pub use protocols::{
-    merge_protocol, random_assignment_protocol, sequential_protocol, trivial_protocol,
-    McmOutcome, McmProblem,
+    merge_protocol, random_assignment_protocol, sequential_protocol, trivial_protocol, McmOutcome,
+    McmProblem,
 };

@@ -164,8 +164,13 @@ pub fn merge_protocol(p: &McmProblem) -> McmOutcome {
     // P_k computes y = M·x and forwards it to P_{k+1}.
     let y = last.product.mul_vec(&p.x);
     let send_ready = last.ready.max(x_arrival + 1);
-    run.transmit(Player(k as u32), Player(k as u32 + 1), p.n as u64, send_ready)
-        .expect("line neighbours");
+    run.transmit(
+        Player(k as u32),
+        Player(k as u32 + 1),
+        p.n as u64,
+        send_ready,
+    )
+    .expect("line neighbours");
 
     let stats = run.stats();
     let log_k = (k.max(2) as u64).ilog2() as u64 + 1;
@@ -281,7 +286,9 @@ fn send_store_and_forward(
     let mut t = ready.max(1) - 1;
     while cur != to {
         let next = Player((cur.0 as i64 + step) as u32);
-        t = run.transmit(cur, next, bits, t + 1).expect("line neighbours");
+        t = run
+            .transmit(cur, next, bits, t + 1)
+            .expect("line neighbours");
         cur = next;
     }
     t

@@ -34,7 +34,10 @@ impl Assignment {
     ) -> Self {
         assert!(!player_ids.is_empty());
         for &p in player_ids {
-            assert!((p as usize) < g.num_players(), "player P{p} not in topology");
+            assert!(
+                (p as usize) < g.num_players(),
+                "player P{p} not in topology"
+            );
         }
         let holder = (0..q.k())
             .map(|e| Player(player_ids[e % player_ids.len()]))

@@ -23,12 +23,7 @@ pub struct SourceLoad {
 /// each round, every directed link pointing "downhill" (toward the sink
 /// in BFS distance) forwards up to `bits_per_round` buffered bits.
 /// Returns the number of rounds until everything arrives.
-pub fn route_to_sink(
-    g: &Topology,
-    loads: &[SourceLoad],
-    sink: Player,
-    bits_per_round: u64,
-) -> u64 {
+pub fn route_to_sink(g: &Topology, loads: &[SourceLoad], sink: Player, bits_per_round: u64) -> u64 {
     assert!(bits_per_round > 0);
     let dist = g.distances(sink);
     let mut buffer: Vec<u64> = vec![0; g.num_players()];
@@ -42,7 +37,12 @@ pub fn route_to_sink(
         buffer[l.player.index()] += l.bits;
         total += l.bits;
     }
-    if total == 0 || buffer.iter().enumerate().all(|(i, b)| *b == 0 || i == sink.index()) {
+    if total == 0
+        || buffer
+            .iter()
+            .enumerate()
+            .all(|(i, b)| *b == 0 || i == sink.index())
+    {
         return 0;
     }
 

@@ -330,7 +330,9 @@ mod tests {
         let g = Topology::line(4).with_uniform_capacity(4);
         let mut run = NetRun::new(&g);
         // 4 bits over 3 hops, one round per hop.
-        let done = run.send_via_shortest_path(Player(0), Player(3), 4, 1).unwrap();
+        let done = run
+            .send_via_shortest_path(Player(0), Player(3), 4, 1)
+            .unwrap();
         assert_eq!(done, 3);
     }
 

@@ -62,7 +62,10 @@ impl Topology {
     /// Adds an undirected link with the given per-direction capacity.
     pub fn add_link(&mut self, a: Player, b: Player, capacity_bits: u64) -> LinkId {
         assert!(a != b, "self-links are not allowed");
-        assert!(a.index() < self.n && b.index() < self.n, "player out of range");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "player out of range"
+        );
         assert!(capacity_bits > 0, "capacity must be positive");
         let id = LinkId(self.links.len() as u32);
         self.links.push((a, b));

@@ -210,9 +210,8 @@ fn execute_on_ghd<S: Semiring>(
         if is_root_star && rel[root.index()].is_none() {
             break; // synthetic-root core: handled by the trivial finish
         }
-        let (center_rel, center_holder) = rel[center.index()]
-            .clone()
-            .expect("center covers an edge");
+        let (center_rel, center_holder) =
+            rel[center.index()].clone().expect("center covers an edge");
 
         // Build leaf messages: aggregate out the leaf-private variables
         // (χ(leaf) ∖ χ(center)), innermost (highest index) first.
@@ -314,8 +313,7 @@ fn execute_on_ghd<S: Semiring>(
             None => root_rel,
         });
     }
-    let mut result = combined
-        .unwrap_or_else(|| Relation::from_pairs(vec![], [(vec![], S::one())]));
+    let mut result = combined.unwrap_or_else(|| Relation::from_pairs(vec![], [(vec![], S::one())]));
 
     // Aggregate the remaining bound variables, innermost first.
     let mut bound: Vec<Var> = result
@@ -375,7 +373,7 @@ mod tests {
         b.relation_from_values(0, 0..n);
         b.relation_from_values(1, (0..n).map(|x| 2 * x));
         b.relation_from_values(2, (0..n).map(|x| 3 * x % (2 * n)));
-        b.relation_from_values(3, [0].into_iter());
+        b.relation_from_values(3, [0]);
         let q = b.finish();
         let g = Topology::line(4);
         let a = Assignment::round_robin(&q, &g, &[0, 1, 2, 3]).with_output(Player(3));
@@ -454,11 +452,7 @@ mod tests {
                     seed: seed * 31 + si as u64,
                 };
                 let q = random_boolean_instance(&h, &cfg, seed % 2 == 0);
-                for g in [
-                    Topology::line(4),
-                    Topology::clique(4),
-                    Topology::grid(2, 2),
-                ] {
+                for g in [Topology::line(4), Topology::clique(4), Topology::grid(2, 2)] {
                     let a = Assignment::round_robin(&q, &g, &all_players(&g));
                     let out = run_bcq_protocol(&q, &g, &a, 1).unwrap();
                     assert_eq!(
@@ -533,10 +527,7 @@ mod tests {
         );
         let g = Topology::barbell(3, 1);
         // Holders straddle the bridge (players 0,1 left; 3,4 right).
-        let a = Assignment::new(
-            vec![Player(0), Player(1), Player(3), Player(4)],
-            Player(4),
-        );
+        let a = Assignment::new(vec![Player(0), Player(1), Player(3), Player(4)], Player(4));
         let out = run_bcq_protocol(&q, &g, &a, 1).unwrap();
         assert_eq!(out.answer, solve_bcq(&q));
         assert!(
@@ -626,8 +617,8 @@ mod tests {
         };
         // Max on x1 with Sum outside it across shared factors: the GHD
         // order cannot realise Equation (4)'s nesting.
-        let q: FaqQuery<Count> = random_instance(&h, &cfg, vec![], |_| Count(1))
-            .with_aggregate(Var(1), Aggregate::Max);
+        let q: FaqQuery<Count> =
+            random_instance(&h, &cfg, vec![], |_| Count(1)).with_aggregate(Var(1), Aggregate::Max);
         let g = Topology::line(4);
         let a = Assignment::round_robin(&q, &g, &[0, 1, 2]);
         assert!(matches!(
@@ -638,11 +629,7 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_assignment() {
-        let q = random_boolean_instance(
-            &example_h1(),
-            &RandomInstanceConfig::default(),
-            true,
-        );
+        let q = random_boolean_instance(&example_h1(), &RandomInstanceConfig::default(), true);
         let g = Topology::line(2);
         let a = Assignment::new(vec![Player(0)], Player(0)); // too few
         assert!(run_bcq_protocol(&q, &g, &a, 1).is_err());

@@ -86,7 +86,11 @@ pub fn run_hash_split_protocol(
         .position(|v| *v == center_var)
         .expect("center variable in schema");
 
-    let cap_min = scaled.links().map(|l| scaled.capacity(l)).min().unwrap_or(1);
+    let cap_min = scaled
+        .links()
+        .map(|l| scaled.capacity(l))
+        .min()
+        .unwrap_or(1);
     let center_bits = center.bits(q.domain);
     let (delta, packing) = best_delta(&scaled, &k, center_bits.div_ceil(cap_min));
     if packing.is_empty() {
@@ -113,8 +117,7 @@ pub fn run_hash_split_protocol(
     //    leaf relations of "does my shard witness center value a_j", for
     //    owned values; `true` elsewhere.
     let mut vectors: HashMap<Player, Vec<Boolean>> = HashMap::new();
-    let leaf_edges: Vec<faqs_hypergraph::EdgeId> =
-        q.hypergraph.edge_ids().skip(1).collect();
+    let leaf_edges: Vec<faqs_hypergraph::EdgeId> = q.hypergraph.edge_ids().skip(1).collect();
     for (shard_idx, &holder) in players.iter().enumerate() {
         let vec: Vec<Boolean> = center
             .iter()

@@ -130,7 +130,10 @@ mod tests {
         for (g, players) in [
             (Topology::line(5).with_uniform_capacity(2), vec![0u32, 2, 4]),
             (Topology::grid(3, 3).with_uniform_capacity(2), vec![0, 4, 8]),
-            (Topology::clique(5).with_uniform_capacity(2), vec![0, 1, 2, 3, 4]),
+            (
+                Topology::clique(5).with_uniform_capacity(2),
+                vec![0, 1, 2, 3, 4],
+            ),
         ] {
             let inputs = random_inputs(&players, 128, 3);
             let out = run_set_intersection(&g, &inputs, Player(players[0])).unwrap();

@@ -70,8 +70,10 @@ pub fn broadcast_over_packing(
     total_bits: u64,
     phase_start: u64,
 ) -> Result<HashMap<Player, u64>, ProtocolError> {
-    let mut arrival: HashMap<Player, u64> =
-        members.iter().map(|&m| (m, phase_start.saturating_sub(1))).collect();
+    let mut arrival: HashMap<Player, u64> = members
+        .iter()
+        .map(|&m| (m, phase_start.saturating_sub(1)))
+        .collect();
     arrival.insert(source, phase_start.saturating_sub(1));
     if total_bits == 0 || members.iter().all(|m| *m == source) {
         return Ok(arrival);
@@ -155,11 +157,7 @@ pub fn convergecast_over_packing<S: Semiring>(
     entry_bits: u64,
     ready: &HashMap<Player, u64>,
 ) -> Result<(Vec<S>, u64), ProtocolError> {
-    let n = vectors
-        .values()
-        .map(Vec::len)
-        .max()
-        .unwrap_or(0);
+    let n = vectors.values().map(Vec::len).max().unwrap_or(0);
     for v in vectors.values() {
         assert_eq!(v.len(), n, "all vectors share the index space");
     }
@@ -395,8 +393,7 @@ mod tests {
                 holder: Player(3),
             },
         ];
-        let res =
-            run_star_phase(&mut run, &center, Player(0), &leaves, Player(3), 16, 1).unwrap();
+        let res = run_star_phase(&mut run, &center, Player(0), &leaves, Player(3), 16, 1).unwrap();
         assert_eq!(res.new_center.len(), 1);
         assert!(res.new_center.get(&[3]).is_some());
         // N = 5 tuples over a 3-hop line: rounds ≈ N + diameter, well
@@ -428,8 +425,7 @@ mod tests {
                 holder: Player(2),
             },
         ];
-        let res =
-            run_star_phase(&mut run, &center, Player(0), &leaves, Player(0), 4, 1).unwrap();
+        let res = run_star_phase(&mut run, &center, Player(0), &leaves, Player(0), 4, 1).unwrap();
         assert_eq!(res.new_center.get(&[0]), Some(&Count(2 * 5 * 11)));
         assert_eq!(res.new_center.get(&[1]), None, "no match at P2 for 1");
     }
@@ -443,8 +439,7 @@ mod tests {
             message: bool_rel(&[2]),
             holder: Player(0),
         }];
-        let res =
-            run_star_phase(&mut run, &center, Player(0), &leaves, Player(0), 4, 1).unwrap();
+        let res = run_star_phase(&mut run, &center, Player(0), &leaves, Player(0), 4, 1).unwrap();
         assert_eq!(res.new_center.len(), 1);
         assert_eq!(run.stats().total_bits, 0);
     }
@@ -459,8 +454,7 @@ mod tests {
         let k: Vec<Player> = (0..4u32).map(Player).collect();
         let (_, packing) = best_delta(&g, &k, n);
         assert!(packing.len() >= 2);
-        let arrival =
-            broadcast_over_packing(&mut run, &packing, Player(0), &k, n * 8, 1).unwrap();
+        let arrival = broadcast_over_packing(&mut run, &packing, Player(0), &k, n * 8, 1).unwrap();
         let worst = arrival.values().max().unwrap();
         assert!(
             *worst <= n / 2 + 8,
@@ -483,8 +477,7 @@ mod tests {
         .collect();
         let ready: HashMap<Player, u64> = k.iter().map(|&p| (p, 0)).collect();
         let (product, _) =
-            convergecast_over_packing(&mut run, &packing, Player(1), &vectors, 64, &ready)
-                .unwrap();
+            convergecast_over_packing(&mut run, &packing, Player(1), &vectors, 64, &ready).unwrap();
         assert_eq!(product, vec![Count(10), Count(12)]);
     }
 }

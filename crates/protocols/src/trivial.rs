@@ -111,11 +111,7 @@ mod tests {
 
     #[test]
     fn colocated_trivial_is_free() {
-        let q = random_boolean_instance(
-            &example_h1(),
-            &RandomInstanceConfig::default(),
-            true,
-        );
+        let q = random_boolean_instance(&example_h1(), &RandomInstanceConfig::default(), true);
         let g = Topology::line(2);
         let a = Assignment::concentrated(&q, Player(0));
         let out = run_trivial(&q, &g, &a).unwrap();

@@ -39,10 +39,8 @@ impl BcqBuilder {
         I: IntoIterator<Item = Vec<u32>>,
     {
         let schema = self.hypergraph.edge(EdgeId(e as u32)).to_vec();
-        self.factors[e] = Relation::from_pairs(
-            schema,
-            tuples.into_iter().map(|t| (t, Boolean::TRUE)),
-        );
+        self.factors[e] =
+            Relation::from_pairs(schema, tuples.into_iter().map(|t| (t, Boolean::TRUE)));
         self
     }
 
@@ -134,7 +132,10 @@ mod tests {
     #[test]
     fn full_relation_builder() {
         let h = star_query(2);
-        let q = BcqBuilder::new(&h, 3).relation_full(0).relation_full(1).finish();
+        let q = BcqBuilder::new(&h, 3)
+            .relation_full(0)
+            .relation_full(1)
+            .finish();
         assert_eq!(q.factor(faqs_hypergraph::EdgeId(0)).len(), 9);
     }
 }

@@ -47,8 +47,10 @@ where
         .map(|(_, vars)| {
             let pairs: Vec<(Vec<u32>, S)> = (0..cfg.tuples_per_factor)
                 .map(|_| {
-                    let t: Vec<u32> =
-                        vars.iter().map(|_| rng.random_range(0..cfg.domain)).collect();
+                    let t: Vec<u32> = vars
+                        .iter()
+                        .map(|_| rng.random_range(0..cfg.domain))
+                        .collect();
                     (t, value_of(&mut rng))
                 })
                 .collect();
@@ -88,8 +90,10 @@ mod tests {
     fn random_instance_is_deterministic() {
         let h = star_query(3);
         let cfg = RandomInstanceConfig::default();
-        let a: FaqQuery<Prob> = random_instance(&h, &cfg, vec![], |r| Prob(r.random_range(0.0..1.0)));
-        let b: FaqQuery<Prob> = random_instance(&h, &cfg, vec![], |r| Prob(r.random_range(0.0..1.0)));
+        let a: FaqQuery<Prob> =
+            random_instance(&h, &cfg, vec![], |r| Prob(r.random_range(0.0..1.0)));
+        let b: FaqQuery<Prob> =
+            random_instance(&h, &cfg, vec![], |r| Prob(r.random_range(0.0..1.0)));
         for (x, y) in a.factors.iter().zip(b.factors.iter()) {
             assert!(x.approx_eq(y));
         }
@@ -115,8 +119,7 @@ mod tests {
         let cfg = RandomInstanceConfig::default();
         let q = random_boolean_instance(&h, &cfg, false);
         assert!(q.free_vars.is_empty());
-        let q2: FaqQuery<Prob> =
-            random_instance(&h, &cfg, vec![Var(0)], |_| Prob(1.0));
+        let q2: FaqQuery<Prob> = random_instance(&h, &cfg, vec![Var(0)], |_| Prob(1.0));
         assert_eq!(q2.free_vars, vec![Var(0)]);
     }
 }

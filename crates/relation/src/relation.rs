@@ -42,7 +42,11 @@ impl<S: Semiring> Relation<S> {
         let mut sorted = schema.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), schema.len(), "schema variables must be distinct");
+        assert_eq!(
+            sorted.len(),
+            schema.len(),
+            "schema variables must be distinct"
+        );
         Relation {
             schema,
             entries: Vec::new(),
@@ -213,12 +217,7 @@ impl<S: Semiring> Relation<S> {
 
     fn aggregate_out_with(&self, var: Var, combine: impl Fn(&S, &S) -> S) -> Relation<S> {
         let drop = self.positions(&[var])[0];
-        let rest: Vec<Var> = self
-            .schema
-            .iter()
-            .copied()
-            .filter(|v| *v != var)
-            .collect();
+        let rest: Vec<Var> = self.schema.iter().copied().filter(|v| *v != var).collect();
         let mut map: HashMap<Tuple, S> = HashMap::with_capacity(self.entries.len());
         for (t, v) in &self.entries {
             let key: Tuple = t
@@ -590,8 +589,7 @@ mod tests {
         let r = count_rel(&[0, 1], &[(&[1, 1], 1)]);
         // 2 vars × 4 bits (domain 16) + 64 value bits.
         assert_eq!(r.bits(16), 2 * 4 + 64);
-        let b: Relation<Boolean> =
-            Relation::from_pairs(vec![v(0)], [(vec![1], Boolean::TRUE)]);
+        let b: Relation<Boolean> = Relation::from_pairs(vec![v(0)], [(vec![1], Boolean::TRUE)]);
         assert_eq!(b.bits(16), 4, "boolean annotations are free");
     }
 

@@ -17,7 +17,10 @@ impl Prob {
     /// Creates a probability value, panicking on negative or non-finite
     /// input (the carrier is ℝ≥0).
     pub fn new(v: f64) -> Self {
-        assert!(v.is_finite() && v >= 0.0, "Prob requires finite v >= 0, got {v}");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "Prob requires finite v >= 0, got {v}"
+        );
         Prob(v)
     }
 
@@ -101,7 +104,10 @@ pub struct MaxProd(pub f64);
 impl MaxProd {
     /// Creates a value, panicking on negative or non-finite input.
     pub fn new(v: f64) -> Self {
-        assert!(v.is_finite() && v >= 0.0, "MaxProd requires finite v >= 0, got {v}");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "MaxProd requires finite v >= 0, got {v}"
+        );
         MaxProd(v)
     }
 

@@ -18,17 +18,29 @@ fn main() {
     for (n, k) in [(64usize, 8usize), (16, 128)] {
         let p = McmProblem::random(n, k, 1, 7);
         let expected = p.expected();
-        println!("--- N = {n}, k = {k} (lower bound Ω(kN) = {}) ---", mcm_lower_bound(k as u64, n as u64, 1));
+        println!(
+            "--- N = {n}, k = {k} (lower bound Ω(kN) = {}) ---",
+            mcm_lower_bound(k as u64, n as u64, 1)
+        );
         let rows: Vec<(&str, faqs::mcm::McmOutcome)> = vec![
             ("sequential (Prop 6.1)", sequential_protocol(&p)),
             ("merge (App I.1)", merge_protocol(&p)),
             ("trivial", trivial_protocol(&p)),
-            ("shuffled + pipeline", random_assignment_protocol(&p, 3, true)),
-            ("shuffled store&fwd", random_assignment_protocol(&p, 3, false)),
+            (
+                "shuffled + pipeline",
+                random_assignment_protocol(&p, 3, true),
+            ),
+            (
+                "shuffled store&fwd",
+                random_assignment_protocol(&p, 3, false),
+            ),
         ];
         for (name, out) in rows {
             assert_eq!(out.y, expected, "{name} computes the right product");
-            println!("{:<22} {:>10} {:>12}", name, out.rounds, out.predicted_rounds);
+            println!(
+                "{:<22} {:>10} {:>12}",
+                name, out.rounds, out.predicted_rounds
+            );
         }
     }
     println!();

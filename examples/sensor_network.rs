@@ -31,8 +31,8 @@ fn main() {
     // base station and learns the answer.
     let g = Topology::binary_tree(sensors + 1);
     let players: Vec<u32> = (1..=sensors as u32).collect();
-    let assignment = Assignment::round_robin(&q, &g, &players)
-        .with_output(faqs::network::Player(0));
+    let assignment =
+        Assignment::round_robin(&q, &g, &players).with_output(faqs::network::Player(0));
 
     let out = run_faq_protocol(&q, &g, &assignment, 1).expect("tree is connected");
     let expected = solve_faq(&q).expect("star query");

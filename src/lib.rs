@@ -65,9 +65,7 @@ pub use faqs_semiring as semiring;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use faqs_core::{solve_bcq, solve_faq, solve_faq_brute_force};
-    pub use faqs_hypergraph::{
-        clique_query, cycle_query, path_query, star_query, Hypergraph, Var,
-    };
+    pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
     pub use faqs_network::{Assignment, Topology};
     pub use faqs_protocols::{run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice};

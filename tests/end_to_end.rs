@@ -53,7 +53,11 @@ fn protocol_engine_and_oracle_agree_everywhere() {
             };
             let q = random_boolean_instance(&h, &cfg, seed % 2 == 0);
             let oracle = !solve_faq_brute_force(&q).total().is_zero();
-            assert_eq!(solve_bcq(&q), oracle, "{name} engine vs oracle, seed {seed}");
+            assert_eq!(
+                solve_bcq(&q),
+                oracle,
+                "{name} engine vs oracle, seed {seed}"
+            );
             for g in &topologies {
                 let a = Assignment::round_robin(&q, g, &all_player_ids(g));
                 let out = run_bcq_protocol(&q, g, &a, 1)
@@ -232,7 +236,13 @@ fn table1_row_bcq_upper_vs_lower_gap_is_small_for_constant_d() {
         let out = run_bcq_protocol(&q, &g, &a, 1).unwrap();
         let lb = bcq_lower_bound(&q.hypergraph, &g, &a.players(), n as u64);
         let bounds = BoundReport::evaluate(&q, &g, &a.players());
-        assert!(out.rounds >= lb.rounds / 8, "{}:{} vs {}", g.name(), out.rounds, lb.rounds);
+        assert!(
+            out.rounds >= lb.rounds / 8,
+            "{}:{} vs {}",
+            g.name(),
+            out.rounds,
+            lb.rounds
+        );
         assert!(
             out.rounds <= 8 * bounds.upper_rounds + 64,
             "{}: measured {} vs UB {}",
@@ -283,10 +293,7 @@ fn min_cut_governs_hard_instance_cost() {
 
     let clique = Topology::clique(6);
     let barbell = Topology::barbell(3, 1);
-    let a_clique = Assignment::new(
-        vec![Player(0), Player(1), Player(4), Player(5)],
-        Player(5),
-    );
+    let a_clique = Assignment::new(vec![Player(0), Player(1), Player(4), Player(5)], Player(5));
     let a_barbell = a_clique.clone();
     let fast = run_bcq_protocol(&q, &clique, &a_clique, 1).unwrap();
     let slow = run_bcq_protocol(&q, &barbell, &a_barbell, 1).unwrap();
@@ -356,7 +363,11 @@ fn trivial_protocol_always_agrees() {
         let a = Assignment::round_robin(&q, &g, &all_player_ids(&g));
         let smart = run_bcq_protocol(&q, &g, &a, 1).unwrap();
         let trivial = run_trivial(&q, &g, &a).unwrap();
-        assert_eq!(smart.answer, !trivial.answer.total().is_zero(), "seed {seed}");
+        assert_eq!(
+            smart.answer,
+            !trivial.answer.total().is_zero(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -377,10 +388,7 @@ fn solve_faq_matches_across_assignment_layouts() {
     let layouts = [
         Assignment::round_robin(&q, &g, &[0, 1, 2, 3]),
         Assignment::concentrated(&q, Player(2)),
-        Assignment::new(
-            vec![Player(0), Player(0), Player(3), Player(3)],
-            Player(3),
-        ),
+        Assignment::new(vec![Player(0), Player(0), Player(3), Player(3)], Player(3)),
     ];
     let mut rounds = Vec::new();
     for a in layouts {
@@ -401,12 +409,9 @@ fn engine_free_vars_match_solve_faq_for_pgm_style_queries() {
         seed: 71,
     };
     for v in 0..5u32 {
-        let q: FaqQuery<Prob> = random_instance(
-            &h,
-            &cfg,
-            vec![faqs::hypergraph::Var(v)],
-            |r| Prob(r.random_range(0.1..1.0)),
-        );
+        let q: FaqQuery<Prob> = random_instance(&h, &cfg, vec![faqs::hypergraph::Var(v)], |r| {
+            Prob(r.random_range(0.1..1.0))
+        });
         let fast = solve_faq(&q).unwrap();
         let slow = solve_faq_brute_force(&q);
         assert!(fast.approx_eq(&slow), "marginal of x{v}");

@@ -1,0 +1,54 @@
+//! Smoke test: every `examples/` binary builds and runs to completion.
+//!
+//! Spawns the same `cargo` that is running this test (nested invocations
+//! are safe: cargo releases the build lock before executing test
+//! binaries), so `cargo test` alone proves all five examples stay
+//! runnable.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "matrix_chain",
+    "pgm_inference",
+    "sensor_network",
+    "topology_bounds",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+
+    // Guard against the list drifting from the directory contents.
+    let mut on_disk: Vec<String> = std::fs::read_dir(Path::new(manifest_dir).join("examples"))
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected = EXAMPLES.map(str::to_string).to_vec();
+    expected.sort();
+    assert_eq!(
+        on_disk, expected,
+        "examples/ changed on disk; update EXAMPLES in this smoke test"
+    );
+
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--package", "faqs", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

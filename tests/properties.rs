@@ -8,8 +8,8 @@ use faqs::hypergraph::{
 use faqs::lowerbounds::{embed_forest, forest_capacity, Tribes};
 use faqs::network::{min_cut, min_cut_partition, steiner_packing, Assignment, Player, Topology};
 use faqs::protocols::run_bcq_protocol;
-use faqs::semiring::Semiring;
 use faqs::relation::{random_boolean_instance, RandomInstanceConfig};
+use faqs::semiring::Semiring;
 use proptest::prelude::*;
 
 /// A random forest query: a uniformly random parent for every non-root

@@ -1,0 +1,319 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a deliberately simple measurement
+//! loop: warm-up, then `sample_size` timed batches, reporting
+//! mean / min / max ns per iteration to stdout. No statistical analysis,
+//! no HTML reports, no comparison to saved baselines.
+//!
+//! `cargo bench` therefore still produces useful relative numbers, and
+//! `cargo bench --no-run` exercises exactly the same target wiring the
+//! real criterion would.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<Stats>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, batching iterations so each sample lasts long
+    /// enough for the monotonic clock to resolve it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, growing the
+        // batch size so the loop overhead stays negligible.
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                // Aim each measured sample at measurement/samples wall time.
+                let per_iter = dt.as_secs_f64() / batch as f64;
+                let target = self.measurement.as_secs_f64() / self.samples as f64;
+                batch = ((target / per_iter.max(1e-9)).ceil() as u64).max(1);
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let mut total_iters = 0u64;
+        let mut sum_ns = 0.0f64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            sum_ns += ns * batch as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total_iters += batch;
+        }
+        self.result = Some(Stats {
+            mean_ns: sum_ns / total_iters as f64,
+            min_ns,
+            max_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for warming up each benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Wall-clock budget for measuring each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark. Like real criterion, a CLI filter skips the
+    /// measurement entirely, not just the report.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if !self.criterion.matches(&full_id(&self.name, &id)) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher);
+        self.criterion.report(&self.name, &id, bencher.result);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op beyond symmetry with real criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point; one per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `--bench <name> -- <filter>`: keep
+        // only positional args as a substring filter, like real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.to_string()).bench_function("", f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|f| full_id.contains(f.as_str()))
+    }
+
+    fn report(&self, group: &str, id: &BenchmarkId, stats: Option<Stats>) {
+        let full = full_id(group, id);
+        match stats {
+            Some(s) => println!(
+                "{full:<60} mean {:>12} min {:>12} max {:>12} ({} iters)",
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.min_ns),
+                fmt_ns(s.max_ns),
+                s.iters
+            ),
+            None => println!("{full:<60} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn full_id(group: &str, id: &BenchmarkId) -> String {
+    if id.id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function running each target, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_function("id", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest API this workspace uses — the
+//! [`Strategy`] trait, range/tuple/`any` strategies, `prop_map`, the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros — backed by the
+//! vendored deterministic [`rand`] crate.
+//!
+//! Differences from the real proptest, acceptable for this workspace:
+//!
+//! * **no shrinking** — a failing case reports the panic of the raw input
+//!   (each case prints nothing unless it fails, and inputs are derived
+//!   deterministically from the test's module path and name, so failures
+//!   reproduce exactly on re-run);
+//! * `prop_assume!` skips the case rather than resampling, so each test
+//!   runs *at most* the configured number of cases;
+//! * `prop_assert*` panic immediately instead of collecting a minimal
+//!   counterexample.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no intermediate `ValueTree`: a
+    /// strategy simply produces a value from a deterministic RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps the generated value through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Filters generated values; sampling retries until `f` accepts
+        /// (bounded, then panics — keep predicates loose).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive samples: {}",
+                self.whence
+            );
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    /// `Just(v)`: always generates a clone of `v`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! Default strategies per type ([`any`]).
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            // Finite, sign-symmetric, spanning several orders of magnitude.
+            let mag: f64 = rng.random_range(0.0..1e9);
+            if rng.random() {
+                mag
+            } else {
+                -mag
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration.
+
+    /// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude::*`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic RNG for one property test, derived from its identity so
+/// every `cargo test` run replays the identical case sequence.
+pub fn rng_for_test(module: &str, name: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in module.bytes().chain("::".bytes()).chain(name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Defines property tests. Supports the two real-proptest argument forms
+/// (`name: Type` for `any::<Type>()` and `name in strategy`) plus an
+/// optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::rng_for_test(module_path!(), stringify!($name));
+            for __case in 0..__config.cases {
+                $crate::__proptest_bind! { (__rng) (__case) ($body) [] $($args)* }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: parses the argument list of one property-test `fn`,
+/// accumulating `(pattern, strategy)` pairs, then runs one case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    // All arguments parsed: generate each value, run the body once.
+    (($rng:ident) ($case:ident) ($body:block) [$(($pat:ident, $strat:expr))*]) => {
+        {
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);)*
+            // The closure gives `prop_assume!`'s early-`return` a place to
+            // land, skipping just this case.
+            let __one_case = move || { $body };
+            __one_case();
+        }
+    };
+    // `name: Type` — any::<Type>().
+    (($rng:ident) ($case:ident) ($body:block) [$($acc:tt)*] $n:ident : $t:ty $(, $($rest:tt)*)?) => {
+        $crate::__proptest_bind! {
+            ($rng) ($case) ($body) [$($acc)* ($n, $crate::arbitrary::any::<$t>())] $($($rest)*)?
+        }
+    };
+    // `name in strategy`.
+    (($rng:ident) ($case:ident) ($body:block) [$($acc:tt)*] $n:ident in $e:expr $(, $($rest:tt)*)?) => {
+        $crate::__proptest_bind! {
+            ($rng) ($case) ($body) [$($acc)* ($n, $e)] $($($rest)*)?
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the precondition fails (no resampling).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_test_name_same_sequence() {
+        let mut a = crate::rng_for_test("m", "t");
+        let mut b = crate::rng_for_test("m", "t");
+        use rand::Rng;
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in -4i64..4, f in 0.5f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!((0.5..0.75).contains(&f));
+        }
+
+        #[test]
+        fn typed_args_work(b: bool, s: u64) {
+            // Consume both to prove move-capture works.
+            let _ = (b, s);
+        }
+
+        #[test]
+        fn mixed_args_and_assume(n in 1usize..6, flag: bool) {
+            prop_assume!(flag);
+            prop_assert!((1..6).contains(&n));
+        }
+
+        #[test]
+        fn prop_map_composes(v in (1u32..5, 10u32..14).prop_map(|(a, b)| a + b)) {
+            prop_assert!((11..19).contains(&v));
+        }
+    }
+}
