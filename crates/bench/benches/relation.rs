@@ -1,0 +1,146 @@
+//! Criterion benches for the columnar relation kernel: the sort-merge /
+//! galloping operators and reusable `JoinIndex` of `faqs-relation`
+//! raced against the pre-refactor listing baseline (boxed tuples +
+//! per-call `HashMap` rebuilds, preserved in `faqs_bench::naive`).
+//!
+//! The CI bench-smoke step runs this target with `-- --quick` and
+//! records the summary as `BENCH_relation.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_bench::naive::NaiveRelation;
+use faqs_bench::random_count_rel as random_rel;
+use faqs_hypergraph::Var;
+use faqs_relation::Relation;
+use faqs_semiring::Count;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Raw `(tuple, value)` pairs for the construction benches.
+fn random_pairs(arity: usize, n: usize, domain: u32, seed: u64) -> Vec<(Vec<u32>, Count)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t: Vec<u32> = (0..arity).map(|_| rng.random_range(0..domain)).collect();
+            (t, Count(rng.random_range(1..4)))
+        })
+        .collect()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_join");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        let domain = (n / 4) as u32;
+        let a = random_rel(&[0, 1], n, domain, 1);
+        let b = random_rel(&[1, 2], n, domain, 2);
+        let na = NaiveRelation::from_relation(&a);
+        let nb = NaiveRelation::from_relation(&b);
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |bch, _| {
+            bch.iter(|| black_box(black_box(&a).join(black_box(&b)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(black_box(&na).join(black_box(&nb)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semijoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_semijoin");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        let domain = (n / 4) as u32;
+        let a = random_rel(&[0, 1], n, domain, 3);
+        let b = random_rel(&[1, 2], n, domain, 4);
+        let na = NaiveRelation::from_relation(&a);
+        let nb = NaiveRelation::from_relation(&b);
+        let idx = b.build_index(&a.shared_vars(&b));
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |bch, _| {
+            bch.iter(|| black_box(black_box(&a).semijoin(black_box(&b)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("kernel_reused_index", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(
+                    black_box(&a)
+                        .semijoin_indexed(black_box(&b), black_box(&idx))
+                        .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(black_box(&na).semijoin(black_box(&nb)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_project(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_project");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let n = 4096usize;
+    let a = random_rel(&[0, 1], n, (n / 4) as u32, 5);
+    let na = NaiveRelation::from_relation(&a);
+    // Prefix projection rides the merge-scan fast path; the non-prefix
+    // one pays the gather + sort.
+    for (label, onto) in [("prefix", [Var(0)]), ("non_prefix", [Var(1)])] {
+        group.bench_with_input(BenchmarkId::new("kernel", label), &onto, |bch, onto| {
+            bch.iter(|| black_box(black_box(&a).project(black_box(onto)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", label), &onto, |bch, onto| {
+            bch.iter(|| black_box(black_box(&na).project(black_box(onto)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_from_pairs");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let n = 4096usize;
+    let pairs = random_pairs(2, n, (n / 4) as u32, 6);
+    let schema = vec![Var(0), Var(1)];
+    group.bench_function("kernel", |bch| {
+        bch.iter(|| black_box(Relation::from_pairs(schema.clone(), black_box(pairs.clone())).len()))
+    });
+    group.bench_function("naive", |bch| {
+        bch.iter(|| {
+            black_box(NaiveRelation::from_pairs(schema.clone(), black_box(pairs.clone())).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation_index_build");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let n = 4096usize;
+    let a = random_rel(&[0, 1], n, (n / 4) as u32, 7);
+    group.bench_function("prefix_key", |bch| {
+        bch.iter(|| black_box(black_box(&a).build_index(&[Var(0)]).num_groups()))
+    });
+    group.bench_function("non_prefix_key", |bch| {
+        bch.iter(|| black_box(black_box(&a).build_index(&[Var(1)]).num_groups()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_semijoin,
+    bench_project,
+    bench_construction,
+    bench_index_build
+);
+criterion_main!(benches);

@@ -676,6 +676,66 @@ pub fn e12_hash_split(n: usize) {
     }
 }
 
+/// **E13 — kernel microbenchmark.** The columnar sort-merge kernel vs.
+/// the pre-refactor listing baseline (boxed tuples + per-call `HashMap`
+/// rebuilds) on join / semijoin / projection, with wall-clock speedups.
+/// Not a paper artifact — the perf-trajectory row behind the ROADMAP's
+/// "as fast as the hardware allows" north star.
+pub fn e13_kernel(n: usize) {
+    use crate::naive::NaiveRelation;
+    use faqs_relation::Relation;
+    use std::time::Instant;
+
+    banner("E13 · Columnar kernel vs naive listing baseline");
+    header(&["op", "N", "naive µs", "kernel µs", "speedup"]);
+
+    // Same workload shape as benches/relation.rs, via the shared
+    // generator.
+    let domain = (n / 4).max(2) as u32;
+    let a: Relation<Count> = crate::random_count_rel(&[0, 1], n, domain, 0xE13);
+    let b: Relation<Count> = crate::random_count_rel(&[1, 2], n, domain, 0xE14);
+    let na = NaiveRelation::from_relation(&a);
+    let nb = NaiveRelation::from_relation(&b);
+
+    let time_us = |f: &mut dyn FnMut() -> usize| -> f64 {
+        let reps = 16;
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..reps {
+            acc = acc.wrapping_add(std::hint::black_box(f()));
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+
+    let emit = |op: &str, naive_us: f64, kernel_us: f64| {
+        row(&[
+            op.to_string(),
+            n.to_string(),
+            format!("{naive_us:.1}"),
+            format!("{kernel_us:.1}"),
+            format!("{:.1}×", naive_us / kernel_us.max(1e-9)),
+        ]);
+    };
+
+    let slow = time_us(&mut || na.join(&nb).len());
+    let fast = time_us(&mut || a.join(&b).len());
+    emit("join", slow, fast);
+
+    let slow = time_us(&mut || na.semijoin(&nb).len());
+    let fast = time_us(&mut || a.semijoin(&b).len());
+    emit("semijoin", slow, fast);
+
+    let idx = b.build_index(&a.shared_vars(&b));
+    let fast = time_us(&mut || a.semijoin_indexed(&b, &idx).len());
+    emit("semijoin (reused index)", slow, fast);
+
+    let onto = [faqs_hypergraph::Var(0)];
+    let slow = time_us(&mut || na.project(&onto).len());
+    let fast = time_us(&mut || a.project(&onto).len());
+    emit("project (prefix)", slow, fast);
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -727,6 +787,7 @@ mod tests {
         e10_set_intersection(64);
         e11_faq_general(8);
         e12_hash_split(16);
+        e13_kernel(256);
         ablation_width();
     }
 

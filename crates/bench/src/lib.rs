@@ -6,6 +6,31 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod naive;
+
+/// The shared kernel-vs-naive workload: a random `Count`-annotated
+/// relation over `schema` with `n` draws in `[0, domain)` and values in
+/// `1..4`. Both `benches/relation.rs` and the E13 experiment build
+/// their inputs here so the two reports measure the same shape.
+pub fn random_count_rel(
+    schema: &[u32],
+    n: usize,
+    domain: u32,
+    seed: u64,
+) -> faqs_relation::Relation<faqs_semiring::Count> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    faqs_relation::Relation::from_pairs(
+        schema.iter().map(|&i| faqs_hypergraph::Var(i)).collect(),
+        (0..n)
+            .map(|_| {
+                let t: Vec<u32> = schema.iter().map(|_| rng.random_range(0..domain)).collect();
+                (t, faqs_semiring::Count(rng.random_range(1..4)))
+            })
+            .collect::<Vec<_>>(),
+    )
+}
 
 /// Prints a Markdown table row.
 pub fn row<S: AsRef<str>>(cells: &[S]) {

@@ -8,7 +8,7 @@
 //!
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
-//! `ablation`, `all` (default).
+//! `kernel`, `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -39,12 +39,13 @@ fn main() {
     run("setint", &|| exp::e10_set_intersection(4 * n));
     run("faq", &|| exp::e11_faq_general(n.min(64)));
     run("hashsplit", &|| exp::e12_hash_split(n.min(128)));
+    run("kernel", &|| exp::e13_kernel(16 * n));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
-             lowerbounds mcm entropy shannon gap mpc setint faq hashsplit ablation all"
+             lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel ablation all"
         );
         std::process::exit(2);
     }

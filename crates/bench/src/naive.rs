@@ -1,0 +1,208 @@
+//! The pre-refactor listing representation, preserved verbatim-in-spirit
+//! as a measurable baseline: one heap-allocated `Box<[u32]>` per tuple,
+//! with join/semijoin/projection rebuilding a `HashMap` on every call.
+//!
+//! `benches/relation.rs` and the `kernel` experiment race these against
+//! the columnar kernel of `faqs-relation` so the speedup the refactor
+//! bought stays visible in the recorded bench trajectory.
+
+use faqs_hypergraph::Var;
+use faqs_relation::Relation;
+use faqs_semiring::Semiring;
+use std::collections::{HashMap, HashSet};
+
+/// A semiring-annotated relation as the seed tree stored it: sorted
+/// `(boxed tuple, value)` entries.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NaiveRelation<S: Semiring> {
+    /// The schema, in tuple order.
+    pub schema: Vec<Var>,
+    /// Sorted non-zero entries, one heap allocation per tuple.
+    pub entries: Vec<(Box<[u32]>, S)>,
+}
+
+impl<S: Semiring> NaiveRelation<S> {
+    /// Builds from `(tuple, value)` pairs the way the seed did: a
+    /// `HashMap` accumulation followed by a full re-sort.
+    pub fn from_pairs<I>(schema: Vec<Var>, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<u32>, S)>,
+    {
+        let mut map: HashMap<Box<[u32]>, S> = HashMap::new();
+        for (t, v) in pairs {
+            assert_eq!(t.len(), schema.len(), "tuple arity mismatch");
+            let t: Box<[u32]> = t.into_boxed_slice();
+            match map.get_mut(&t) {
+                Some(acc) => acc.add_assign(&v),
+                None => {
+                    map.insert(t, v);
+                }
+            }
+        }
+        let mut entries: Vec<(Box<[u32]>, S)> =
+            map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        NaiveRelation { schema, entries }
+    }
+
+    /// Converts a columnar relation into the boxed listing form.
+    pub fn from_relation(rel: &Relation<S>) -> Self {
+        NaiveRelation {
+            schema: rel.schema().to_vec(),
+            entries: rel
+                .iter()
+                .map(|(t, v)| (t.to_vec().into_boxed_slice(), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn positions(&self, vars: &[Var]) -> Vec<usize> {
+        vars.iter()
+            .map(|v| self.schema.iter().position(|w| w == v).expect("var"))
+            .collect()
+    }
+
+    /// The variables shared with `other`, in this schema's order.
+    pub fn shared_vars(&self, other: &NaiveRelation<S>) -> Vec<Var> {
+        self.schema
+            .iter()
+            .copied()
+            .filter(|v| other.schema.contains(v))
+            .collect()
+    }
+
+    /// Natural join, hashing `other` per call (the seed's hot path).
+    pub fn join(&self, other: &NaiveRelation<S>) -> NaiveRelation<S> {
+        let shared = self.shared_vars(other);
+        let my_pos = self.positions(&shared);
+        let their_pos = other.positions(&shared);
+        let fresh: Vec<Var> = other
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| !self.schema.contains(v))
+            .collect();
+        let fresh_pos = other.positions(&fresh);
+
+        let mut index: HashMap<Box<[u32]>, Vec<usize>> =
+            HashMap::with_capacity(other.entries.len());
+        for (i, (t, _)) in other.entries.iter().enumerate() {
+            let key: Box<[u32]> = their_pos.iter().map(|&p| t[p]).collect();
+            index.entry(key).or_default().push(i);
+        }
+
+        let mut schema = self.schema.clone();
+        schema.extend(fresh.iter().copied());
+        let mut entries: Vec<(Box<[u32]>, S)> = Vec::new();
+        for (t, v) in &self.entries {
+            let key: Box<[u32]> = my_pos.iter().map(|&p| t[p]).collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for &j in matches {
+                let (u, w) = &other.entries[j];
+                let prod = v.mul(w);
+                if prod.is_zero() {
+                    continue;
+                }
+                let mut tuple: Vec<u32> = t.to_vec();
+                tuple.extend(fresh_pos.iter().map(|&p| u[p]));
+                entries.push((tuple.into_boxed_slice(), prod));
+            }
+        }
+        entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        NaiveRelation { schema, entries }
+    }
+
+    /// Semijoin, rebuilding the key set per call.
+    pub fn semijoin(&self, other: &NaiveRelation<S>) -> NaiveRelation<S> {
+        let shared = self.shared_vars(other);
+        let my_pos = self.positions(&shared);
+        let their_pos = other.positions(&shared);
+        let keys: HashSet<Box<[u32]>> = other
+            .entries
+            .iter()
+            .map(|(t, _)| their_pos.iter().map(|&p| t[p]).collect())
+            .collect();
+        NaiveRelation {
+            schema: self.schema.clone(),
+            entries: self
+                .entries
+                .iter()
+                .filter(|(t, _)| {
+                    let key: Box<[u32]> = my_pos.iter().map(|&p| t[p]).collect();
+                    keys.contains(&key)
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Projection with `⊕`-aggregation through a per-call `HashMap`.
+    pub fn project(&self, vars: &[Var]) -> NaiveRelation<S> {
+        let pos = self.positions(vars);
+        let mut map: HashMap<Box<[u32]>, S> = HashMap::with_capacity(self.entries.len());
+        for (t, v) in &self.entries {
+            let key: Box<[u32]> = pos.iter().map(|&p| t[p]).collect();
+            match map.get_mut(&key) {
+                Some(acc) => acc.add_assign(v),
+                None => {
+                    map.insert(key, v.clone());
+                }
+            }
+        }
+        let mut entries: Vec<(Box<[u32]>, S)> =
+            map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        NaiveRelation {
+            schema: vars.to_vec(),
+            entries,
+        }
+    }
+
+    /// Number of listed tuples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no tuples are listed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_semiring::Count;
+
+    fn columnar(schema: &[u32], rows: &[(&[u32], u64)]) -> Relation<Count> {
+        Relation::from_pairs(
+            schema.iter().map(|&i| Var(i)).collect(),
+            rows.iter().map(|(t, c)| (t.to_vec(), Count(*c))),
+        )
+    }
+
+    #[test]
+    fn naive_agrees_with_kernel() {
+        let a = columnar(&[0, 1], &[(&[1, 2], 2), (&[3, 4], 7), (&[5, 2], 1)]);
+        let b = columnar(&[1, 2], &[(&[2, 9], 3), (&[4, 1], 5)]);
+        let na = NaiveRelation::from_relation(&a);
+        let nb = NaiveRelation::from_relation(&b);
+        assert_eq!(
+            NaiveRelation::from_relation(&a.join(&b)),
+            na.join(&nb),
+            "join"
+        );
+        assert_eq!(
+            NaiveRelation::from_relation(&a.semijoin(&b)),
+            na.semijoin(&nb),
+            "semijoin"
+        );
+        assert_eq!(
+            NaiveRelation::from_relation(&a.project(&[Var(0)])),
+            na.project(&[Var(0)]),
+            "project"
+        );
+    }
+}

@@ -54,12 +54,19 @@ fn brute<S: Semiring>(q: &FaqQuery<S>, agg: AggFn<'_, S>) -> Relation<S> {
         .collect();
 
     // Materialise the annotated join over all n variables by brute
-    // enumeration of the full domain.
+    // enumeration of the full domain. Assignments are generated in
+    // lexicographic order, so the satisfying rows land in the arena
+    // already sorted and `from_columns` skips its canonicalising sort;
+    // the per-factor probe reuses one scratch key buffer (tuple views,
+    // no per-assignment boxing).
     let all_vars: Vec<Var> = q.hypergraph.vars().collect();
-    let mut join = Relation::<S>::new(all_vars.clone());
     let total = d.pow(n as u32);
     assert!(total <= 1 << 26, "brute force domain too large: {total}");
     let mut assignment = vec![0u32; n];
+    let max_arity = factor_positions.iter().map(Vec::len).max().unwrap_or(0);
+    let mut key = vec![0u32; max_arity];
+    let mut data: Vec<u32> = Vec::new();
+    let mut values: Vec<S> = Vec::new();
     for enc in 0..total {
         let mut rem = enc;
         for slot in assignment.iter_mut().rev() {
@@ -69,8 +76,10 @@ fn brute<S: Semiring>(q: &FaqQuery<S>, agg: AggFn<'_, S>) -> Relation<S> {
         let mut acc = S::one();
         let mut dead = false;
         for (e, pos) in factor_positions.iter().enumerate() {
-            let tuple: Vec<u32> = pos.iter().map(|&i| assignment[i]).collect();
-            match q.factors[e].get(&tuple) {
+            for (k, &i) in key.iter_mut().zip(pos) {
+                *k = assignment[i];
+            }
+            match q.factors[e].get(&key[..pos.len()]) {
                 Some(v) => acc.mul_assign(v),
                 None => {
                     dead = true;
@@ -79,9 +88,11 @@ fn brute<S: Semiring>(q: &FaqQuery<S>, agg: AggFn<'_, S>) -> Relation<S> {
             }
         }
         if !dead && !acc.is_zero() {
-            join.insert(assignment.clone(), acc);
+            data.extend_from_slice(&assignment);
+            values.push(acc);
         }
     }
+    let join = Relation::<S>::from_columns(all_vars, data, values);
 
     // Aggregate bound variables innermost (highest index) first.
     let mut bound: Vec<Var> = q.bound_vars();

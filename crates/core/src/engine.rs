@@ -256,16 +256,26 @@ pub fn solve_faq_on_ghd<S: Semiring>(
 
     // Initial relation per node: the ⊗-product of its λ factors (the
     // synthetic root may have none — represented as `None` = identity).
+    // Factors are joined smallest-first so the accumulator stays small,
+    // and each factor is indexed exactly once (by the join that absorbs
+    // it) — no factor is rehashed across operations.
     let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
     let mut rel: Vec<Option<Relation<S>>> = vec![None; n_nodes];
     for node in ghd.node_ids() {
-        for &e in &ghd.node(node).lambda {
-            let f = q.factor(e).clone();
-            rel[node.index()] = Some(match rel[node.index()].take() {
-                Some(cur) => cur.join(&f),
-                None => f,
+        let mut factors: Vec<&Relation<S>> =
+            ghd.node(node).lambda.iter().map(|&e| q.factor(e)).collect();
+        factors.sort_by_key(|f| f.len());
+        let mut acc: Option<Relation<S>> = None;
+        for f in factors {
+            acc = Some(match acc {
+                Some(cur) => {
+                    let idx = f.build_index(&cur.shared_vars(f));
+                    cur.join_indexed(f, &idx)
+                }
+                None => f.clone(),
             });
         }
+        rel[node.index()] = acc;
     }
 
     // Upward pass in post-order.
@@ -301,9 +311,7 @@ pub fn solve_faq_on_ghd<S: Semiring>(
 
     // Root: aggregate out the remaining bound variables, again innermost
     // (highest index) first.
-    let mut result = rel[root.index()]
-        .take()
-        .unwrap_or_else(|| Relation::from_pairs(vec![], [(vec![], S::one())]));
+    let mut result = rel[root.index()].take().unwrap_or_else(Relation::unit);
     let mut bound: Vec<Var> = result
         .schema()
         .iter()

@@ -34,18 +34,14 @@ pub fn partition_function(q: &FaqQuery<Prob>) -> Result<Prob, EngineError> {
 }
 
 /// Normalises a marginal to a probability distribution (entries sum to
-/// one). Returns `None` when the marginal is identically zero.
+/// one). Returns `None` when the marginal is identically zero. A pure
+/// annotation-column rescale — the tuple arena is shared untouched.
 pub fn normalize(marginal: &Relation<Prob>) -> Option<Relation<Prob>> {
     let z = marginal.total().get();
     if z == 0.0 {
         return None;
     }
-    Some(Relation::from_pairs(
-        marginal.schema().to_vec(),
-        marginal
-            .iter()
-            .map(|(t, p)| (t.to_vec(), Prob(p.get() / z))),
-    ))
+    Some(marginal.map_values(|p| Prob(p.get() / z)))
 }
 
 #[cfg(test)]

@@ -9,12 +9,25 @@
 
 use crate::engine::EngineError;
 use faqs_hypergraph::{internal_node_width, is_acyclic};
-use faqs_relation::{FaqQuery, Relation};
+use faqs_relation::{FaqQuery, JoinIndex, Relation};
 use faqs_semiring::Semiring;
 
 /// Runs the two-pass semijoin full reducer over the query's GYO-GHD,
 /// returning the reduced factors (every dangling tuple removed). The
 /// query must be acyclic.
+///
+/// Each pass builds every factor's [`JoinIndex`] at most once — keyed
+/// on the variables the factor shares with its GHD parent — and probes
+/// it from the other side of each semijoin, instead of rehashing a
+/// factor per operation:
+///
+/// * **upward** (post-order, child → parent): the child is final for
+///   the pass when visited, so its index filters the parent via
+///   [`Relation::semijoin_indexed`];
+/// * **downward** (reverse post-order, parent → child): the parent may
+///   serve several children with different overlaps, so the *child* is
+///   indexed and the parent's rows are probed into it
+///   ([`Relation::semijoin_probed`]) — one index per factor, still.
 pub fn yannakakis_reduce<S: Semiring>(q: &FaqQuery<S>) -> Result<Vec<Relation<S>>, EngineError> {
     if !is_acyclic(&q.hypergraph) {
         return Err(EngineError::Invalid(
@@ -30,20 +43,28 @@ pub fn yannakakis_reduce<S: Semiring>(q: &FaqQuery<S>) -> Result<Vec<Relation<S>
     // Map GHD nodes to the edge they canonically cover.
     let edge_of = |n: faqs_hypergraph::NodeId| ghd.node(n).lambda.first().copied();
 
-    // Upward pass: child → parent semijoins.
+    // Upward pass: child → parent semijoins. In post-order the child's
+    // own subtree has already been folded into it, so the index built
+    // here is the child's final state for this pass.
     let post = ghd.post_order();
     for &n in &post {
         let Some(e) = edge_of(n) else { continue };
         let Some(p) = ghd.parent(n) else { continue };
         let Some(pe) = edge_of(p) else { continue };
-        reduced[pe.index()] = reduced[pe.index()].semijoin(&reduced[e.index()]);
+        let shared = reduced[pe.index()].shared_vars(&reduced[e.index()]);
+        let child_idx: JoinIndex = reduced[e.index()].build_index(&shared);
+        reduced[pe.index()] = reduced[pe.index()].semijoin_indexed(&reduced[e.index()], &child_idx);
     }
-    // Downward pass: parent → child semijoins.
+    // Downward pass: parent → child semijoins. Reverse post-order means
+    // every parent is final before its children probe it; the child is
+    // indexed once and the parent's rows mark the surviving key groups.
     for &n in post.iter().rev() {
         let Some(e) = edge_of(n) else { continue };
         let Some(p) = ghd.parent(n) else { continue };
         let Some(pe) = edge_of(p) else { continue };
-        reduced[e.index()] = reduced[e.index()].semijoin(&reduced[pe.index()]);
+        let shared = reduced[e.index()].shared_vars(&reduced[pe.index()]);
+        let own_idx: JoinIndex = reduced[e.index()].build_index(&shared);
+        reduced[e.index()] = reduced[e.index()].semijoin_probed(&own_idx, &reduced[pe.index()]);
     }
     Ok(reduced)
 }
@@ -133,6 +154,42 @@ mod tests {
         qf.free_vars = vec![Var(0), Var(1), Var(2)];
         let brute = solve_faq_brute_force(&qf);
         assert_eq!(j.reorder(&qf.free_vars), brute);
+    }
+
+    #[test]
+    fn indexed_reducer_matches_per_call_semijoins() {
+        // The index-reusing passes compute exactly the same reduction as
+        // naively re-deriving each semijoin from scratch.
+        for seed in 0..10 {
+            let h = example_h2();
+            let cfg = RandomInstanceConfig {
+                tuples_per_factor: 10,
+                domain: 3,
+                seed,
+            };
+            let q = random_boolean_instance(&h, &cfg, seed % 2 == 0);
+            let fast = yannakakis_reduce(&q).unwrap();
+            // Reference: the same two passes with plain semijoin calls.
+            let ghd = faqs_hypergraph::internal_node_width(&q.hypergraph).ghd;
+            let edge_of = |n: faqs_hypergraph::NodeId| ghd.node(n).lambda.first().copied();
+            let mut slow: Vec<Relation<Boolean>> = q.factors.clone();
+            let post = ghd.post_order();
+            for &n in &post {
+                let (Some(e), Some(p)) = (edge_of(n), ghd.parent(n)) else {
+                    continue;
+                };
+                let Some(pe) = edge_of(p) else { continue };
+                slow[pe.index()] = slow[pe.index()].semijoin(&slow[e.index()]);
+            }
+            for &n in post.iter().rev() {
+                let (Some(e), Some(p)) = (edge_of(n), ghd.parent(n)) else {
+                    continue;
+                };
+                let Some(pe) = edge_of(p) else { continue };
+                slow[e.index()] = slow[e.index()].semijoin(&slow[pe.index()]);
+            }
+            assert_eq!(fast, slow, "seed {seed}");
+        }
     }
 
     #[test]

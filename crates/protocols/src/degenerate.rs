@@ -313,7 +313,7 @@ fn execute_on_ghd<S: Semiring>(
             None => root_rel,
         });
     }
-    let mut result = combined.unwrap_or_else(|| Relation::from_pairs(vec![], [(vec![], S::one())]));
+    let mut result = combined.unwrap_or_else(Relation::unit);
 
     // Aggregate the remaining bound variables, innermost first.
     let mut bound: Vec<Var> = result

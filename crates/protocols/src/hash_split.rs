@@ -102,8 +102,8 @@ pub fn run_hash_split_protocol(
     let mut arrival: HashMap<Player, u64> = k.iter().map(|&p| (p, 0)).collect();
     for (shard_idx, &holder) in players.iter().enumerate() {
         let shard_tuples = center
-            .iter()
-            .filter(|(t, _)| split.owner(t[center_pos]) == shard_idx)
+            .tuples()
+            .filter(|t| split.owner(t[center_pos]) == shard_idx)
             .count() as u64;
         let bits = shard_tuples * model_capacity_bits(q);
         let a = broadcast_over_packing(&mut run, &packing, holder, &k, bits, 1)?;
@@ -115,27 +115,25 @@ pub fn run_hash_split_protocol(
 
     // 2. Ownership verdicts: player p's vector entry j is the AND over
     //    leaf relations of "does my shard witness center value a_j", for
-    //    owned values; `true` elsewhere.
+    //    owned values; `true` elsewhere. Each leaf relation is indexed
+    //    on the center variable once up front; every witness check is
+    //    then a single galloping lookup instead of a full leaf scan.
+    let leaf_indexes: Vec<faqs_relation::JoinIndex> = q
+        .hypergraph
+        .edge_ids()
+        .skip(1)
+        .map(|e| q.factor(e).build_index(&[center_var]))
+        .collect();
     let mut vectors: HashMap<Player, Vec<Boolean>> = HashMap::new();
-    let leaf_edges: Vec<faqs_hypergraph::EdgeId> = q.hypergraph.edge_ids().skip(1).collect();
     for (shard_idx, &holder) in players.iter().enumerate() {
         let vec: Vec<Boolean> = center
-            .iter()
-            .map(|(t, _)| {
+            .tuples()
+            .map(|t| {
                 let a = t[center_pos];
                 if split.owner(a) != shard_idx {
                     return Boolean::TRUE;
                 }
-                let ok = leaf_edges.iter().all(|&e| {
-                    let f = q.factor(e);
-                    let pos = f
-                        .schema()
-                        .iter()
-                        .position(|v| *v == center_var)
-                        .expect("star edge contains the center");
-                    f.iter().any(|(u, _)| u[pos] == a)
-                });
-                Boolean(ok)
+                Boolean(leaf_indexes.iter().all(|idx| idx.contains(&[a])))
             })
             .collect();
         vectors

@@ -312,13 +312,19 @@ pub fn run_star_phase<S: Semiring>(
         convergecast_over_packing(run, &packing, output, &vectors, entry_bits, &arrival)?;
 
     // 4. Output forms R'_P locally (it received the center broadcast).
-    let mut new_center = Relation::new(center.schema().to_vec());
+    // The center is iterated in canonical order, so the surviving rows
+    // land in `from_columns`'s fast path: one bulk load, no per-tuple
+    // insert churn.
+    let mut data: Vec<u32> = Vec::with_capacity(center.len() * center.schema().len());
+    let mut values: Vec<S> = Vec::with_capacity(center.len());
     for ((t, v), p) in center.iter().zip(product.iter()) {
         let val = v.mul(p);
         if !val.is_zero() {
-            new_center.insert(t.to_vec(), val);
+            data.extend_from_slice(t);
+            values.push(val);
         }
     }
+    let new_center = Relation::from_columns(center.schema().to_vec(), data, values);
     Ok(StarPhaseResult {
         new_center,
         completed_at: completed,
@@ -326,10 +332,12 @@ pub fn run_star_phase<S: Semiring>(
 }
 
 /// The value vector of one leaf message against the center's tuple
-/// order: entry `j` is `m(π_overlap(t_j))`, or `0` when absent.
+/// order: entry `j` is `m(π_overlap(t_j))`, or `0` when absent. The
+/// probe works on tuple views with one reused key scratch — no
+/// per-tuple allocation.
 fn message_vector<S: Semiring>(center: &Relation<S>, message: &Relation<S>) -> Vec<S> {
-    let overlap: Vec<faqs_hypergraph::Var> = message.schema().to_vec();
-    let positions: Vec<usize> = overlap
+    let positions: Vec<usize> = message
+        .schema()
         .iter()
         .map(|v| {
             center
@@ -339,10 +347,13 @@ fn message_vector<S: Semiring>(center: &Relation<S>, message: &Relation<S>) -> V
                 .expect("message schema ⊆ center schema")
         })
         .collect();
+    let mut key = vec![0u32; positions.len()];
     center
-        .iter()
-        .map(|(t, _)| {
-            let key: Vec<u32> = positions.iter().map(|&i| t[i]).collect();
+        .tuples()
+        .map(|t| {
+            for (k, &i) in key.iter_mut().zip(&positions) {
+                *k = t[i];
+            }
             message.get(&key).cloned().unwrap_or_else(S::zero)
         })
         .collect()

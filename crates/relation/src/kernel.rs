@@ -1,0 +1,611 @@
+//! The columnar relational-algebra kernel: flat-arena row utilities,
+//! the reusable [`JoinIndex`], and the sort-merge / galloping operator
+//! implementations behind [`Relation`](crate::Relation)'s public API.
+//!
+//! Everything here works on *tuple views* — `&[u32]` slices into a
+//! relation's row-major arena — so the steady-state join/semijoin path
+//! performs no per-tuple heap allocation: scratch key buffers are
+//! reused across rows and output arenas grow in bulk.
+
+use crate::relation::Relation;
+use faqs_hypergraph::Var;
+use faqs_semiring::Semiring;
+use std::cmp::Ordering;
+
+/// One row of a flat `arity`-strided arena.
+#[inline]
+pub(crate) fn row(data: &[u32], arity: usize, i: usize) -> &[u32] {
+    &data[i * arity..i * arity + arity]
+}
+
+/// Lexicographic comparison of the projections of two rows onto `pos`.
+#[inline]
+fn cmp_projected(a: &[u32], b: &[u32], pos: &[usize]) -> Ordering {
+    for &p in pos {
+        match a[p].cmp(&b[p]) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compares the projection of `t` onto `pos` against a materialised key.
+#[inline]
+fn cmp_key(t: &[u32], pos: &[usize], key: &[u32]) -> Ordering {
+    for (&p, &k) in pos.iter().zip(key) {
+        match t[p].cmp(&k) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Binary search for `tuple` among the `n` sorted rows of an
+/// `arity`-strided arena: `Ok(row)` on a hit, `Err(insertion_row)`
+/// otherwise. Shared by [`Relation::get`]/`insert` and the multi-column
+/// key search of [`JoinIndex::group_of`].
+pub(crate) fn binary_search_row(
+    data: &[u32],
+    arity: usize,
+    n: usize,
+    tuple: &[u32],
+) -> Result<usize, usize> {
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match row(data, arity, mid).cmp(tuple) {
+            Ordering::Less => lo = mid + 1,
+            Ordering::Greater => hi = mid,
+            Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Canonicalises a freshly gathered arena: sorts rows lexicographically,
+/// `combine`-accumulates duplicate rows, and drops rows whose combined
+/// annotation is the semiring zero. This is the single sort behind
+/// `from_pairs`, `union_all`, `reorder` and the general projection path —
+/// no intermediate `HashMap` is ever built.
+pub(crate) fn sort_merge_rows<S: Semiring>(
+    arity: usize,
+    data: Vec<u32>,
+    values: Vec<S>,
+    mut combine: impl FnMut(&mut S, &S),
+) -> (Vec<u32>, Vec<S>) {
+    let n = values.len();
+    if arity == 0 {
+        // Every row is the empty tuple: fold all annotations into one.
+        let mut it = values.into_iter();
+        let Some(mut acc) = it.next() else {
+            return (Vec::new(), Vec::new());
+        };
+        for v in it {
+            combine(&mut acc, &v);
+        }
+        return if acc.is_zero() {
+            (Vec::new(), Vec::new())
+        } else {
+            (Vec::new(), vec![acc])
+        };
+    }
+
+    if is_sorted_strict(&data, arity, n) {
+        // Already canonical: no sort, no copy — at most one zero sweep.
+        let (mut data, mut values) = (data, values);
+        if values.iter().any(S::is_zero) {
+            compact_zeros(arity, &mut data, &mut values);
+        }
+        return (data, values);
+    }
+
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        row(&data, arity, a as usize).cmp(row(&data, arity, b as usize))
+    });
+
+    let mut out_data: Vec<u32> = Vec::with_capacity(data.len());
+    let mut out_values: Vec<S> = Vec::with_capacity(n);
+    let mut any_zero = false;
+    for &i in &order {
+        let r = row(&data, arity, i as usize);
+        if let Some(last) = out_values.last_mut() {
+            if &out_data[out_data.len() - arity..] == r {
+                combine(last, &values[i as usize]);
+                any_zero |= last.is_zero();
+                continue;
+            }
+        }
+        out_data.extend_from_slice(r);
+        let v = values[i as usize].clone();
+        any_zero |= v.is_zero();
+        out_values.push(v);
+    }
+    if any_zero {
+        compact_zeros(arity, &mut out_data, &mut out_values);
+    }
+    (out_data, out_values)
+}
+
+/// Whether the arena's rows are already strictly increasing (sorted and
+/// duplicate-free) — the fast path that lets pre-sorted construction
+/// (e.g. `Relation::full`, the brute-force enumeration) skip the sort.
+fn is_sorted_strict(data: &[u32], arity: usize, n: usize) -> bool {
+    (1..n).all(|i| row(data, arity, i - 1) < row(data, arity, i))
+}
+
+/// Removes rows annotated with the semiring zero, in place.
+pub(crate) fn compact_zeros<S: Semiring>(arity: usize, data: &mut Vec<u32>, values: &mut Vec<S>) {
+    let mut kept = 0usize;
+    for i in 0..values.len() {
+        if values[i].is_zero() {
+            continue;
+        }
+        if kept != i {
+            values.swap(kept, i);
+            data.copy_within(i * arity..(i + 1) * arity, kept * arity);
+        }
+        kept += 1;
+    }
+    values.truncate(kept);
+    data.truncate(kept * arity);
+}
+
+/// A sorted index of one relation's rows grouped by a key — the join
+/// key's answer to "which rows carry this key value?".
+///
+/// Built once per factor (O(n log n), or O(n) when the key is a schema
+/// prefix of the already-sorted arena) and reused across every probe:
+/// the Yannakakis passes build one index per factor per pass, and the
+/// engine's upward messages index each factor exactly once per join
+/// instead of rehashing it per operation.
+///
+/// The index is self-contained (it copies the group keys out of the
+/// relation), so it stays valid even if the indexed relation is later
+/// replaced — but it describes the relation *as it was at build time*.
+#[derive(Clone, Debug)]
+pub struct JoinIndex {
+    key_vars: Vec<Var>,
+    key_arity: usize,
+    /// Flattened group keys, `num_groups × key_arity`, sorted.
+    keys: Vec<u32>,
+    /// Row ids grouped by key; within a group, ascending (= canonical
+    /// order of the indexed relation, which sorts each group by its
+    /// non-key columns — exactly the order a join must emit them in).
+    row_ids: Vec<u32>,
+    /// Group boundaries into `row_ids`, `num_groups + 1` entries.
+    offsets: Vec<u32>,
+}
+
+impl JoinIndex {
+    /// Indexes `rel` by the projection onto `key_vars` (a subset of the
+    /// schema, in any order).
+    pub fn build<S: Semiring>(rel: &Relation<S>, key_vars: &[Var]) -> JoinIndex {
+        let pos = rel.positions(key_vars);
+        let key_arity = pos.len();
+        let n = rel.len();
+
+        let mut row_ids: Vec<u32> = (0..n as u32).collect();
+        // When the key is a prefix of the schema the canonical sort
+        // already groups equal keys contiguously; skip the sort.
+        let is_prefix = pos.iter().enumerate().all(|(i, &p)| p == i);
+        if !is_prefix {
+            row_ids.sort_unstable_by(|&a, &b| {
+                let ta = rel.tuple_at(a as usize);
+                let tb = rel.tuple_at(b as usize);
+                cmp_projected(ta, tb, &pos).then(a.cmp(&b))
+            });
+        }
+
+        // An empty relation has zero groups (offsets stays `[0]`); a
+        // zero-arity key over a non-empty relation has exactly one.
+        let mut keys: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = vec![0];
+        if n > 0 {
+            if key_arity > 0 {
+                for (slot, &i) in row_ids.iter().enumerate() {
+                    let t = rel.tuple_at(i as usize);
+                    let new_group = keys.is_empty()
+                        || cmp_key(t, &pos, &keys[keys.len() - key_arity..]) != Ordering::Equal;
+                    if new_group {
+                        if !keys.is_empty() {
+                            offsets.push(slot as u32);
+                        }
+                        keys.extend(pos.iter().map(|&p| t[p]));
+                    }
+                }
+            }
+            offsets.push(n as u32);
+        }
+        JoinIndex {
+            key_vars: key_vars.to_vec(),
+            key_arity,
+            keys,
+            row_ids,
+            offsets,
+        }
+    }
+
+    /// The key variables this index groups by, in key order.
+    #[inline]
+    pub fn key_vars(&self) -> &[Var] {
+        &self.key_vars
+    }
+
+    /// Number of distinct key values.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total indexed rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    #[inline]
+    fn group_rows(&self, g: usize) -> &[u32] {
+        &self.row_ids[self.offsets[g] as usize..self.offsets[g + 1] as usize]
+    }
+
+    /// The group holding `key`, by binary search over the sorted keys.
+    /// Single-column keys (the overwhelmingly common join key) search
+    /// the flat `u32` key array directly, skipping per-probe slice
+    /// chunking.
+    pub fn group_of(&self, key: &[u32]) -> Option<usize> {
+        assert_eq!(key.len(), self.key_arity, "key arity mismatch");
+        if self.num_rows() == 0 {
+            return None;
+        }
+        if self.key_arity == 0 {
+            return Some(0);
+        }
+        if self.key_arity == 1 {
+            return self.keys.binary_search(&key[0]).ok();
+        }
+        binary_search_row(&self.keys, self.key_arity, self.num_groups(), key).ok()
+    }
+
+    /// The row ids carrying `key` (ascending), or `None`.
+    #[inline]
+    pub fn lookup(&self, key: &[u32]) -> Option<&[u32]> {
+        self.group_of(key).map(|g| self.group_rows(g))
+    }
+
+    /// Whether any row carries `key`.
+    #[inline]
+    pub fn contains(&self, key: &[u32]) -> bool {
+        self.group_of(key).is_some()
+    }
+}
+
+/// Natural join against a prebuilt index of `other` (keyed on exactly
+/// the shared variables). Output rows are emitted left-row-major with
+/// each group's matches in ascending row-id order, which keeps the
+/// result in canonical sorted order without a re-sort.
+pub(crate) fn join_via<S: Semiring>(
+    left: &Relation<S>,
+    other: &Relation<S>,
+    idx: &JoinIndex,
+) -> Relation<S> {
+    assert_keyed_on_shared(left, other, idx);
+    let my_pos = left.positions(idx.key_vars());
+    let fresh: Vec<Var> = other
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| !left.schema().contains(v))
+        .collect();
+    let fresh_pos = other.positions(&fresh);
+
+    let mut schema: Vec<Var> = left.schema().to_vec();
+    schema.extend(fresh.iter().copied());
+    let mut out = Relation::new(schema);
+    let (out_data, out_values) = out.parts_mut();
+
+    let mut key = vec![0u32; my_pos.len()];
+    for i in 0..left.len() {
+        let t = left.tuple_at(i);
+        for (k, &p) in key.iter_mut().zip(&my_pos) {
+            *k = t[p];
+        }
+        let Some(rows) = idx.lookup(&key) else {
+            continue;
+        };
+        let v = left.value_at(i);
+        for &j in rows {
+            let u = other.tuple_at(j as usize);
+            let prod = v.mul(other.value_at(j as usize));
+            if prod.is_zero() {
+                continue;
+            }
+            out_data.extend_from_slice(t);
+            out_data.extend(fresh_pos.iter().map(|&p| u[p]));
+            out_values.push(prod);
+        }
+    }
+    out
+}
+
+/// A prebuilt index fed to a join/semijoin must key on *exactly* the
+/// variables the two relations share — a partial key would silently
+/// under-filter (semijoin) or emit rows disagreeing on the unchecked
+/// shared variable (join). Cheap (O(r²) on arities ≤ a handful), so it
+/// runs in release builds too.
+fn assert_keyed_on_shared<S: Semiring>(left: &Relation<S>, other: &Relation<S>, idx: &JoinIndex) {
+    let shared = left.shared_vars(other);
+    assert!(
+        idx.key_vars().len() == shared.len() && shared.iter().all(|v| idx.key_vars().contains(v)),
+        "index keyed on {:?}, but the relations share {shared:?}",
+        idx.key_vars()
+    );
+}
+
+/// Semijoin `left ⋉ other` against a prebuilt index of `other` keyed on
+/// the shared variables: keeps `left`'s rows (annotations untouched)
+/// whose key projection appears in the index. Order-preserving.
+pub(crate) fn semijoin_via<S: Semiring>(
+    left: &Relation<S>,
+    other: &Relation<S>,
+    idx: &JoinIndex,
+) -> Relation<S> {
+    assert_keyed_on_shared(left, other, idx);
+    let my_pos = left.positions(idx.key_vars());
+    let mut out = Relation::new(left.schema().to_vec());
+    let (out_data, out_values) = out.parts_mut();
+    let mut key = vec![0u32; my_pos.len()];
+    for i in 0..left.len() {
+        let t = left.tuple_at(i);
+        for (k, &p) in key.iter_mut().zip(&my_pos) {
+            *k = t[p];
+        }
+        if idx.contains(&key) {
+            out_data.extend_from_slice(t);
+            out_values.push(left.value_at(i).clone());
+        }
+    }
+    out
+}
+
+/// Semijoin in the *probed* direction: given `own_idx` (an index of
+/// `this` itself), keeps the rows of `this` whose key group is hit by
+/// at least one row of `other`. Semantically `this ⋉ other`, but the
+/// index lives on the filtered side — so a relation filtered against
+/// several others (the Yannakakis downward pass) is indexed once.
+pub(crate) fn semijoin_probe<S: Semiring>(
+    this: &Relation<S>,
+    own_idx: &JoinIndex,
+    other: &Relation<S>,
+) -> Relation<S> {
+    assert_keyed_on_shared(this, other, own_idx);
+    let other_pos = other.positions(own_idx.key_vars());
+    let mut hit = vec![false; own_idx.num_groups()];
+    let mut remaining = own_idx.num_groups();
+    let mut key = vec![0u32; other_pos.len()];
+    for j in 0..other.len() {
+        let u = other.tuple_at(j);
+        for (k, &p) in key.iter_mut().zip(&other_pos) {
+            *k = u[p];
+        }
+        if let Some(g) = own_idx.group_of(&key) {
+            if !hit[g] {
+                hit[g] = true;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    // Gather surviving row ids; groups are key-sorted, not row-sorted,
+    // so re-sort the ids to restore canonical order.
+    let mut keep: Vec<u32> = (0..own_idx.num_groups())
+        .filter(|&g| hit[g])
+        .flat_map(|g| own_idx.group_rows(g).iter().copied())
+        .collect();
+    keep.sort_unstable();
+    let mut out = Relation::new(this.schema().to_vec());
+    let (out_data, out_values) = out.parts_mut();
+    for &i in &keep {
+        out_data.extend_from_slice(this.tuple_at(i as usize));
+        out_values.push(this.value_at(i as usize).clone());
+    }
+    out
+}
+
+/// Projection with `combine`-aggregation of collapsed rows. When `pos`
+/// is a schema prefix the canonical order already groups equal keys
+/// contiguously and a single merge scan suffices; otherwise the
+/// projected rows are gathered and canonicalised with one sort.
+pub(crate) fn project_with<S: Semiring>(
+    rel: &Relation<S>,
+    vars: &[Var],
+    pos: &[usize],
+    mut combine: impl FnMut(&mut S, &S),
+) -> Relation<S> {
+    let k = pos.len();
+    let mut out = Relation::new(vars.to_vec());
+    let is_prefix = pos.iter().enumerate().all(|(i, &p)| p == i);
+    if is_prefix {
+        let (out_data, out_values) = out.parts_mut();
+        let mut any_zero = false;
+        for i in 0..rel.len() {
+            let t = rel.tuple_at(i);
+            let keyed = &t[..k];
+            if let Some(last) = out_values.last_mut() {
+                if &out_data[out_data.len() - k..] == keyed {
+                    combine(last, rel.value_at(i));
+                    any_zero |= last.is_zero();
+                    continue;
+                }
+            }
+            out_data.extend_from_slice(keyed);
+            let v = rel.value_at(i).clone();
+            any_zero |= v.is_zero();
+            out_values.push(v);
+        }
+        if any_zero {
+            let arity = k;
+            compact_zeros(arity, out_data, out_values);
+        }
+        return out;
+    }
+
+    let mut data: Vec<u32> = Vec::with_capacity(rel.len() * k);
+    let mut values: Vec<S> = Vec::with_capacity(rel.len());
+    for i in 0..rel.len() {
+        let t = rel.tuple_at(i);
+        data.extend(pos.iter().map(|&p| t[p]));
+        values.push(rel.value_at(i).clone());
+    }
+    let (data, values) = sort_merge_rows(k, data, values, combine);
+    out.set_parts(data, values);
+    out
+}
+
+/// Galloping (exponential + binary) search: the least `i ≥ lo` with
+/// `row(i) ≥ target`, over a sorted arena.
+fn gallop<S: Semiring>(rel: &Relation<S>, mut lo: usize, target: &[u32]) -> usize {
+    let n = rel.len();
+    if lo >= n || rel.tuple_at(lo) >= target {
+        return lo;
+    }
+    let mut step = 1usize;
+    let mut hi = lo + 1;
+    while hi < n && rel.tuple_at(hi) < target {
+        lo = hi;
+        step <<= 1;
+        hi = (lo + step).min(n);
+    }
+    // Invariant: row(lo) < target ≤ row(hi) (or hi == n).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if rel.tuple_at(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Pointwise `⊗`-product of two same-schema relations by a galloping
+/// merge over the two sorted arenas (tuple intersection).
+pub(crate) fn merge_product<S: Semiring>(a: &Relation<S>, b: &Relation<S>) -> Relation<S> {
+    let mut out = Relation::new(a.schema().to_vec());
+    let (out_data, out_values) = out.parts_mut();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a.tuple_at(i).cmp(b.tuple_at(j)) {
+            Ordering::Less => i = gallop(a, i, b.tuple_at(j)),
+            Ordering::Greater => j = gallop(b, j, a.tuple_at(i)),
+            Ordering::Equal => {
+                let prod = a.value_at(i).mul(b.value_at(j));
+                if !prod.is_zero() {
+                    out_data.extend_from_slice(a.tuple_at(i));
+                    out_values.push(prod);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_semiring::Count;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn rel(schema: &[u32], rows: &[(&[u32], u64)]) -> Relation<Count> {
+        Relation::from_pairs(
+            schema.iter().map(|i| v(*i)).collect(),
+            rows.iter().map(|(t, c)| (t.to_vec(), Count(*c))),
+        )
+    }
+
+    #[test]
+    fn index_groups_and_lookup() {
+        let r = rel(
+            &[0, 1],
+            &[(&[1, 5], 1), (&[2, 3], 1), (&[2, 7], 1), (&[4, 0], 1)],
+        );
+        let idx = JoinIndex::build(&r, &[v(0)]);
+        assert_eq!(idx.num_groups(), 3);
+        assert_eq!(idx.lookup(&[2]), Some(&[1u32, 2][..]));
+        assert_eq!(idx.lookup(&[3]), None);
+        assert!(idx.contains(&[4]));
+    }
+
+    #[test]
+    fn index_on_non_prefix_key() {
+        let r = rel(&[0, 1], &[(&[1, 5], 1), (&[2, 5], 1), (&[3, 4], 1)]);
+        let idx = JoinIndex::build(&r, &[v(1)]);
+        assert_eq!(idx.num_groups(), 2);
+        assert_eq!(idx.lookup(&[5]), Some(&[0u32, 1][..]));
+        assert_eq!(idx.lookup(&[4]), Some(&[2u32][..]));
+    }
+
+    #[test]
+    fn nullary_key_groups_everything() {
+        let r = rel(&[0], &[(&[1], 1), (&[2], 1)]);
+        let idx = JoinIndex::build(&r, &[]);
+        assert_eq!(idx.num_groups(), 1);
+        assert_eq!(idx.lookup(&[]), Some(&[0u32, 1][..]));
+        let empty = rel(&[0], &[]);
+        let idx = JoinIndex::build(&empty, &[]);
+        assert_eq!(idx.num_groups(), 0, "empty relation has no key groups");
+        assert_eq!(idx.lookup(&[]), None);
+        let idx = JoinIndex::build(&empty, &[v(0)]);
+        assert_eq!(idx.num_groups(), 0);
+        assert_eq!(idx.lookup(&[3]), None);
+    }
+
+    #[test]
+    fn sort_merge_accumulates_and_drops_zeros() {
+        // Rows [2],[1],[2],[1]: duplicates ⊕-collapse after one sort.
+        let data = vec![2, 1, 2, 1];
+        let values = vec![Count(1), Count(2), Count(3), Count(4)];
+        let (d, vals) = sort_merge_rows(1, data, values, |a, b| a.add_assign(b));
+        assert_eq!(d, vec![1, 2]);
+        assert_eq!(vals, vec![Count(6), Count(4)]);
+        // A row whose accumulated value is zero is dropped.
+        let (d, vals) = sort_merge_rows(
+            1,
+            vec![7, 8],
+            vec![Count(0), Count(5)],
+            |a: &mut Count, b| a.add_assign(b),
+        );
+        assert_eq!(d, vec![8]);
+        assert_eq!(vals, vec![Count(5)]);
+    }
+
+    #[test]
+    fn nullary_sort_merge_folds_all() {
+        let (d, vals) = sort_merge_rows(
+            0,
+            vec![],
+            vec![Count(1), Count(2), Count(3)],
+            |a: &mut Count, b| a.add_assign(b),
+        );
+        assert!(d.is_empty());
+        assert_eq!(vals, vec![Count(6)]);
+    }
+
+    #[test]
+    fn gallop_finds_first_geq() {
+        let r = rel(&[0], &[(&[1], 1), (&[3], 1), (&[5], 1), (&[9], 1)]);
+        assert_eq!(gallop(&r, 0, &[0]), 0);
+        assert_eq!(gallop(&r, 0, &[3]), 1);
+        assert_eq!(gallop(&r, 0, &[4]), 2);
+        assert_eq!(gallop(&r, 0, &[10]), 4);
+    }
+}

@@ -3,11 +3,15 @@
 //! The paper assumes every input function `f_e : ∏_{v∈e} Dom(v) → D` is
 //! given in *listing representation*: the list of its non-zero entries
 //! `R_e = {(y, f_e(y)) : f_e(y) ≠ 0}` (Section 1). [`Relation`] is exactly
-//! that: a schema over variables plus semiring-annotated tuples, with the
-//! relational-algebra kernel the engine and the distributed protocols
+//! that, stored columnar-style: one flat row-major `Vec<u32>` arena
+//! (arity-strided, no per-tuple boxes) plus a parallel annotation column,
+//! kept lexicographically sorted. The [`kernel`] module implements the
+//! relational-algebra operators the engine and the distributed protocols
 //! share — natural join (Definition 3.4), semijoin (Definition 3.5),
 //! projection and per-variable `⊕`-aggregation, and the FAQ "push-down"
-//! aggregation of Corollary G.2.
+//! aggregation of Corollary G.2 — as sort-merge / galloping passes over
+//! tuple views (`&[u32]` slices), with an explicit reusable [`JoinIndex`]
+//! so a factor probed many times is indexed once.
 //!
 //! [`FaqQuery`] bundles a hypergraph with one relation per hyperedge, the
 //! set of free variables `F`, and a per-bound-variable [`Aggregate`]
@@ -19,11 +23,13 @@
 
 mod builder;
 mod generators;
+pub mod kernel;
 mod query;
 mod relation;
 
 pub use builder::BcqBuilder;
 pub use faqs_semiring::Aggregate;
 pub use generators::{random_boolean_instance, random_instance, RandomInstanceConfig};
+pub use kernel::JoinIndex;
 pub use query::{FaqQuery, QueryError};
 pub use relation::{Relation, Tuple};

@@ -1,35 +1,50 @@
-//! The annotated relation type and its relational-algebra kernel.
+//! The annotated relation type over a flat columnar arena.
 
+use crate::kernel::{self, JoinIndex};
 use faqs_hypergraph::Var;
 use faqs_semiring::{Aggregate, LatticeOps, Semiring};
-use std::collections::HashMap;
 use std::fmt;
 
-/// A tuple of domain values, one per schema variable, in schema order.
+/// A boxed tuple of domain values. Survives only as a conversion helper
+/// for call sites that need an owned tuple; [`Relation`] itself stores
+/// tuples inline in a flat arena and hands out `&[u32]` views.
 pub type Tuple = Box<[u32]>;
 
-/// A semiring-annotated relation in listing representation.
+/// A semiring-annotated relation in listing representation, stored
+/// columnar-style: one flat row-major `Vec<u32>` arena (arity-strided,
+/// no per-tuple boxes) plus a parallel annotation column.
 ///
 /// Invariants maintained by every operation:
 ///
-/// * the schema lists distinct variables; tuples have `schema.len()`
-///   entries in schema order;
-/// * no tuple is annotated with the semiring zero (the listing
+/// * the schema lists distinct variables; row `i` occupies
+///   `data[i·r .. (i+1)·r]` for arity `r = schema.len()`;
+/// * no row is annotated with the semiring zero (the listing
 ///   representation stores non-zero entries only);
-/// * each tuple appears at most once (duplicate inserts `⊕`-accumulate);
-/// * entries are kept sorted by tuple, so equal relations compare equal
-///   structurally.
+/// * rows are lexicographically sorted and duplicate-free (duplicate
+///   inserts `⊕`-accumulate), so equal relations compare equal
+///   structurally and every operator can merge instead of hash.
 #[derive(Clone, PartialEq)]
 pub struct Relation<S: Semiring> {
     schema: Vec<Var>,
-    entries: Vec<(Tuple, S)>,
+    /// Row-major tuple arena, `len() * schema.len()` entries.
+    data: Vec<u32>,
+    /// Annotation column, parallel to the rows.
+    values: Vec<S>,
 }
+
+/// How many leading entries [`Relation`]'s `Debug` impl prints before
+/// eliding the tail — the `[N]×{1}` paddings of the lower-bound
+/// constructions would otherwise flood test output.
+const DEBUG_MAX_ENTRIES: usize = 16;
 
 impl<S: Semiring> fmt::Debug for Relation<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Relation{:?} {{", self.schema)?;
-        for (t, v) in &self.entries {
+        for (t, v) in self.iter().take(DEBUG_MAX_ENTRIES) {
             write!(f, " {t:?}→{v:?}")?;
+        }
+        if self.len() > DEBUG_MAX_ENTRIES {
+            write!(f, " … ({} more)", self.len() - DEBUG_MAX_ENTRIES)?;
         }
         write!(f, " }}")
     }
@@ -49,53 +64,81 @@ impl<S: Semiring> Relation<S> {
         );
         Relation {
             schema,
-            entries: Vec::new(),
+            data: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The nullary relation whose single (empty-tuple) annotation is `1`
+    /// — the `⊗`-identity the engine seeds empty nodes with.
+    pub fn unit() -> Self {
+        Relation {
+            schema: Vec::new(),
+            data: Vec::new(),
+            values: vec![S::one()],
         }
     }
 
     /// Builds a relation from `(tuple, value)` pairs, `⊕`-accumulating
-    /// duplicates and dropping zeros.
+    /// duplicates and dropping zeros. One gather and one sort-merge —
+    /// no intermediate hash map, no second normalisation pass.
     pub fn from_pairs<I>(schema: Vec<Var>, pairs: I) -> Self
     where
         I: IntoIterator<Item = (Vec<u32>, S)>,
     {
         let mut r = Relation::new(schema);
-        let mut map: HashMap<Tuple, S> = HashMap::new();
+        let arity = r.schema.len();
+        let mut data: Vec<u32> = Vec::new();
+        let mut values: Vec<S> = Vec::new();
         for (t, v) in pairs {
-            assert_eq!(t.len(), r.schema.len(), "tuple arity mismatch");
-            let t: Tuple = t.into_boxed_slice();
-            match map.get_mut(&t) {
-                Some(acc) => acc.add_assign(&v),
-                None => {
-                    map.insert(t, v);
-                }
-            }
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+            data.extend_from_slice(&t);
+            values.push(v);
         }
-        r.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
-        r.normalize();
+        let (data, values) = kernel::sort_merge_rows(arity, data, values, |a, b| a.add_assign(b));
+        r.data = data;
+        r.values = values;
+        r
+    }
+
+    /// Builds a relation directly from a row-major arena and its
+    /// parallel annotation column (`values.len() * schema.len()` data
+    /// entries). Rows are canonicalised with one sort-merge (skipped
+    /// when the arena is already strictly sorted); zero annotations are
+    /// dropped. This is the bulk-load path for enumerators that produce
+    /// rows in order — no per-tuple allocation at all.
+    pub fn from_columns(schema: Vec<Var>, data: Vec<u32>, values: Vec<S>) -> Self {
+        let mut r = Relation::new(schema);
+        let arity = r.schema.len();
+        assert_eq!(data.len(), values.len() * arity, "arena shape mismatch");
+        let (data, values) = kernel::sort_merge_rows(arity, data, values, |a, b| a.add_assign(b));
+        r.data = data;
+        r.values = values;
         r
     }
 
     /// The "all ones" relation over a uniform domain `[0, domain)^r` —
     /// the `[N] × {1}`-style paddings of the lower-bound constructions.
     /// Panics if the result would exceed `2^24` tuples (guard against
-    /// accidental blowup).
+    /// accidental blowup). Rows are generated in lexicographic order,
+    /// so construction is a single allocation-free fill.
     pub fn full(schema: Vec<Var>, domain: u32) -> Self {
         let r = schema.len();
         let total = (domain as u64).pow(r as u32);
         assert!(total <= 1 << 24, "full relation too large: {total}");
         let mut rel = Relation::new(schema);
-        let mut tuple = vec![0u32; r];
+        rel.data.reserve(total as usize * r);
+        rel.values.reserve(total as usize);
         for idx in 0..total {
             let mut rem = idx;
-            for slot in tuple.iter_mut().rev() {
+            let start = rel.data.len();
+            rel.data.resize(start + r, 0);
+            for slot in rel.data[start..].iter_mut().rev() {
                 *slot = (rem % domain as u64) as u32;
                 rem /= domain as u64;
             }
-            rel.entries
-                .push((tuple.clone().into_boxed_slice(), S::one()));
+            rel.values.push(S::one());
         }
-        rel.normalize();
         rel
     }
 
@@ -108,54 +151,73 @@ impl<S: Semiring> Relation<S> {
     /// Number of listed (non-zero) tuples — the paper's `|R_e| ≤ N`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.values.len()
     }
 
     /// Whether the relation lists no tuples (the function is identically
     /// zero).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.values.is_empty()
+    }
+
+    /// The `i`-th tuple as a view into the arena.
+    #[inline]
+    pub fn tuple_at(&self, i: usize) -> &[u32] {
+        let r = self.schema.len();
+        &self.data[i * r..i * r + r]
+    }
+
+    /// The `i`-th annotation.
+    #[inline]
+    pub fn value_at(&self, i: usize) -> &S {
+        &self.values[i]
+    }
+
+    /// Iterates over tuple views in canonical order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.len()).map(move |i| self.tuple_at(i))
     }
 
     /// Iterates over `(tuple, value)` entries in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], &S)> + '_ {
-        self.entries.iter().map(|(t, v)| (t.as_ref(), v))
+        (0..self.len()).map(move |i| (self.tuple_at(i), &self.values[i]))
     }
 
     /// Inserts (⊕-accumulates) one entry.
     pub fn insert(&mut self, tuple: Vec<u32>, value: S) {
-        assert_eq!(tuple.len(), self.schema.len(), "tuple arity mismatch");
+        let r = self.schema.len();
+        assert_eq!(tuple.len(), r, "tuple arity mismatch");
         if value.is_zero() {
             return;
         }
-        let t: Tuple = tuple.into_boxed_slice();
-        match self.entries.binary_search_by(|(u, _)| u.cmp(&t)) {
+        match self.row_search(&tuple) {
             Ok(i) => {
-                self.entries[i].1.add_assign(&value);
-                if self.entries[i].1.is_zero() {
-                    self.entries.remove(i);
+                self.values[i].add_assign(&value);
+                if self.values[i].is_zero() {
+                    self.values.remove(i);
+                    self.data.drain(i * r..(i + 1) * r);
                 }
             }
-            Err(i) => self.entries.insert(i, (t, value)),
+            Err(i) => {
+                self.values.insert(i, value);
+                self.data.splice(i * r..i * r, tuple);
+            }
         }
     }
 
     /// The annotation of an exact tuple, if listed.
     pub fn get(&self, tuple: &[u32]) -> Option<&S> {
-        self.entries
-            .binary_search_by(|(u, _)| u.as_ref().cmp(tuple))
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.row_search(tuple).ok().map(|i| &self.values[i])
     }
 
-    /// Restores the canonical sorted-by-tuple order (internal).
-    fn normalize(&mut self) {
-        self.entries.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    /// Binary search for a row in the sorted arena.
+    fn row_search(&self, tuple: &[u32]) -> Result<usize, usize> {
+        kernel::binary_search_row(&self.data, self.schema.len(), self.len(), tuple)
     }
 
     /// Positions of `vars` inside this schema; panics when absent.
-    fn positions(&self, vars: &[Var]) -> Vec<usize> {
+    pub(crate) fn positions(&self, vars: &[Var]) -> Vec<usize> {
         vars.iter()
             .map(|v| {
                 self.schema
@@ -164,6 +226,18 @@ impl<S: Semiring> Relation<S> {
                     .unwrap_or_else(|| panic!("{v} not in schema {:?}", self.schema))
             })
             .collect()
+    }
+
+    /// Mutable access to the raw arena for kernel builders (same crate).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<u32>, &mut Vec<S>) {
+        (&mut self.data, &mut self.values)
+    }
+
+    /// Replaces the raw arena (kernel builders; rows must be canonical).
+    pub(crate) fn set_parts(&mut self, data: Vec<u32>, values: Vec<S>) {
+        debug_assert_eq!(data.len(), values.len() * self.schema.len());
+        self.data = data;
+        self.values = values;
     }
 
     /// The variables shared with `other`, in this schema's order.
@@ -175,24 +249,19 @@ impl<S: Semiring> Relation<S> {
             .collect()
     }
 
+    /// Builds a reusable [`JoinIndex`] of this relation keyed on `vars`
+    /// (a subset of the schema). The engine and the Yannakakis reducer
+    /// build one per factor and probe it across calls instead of
+    /// re-hashing the factor per operation.
+    pub fn build_index(&self, vars: &[Var]) -> JoinIndex {
+        JoinIndex::build(self, vars)
+    }
+
     /// Projection `π_vars` with `⊕`-aggregation of collapsed tuples: the
     /// FAQ-SS marginalisation of every variable outside `vars`.
     pub fn project(&self, vars: &[Var]) -> Relation<S> {
         let pos = self.positions(vars);
-        let mut map: HashMap<Tuple, S> = HashMap::with_capacity(self.entries.len());
-        for (t, v) in &self.entries {
-            let key: Tuple = pos.iter().map(|&i| t[i]).collect();
-            match map.get_mut(&key) {
-                Some(acc) => acc.add_assign(v),
-                None => {
-                    map.insert(key, v.clone());
-                }
-            }
-        }
-        let mut out = Relation::new(vars.to_vec());
-        out.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
-        out.normalize();
-        out
+        kernel::project_with(self, vars, &pos, |a, b| a.add_assign(b))
     }
 
     /// Aggregates out a single variable with the given operator — the
@@ -218,30 +287,15 @@ impl<S: Semiring> Relation<S> {
     fn aggregate_out_with(&self, var: Var, combine: impl Fn(&S, &S) -> S) -> Relation<S> {
         let drop = self.positions(&[var])[0];
         let rest: Vec<Var> = self.schema.iter().copied().filter(|v| *v != var).collect();
-        let mut map: HashMap<Tuple, S> = HashMap::with_capacity(self.entries.len());
-        for (t, v) in &self.entries {
-            let key: Tuple = t
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != drop)
-                .map(|(_, x)| *x)
-                .collect();
-            match map.get_mut(&key) {
-                Some(acc) => *acc = combine(acc, v),
-                None => {
-                    map.insert(key, v.clone());
-                }
-            }
-        }
-        let mut out = Relation::new(rest);
-        out.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
-        out.normalize();
-        out
+        let pos: Vec<usize> = (0..self.schema.len()).filter(|&i| i != drop).collect();
+        kernel::project_with(self, &rest, &pos, |a, b| *a = combine(a, b))
     }
 
     /// Natural join `⋈` (Definition 3.4) with `⊗`-multiplied annotations:
     /// the output schema is this schema followed by `other`'s fresh
-    /// variables.
+    /// variables. Builds a [`JoinIndex`] on `other` keyed on the shared
+    /// variables and probes it once per row; see
+    /// [`Relation::join_indexed`] to reuse a prebuilt index.
     ///
     /// ```
     /// use faqs_relation::Relation;
@@ -254,45 +308,14 @@ impl<S: Semiring> Relation<S> {
     /// ```
     pub fn join(&self, other: &Relation<S>) -> Relation<S> {
         let shared = self.shared_vars(other);
-        let my_pos = self.positions(&shared);
-        let their_pos = other.positions(&shared);
-        let fresh: Vec<Var> = other
-            .schema
-            .iter()
-            .copied()
-            .filter(|v| !self.schema.contains(v))
-            .collect();
-        let fresh_pos = other.positions(&fresh);
+        let idx = JoinIndex::build(other, &shared);
+        kernel::join_via(self, other, &idx)
+    }
 
-        // Index the smaller side on the shared variables.
-        let mut index: HashMap<Tuple, Vec<usize>> = HashMap::with_capacity(other.len());
-        for (i, (t, _)) in other.entries.iter().enumerate() {
-            let key: Tuple = their_pos.iter().map(|&p| t[p]).collect();
-            index.entry(key).or_default().push(i);
-        }
-
-        let mut schema = self.schema.clone();
-        schema.extend(fresh.iter().copied());
-        let mut out = Relation::new(schema);
-        for (t, v) in &self.entries {
-            let key: Tuple = my_pos.iter().map(|&p| t[p]).collect();
-            let Some(matches) = index.get(&key) else {
-                continue;
-            };
-            for &j in matches {
-                let (u, w) = &other.entries[j];
-                let prod = v.mul(w);
-                if prod.is_zero() {
-                    continue;
-                }
-                let mut tuple: Vec<u32> = t.to_vec();
-                tuple.extend(fresh_pos.iter().map(|&p| u[p]));
-                out.entries.push((tuple.into_boxed_slice(), prod));
-            }
-        }
-        // Join of duplicate-free inputs is duplicate-free.
-        out.normalize();
-        out
+    /// [`Relation::join`] against a prebuilt index of `other`, which
+    /// must be keyed on exactly the variables shared with `self`.
+    pub fn join_indexed(&self, other: &Relation<S>, idx: &JoinIndex) -> Relation<S> {
+        kernel::join_via(self, other, idx)
     }
 
     /// Semijoin `⋉` (Definition 3.5): keeps this relation's entries whose
@@ -301,46 +324,45 @@ impl<S: Semiring> Relation<S> {
     /// use, cf. Example 2.1's `((R ⋉ S) ⋉ T) ⋉ U`).
     pub fn semijoin(&self, other: &Relation<S>) -> Relation<S> {
         let shared = self.shared_vars(other);
-        let my_pos = self.positions(&shared);
-        let their_pos = other.positions(&shared);
-        let keys: std::collections::HashSet<Tuple> = other
-            .entries
-            .iter()
-            .map(|(t, _)| their_pos.iter().map(|&p| t[p]).collect())
-            .collect();
-        let mut out = Relation::new(self.schema.clone());
-        out.entries = self
-            .entries
-            .iter()
-            .filter(|(t, _)| {
-                let key: Tuple = my_pos.iter().map(|&p| t[p]).collect();
-                keys.contains(&key)
-            })
-            .cloned()
-            .collect();
-        out
+        let idx = JoinIndex::build(other, &shared);
+        kernel::semijoin_via(self, other, &idx)
+    }
+
+    /// [`Relation::semijoin`] against a prebuilt index of `other` (the
+    /// filtering relation), which must be keyed on exactly the shared
+    /// variables — asserted, since a partial key would silently
+    /// under-filter.
+    pub fn semijoin_indexed(&self, other: &Relation<S>, idx: &JoinIndex) -> Relation<S> {
+        kernel::semijoin_via(self, other, idx)
+    }
+
+    /// Semijoin in the probed direction: `own_idx` indexes `self`, and
+    /// rows survive when their key group is hit by some row of `other`.
+    /// Lets one index of `self` serve several filters (the Yannakakis
+    /// downward pass) instead of indexing each filter relation.
+    pub fn semijoin_probed(&self, own_idx: &JoinIndex, other: &Relation<S>) -> Relation<S> {
+        kernel::semijoin_probe(self, own_idx, other)
     }
 
     /// Pointwise `⊗`-product of two relations over the *same* schema
     /// (tuple intersection): the combine step of the distributed star
-    /// protocol (Algorithm 1 step 5 / Algorithm 3 step 10).
+    /// protocol (Algorithm 1 step 5 / Algorithm 3 step 10). A galloping
+    /// merge over the two sorted arenas.
     pub fn product_same_schema(&self, other: &Relation<S>) -> Relation<S> {
         assert_eq!(self.schema, other.schema, "schemas must match");
-        let mut out = Relation::new(self.schema.clone());
-        let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() && j < other.entries.len() {
-            match self.entries[i].0.cmp(&other.entries[j].0) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    let prod = self.entries[i].1.mul(&other.entries[j].1);
-                    if !prod.is_zero() {
-                        out.entries.push((self.entries[i].0.clone(), prod));
-                    }
-                    i += 1;
-                    j += 1;
-                }
-            }
+        kernel::merge_product(self, other)
+    }
+
+    /// Maps every annotation through `f`, dropping entries that map to
+    /// zero. Order-preserving — only the annotation column is rebuilt.
+    pub fn map_values(&self, mut f: impl FnMut(&S) -> S) -> Relation<S> {
+        let mut out = Relation {
+            schema: self.schema.clone(),
+            data: self.data.clone(),
+            values: self.values.iter().map(&mut f).collect(),
+        };
+        if out.values.iter().any(S::is_zero) {
+            kernel::compact_zeros(self.schema.len(), &mut out.data, &mut out.values);
         }
         out
     }
@@ -349,19 +371,13 @@ impl<S: Semiring> Relation<S> {
     /// Algorithm 3 (step 8) that stops the star center's values being
     /// multiplied in more than once.
     pub fn identity_map(&self) -> Relation<S> {
-        let mut out = Relation::new(self.schema.clone());
-        out.entries = self
-            .entries
-            .iter()
-            .map(|(t, _)| (t.clone(), S::one()))
-            .collect();
-        out
+        self.map_values(|_| S::one())
     }
 
     /// `⊕`-total of all annotations: with `F = ∅` this is the FAQ answer
     /// scalar (for BCQ, non-zero ⇔ `true`).
     pub fn total(&self) -> S {
-        S::sum(self.entries.iter().map(|(_, v)| v.clone()))
+        S::sum(self.values.iter().cloned())
     }
 
     /// Reorders the schema (and all tuples) to the given permutation of
@@ -369,16 +385,17 @@ impl<S: Semiring> Relation<S> {
     pub fn reorder(&self, schema: &[Var]) -> Relation<S> {
         let pos = self.positions(schema);
         assert_eq!(schema.len(), self.schema.len(), "must be a permutation");
+        let mut data: Vec<u32> = Vec::with_capacity(self.data.len());
+        for t in self.tuples() {
+            data.extend(pos.iter().map(|&p| t[p]));
+        }
+        let (data, values) =
+            kernel::sort_merge_rows(schema.len(), data, self.values.clone(), |a, b| {
+                a.add_assign(b)
+            });
         let mut out = Relation::new(schema.to_vec());
-        out.entries = self
-            .entries
-            .iter()
-            .map(|(t, v)| {
-                let tuple: Tuple = pos.iter().map(|&p| t[p]).collect();
-                (tuple, v.clone())
-            })
-            .collect();
-        out.normalize();
+        out.data = data;
+        out.values = values;
         out
     }
 
@@ -394,12 +411,13 @@ impl<S: Semiring> Relation<S> {
     /// `approx_eq` values) — for float-carrying semirings in tests.
     pub fn approx_eq(&self, other: &Relation<S>) -> bool {
         self.schema == other.schema
-            && self.entries.len() == other.entries.len()
+            && self.data == other.data
+            && self.len() == other.len()
             && self
-                .entries
+                .values
                 .iter()
-                .zip(other.entries.iter())
-                .all(|((t, v), (u, w))| t == u && v.approx_eq(w))
+                .zip(other.values.iter())
+                .all(|(v, w)| v.approx_eq(w))
     }
 
     /// Splits the relation into `parts` chunks of near-equal size
@@ -410,33 +428,28 @@ impl<S: Semiring> Relation<S> {
         let mut out: Vec<Relation<S>> = (0..parts)
             .map(|_| Relation::new(self.schema.clone()))
             .collect();
-        for (i, (t, v)) in self.entries.iter().enumerate() {
-            out[i % parts].entries.push((t.clone(), v.clone()));
+        for (i, (t, v)) in self.iter().enumerate() {
+            let part = &mut out[i % parts];
+            part.data.extend_from_slice(t);
+            part.values.push(v.clone());
         }
         out
     }
 
     /// Union of same-schema relations with `⊕`-accumulation of duplicate
-    /// tuples (inverse of [`Relation::split`]).
+    /// tuples (inverse of [`Relation::split`]): concatenate the arenas,
+    /// then one sort-merge.
     pub fn union_all(parts: &[Relation<S>]) -> Relation<S> {
         assert!(!parts.is_empty());
         let schema = parts[0].schema.clone();
-        let mut map: HashMap<Tuple, S> = HashMap::new();
+        let mut data: Vec<u32> = Vec::with_capacity(parts.iter().map(|p| p.data.len()).sum());
+        let mut values: Vec<S> = Vec::with_capacity(parts.iter().map(Relation::len).sum());
         for p in parts {
             assert_eq!(p.schema, schema, "schemas must match");
-            for (t, v) in &p.entries {
-                match map.get_mut(t) {
-                    Some(acc) => acc.add_assign(v),
-                    None => {
-                        map.insert(t.clone(), v.clone());
-                    }
-                }
-            }
+            data.extend_from_slice(&p.data);
+            values.extend(p.values.iter().cloned());
         }
-        let mut out = Relation::new(schema);
-        out.entries = map.into_iter().filter(|(_, v)| !v.is_zero()).collect();
-        out.normalize();
-        out
+        Relation::from_columns(schema, data, values)
     }
 }
 
@@ -473,11 +486,59 @@ mod tests {
     }
 
     #[test]
+    fn from_pairs_accumulates_in_one_pass() {
+        let r = count_rel(&[0, 1], &[(&[3, 3], 1), (&[1, 2], 2), (&[3, 3], 4)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(&[3, 3]), Some(&Count(5)));
+        // Canonical order: rows sorted lexicographically.
+        assert_eq!(r.tuple_at(0), &[1, 2]);
+        assert_eq!(r.tuple_at(1), &[3, 3]);
+    }
+
+    #[test]
+    fn from_columns_bulk_loads() {
+        let r: Relation<Count> = Relation::from_columns(
+            vec![v(0), v(1)],
+            vec![2, 2, 1, 1, 2, 2],
+            vec![Count(1), Count(2), Count(3)],
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(&[2, 2]), Some(&Count(4)));
+    }
+
+    #[test]
+    fn unit_is_the_join_identity() {
+        let u: Relation<Count> = Relation::unit();
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.total(), Count(1));
+        let r = count_rel(&[0], &[(&[1], 5)]);
+        assert_eq!(u.join(&r), r);
+    }
+
+    #[test]
+    fn debug_truncates_long_relations() {
+        let r: Relation<Boolean> = Relation::full(vec![v(0), v(1)], 8);
+        let s = format!("{r:?}");
+        assert!(s.contains("… (48 more)"), "got {s}");
+        let small = count_rel(&[0], &[(&[1], 1)]);
+        assert!(!format!("{small:?}").contains("more"));
+    }
+
+    #[test]
     fn projection_aggregates() {
         let r = count_rel(&[0, 1], &[(&[1, 1], 2), (&[1, 2], 3), (&[2, 1], 5)]);
         let p = r.project(&[v(0)]);
         assert_eq!(p.get(&[1]), Some(&Count(5)));
         assert_eq!(p.get(&[2]), Some(&Count(5)));
+    }
+
+    #[test]
+    fn projection_on_non_prefix_positions() {
+        let r = count_rel(&[0, 1], &[(&[1, 7], 2), (&[2, 7], 3), (&[3, 5], 5)]);
+        let p = r.project(&[v(1)]);
+        assert_eq!(p.get(&[7]), Some(&Count(5)));
+        assert_eq!(p.get(&[5]), Some(&Count(5)));
+        assert_eq!(p.len(), 2);
     }
 
     #[test]
@@ -513,6 +574,24 @@ mod tests {
     }
 
     #[test]
+    fn join_output_stays_sorted_without_normalise() {
+        let r = count_rel(&[0], &[(&[1], 1), (&[2], 1)]);
+        let s = count_rel(&[1, 0], &[(&[9, 1], 1), (&[5, 1], 1), (&[7, 2], 1)]);
+        let j = r.join(&s);
+        assert_eq!(j.schema(), &[v(0), v(1)]);
+        let tuples: Vec<&[u32]> = j.tuples().collect();
+        assert_eq!(tuples, vec![&[1, 5][..], &[1, 9][..], &[2, 7][..]]);
+    }
+
+    #[test]
+    fn join_with_prebuilt_index_reuses_it() {
+        let r = count_rel(&[0, 1], &[(&[1, 2], 2), (&[3, 4], 7)]);
+        let s = count_rel(&[1, 2], &[(&[2, 7], 3), (&[4, 1], 5)]);
+        let idx = s.build_index(&r.shared_vars(&s));
+        assert_eq!(r.join_indexed(&s, &idx), r.join(&s));
+    }
+
+    #[test]
     fn cartesian_join_when_disjoint() {
         let r = count_rel(&[0], &[(&[1], 1), (&[2], 1)]);
         let s = count_rel(&[1], &[(&[5], 1), (&[6], 1)]);
@@ -526,6 +605,15 @@ mod tests {
         let sj = r.semijoin(&s);
         assert_eq!(sj.len(), 1);
         assert_eq!(sj.get(&[1, 2]), Some(&Count(2)));
+    }
+
+    #[test]
+    fn semijoin_probed_matches_semijoin() {
+        let r = count_rel(&[0, 1], &[(&[1, 2], 2), (&[3, 4], 7), (&[5, 2], 1)]);
+        let s = count_rel(&[1, 2], &[(&[2, 9], 1), (&[8, 8], 1)]);
+        let shared = r.shared_vars(&s);
+        let own = r.build_index(&shared);
+        assert_eq!(r.semijoin_probed(&own, &s), r.semijoin(&s));
     }
 
     #[test]
@@ -565,6 +653,14 @@ mod tests {
     }
 
     #[test]
+    fn map_values_drops_new_zeros() {
+        let r = count_rel(&[0], &[(&[1], 5), (&[2], 9)]);
+        let halved = r.map_values(|c| Count(c.0 / 9));
+        assert_eq!(halved.len(), 1);
+        assert_eq!(halved.get(&[2]), Some(&Count(1)));
+    }
+
+    #[test]
     fn total_sums_annotations() {
         let r = count_rel(&[0], &[(&[1], 5), (&[2], 9)]);
         assert_eq!(r.total(), Count(14));
@@ -574,6 +670,9 @@ mod tests {
     fn full_relation_enumerates_domain() {
         let r: Relation<Boolean> = Relation::full(vec![v(0), v(1)], 3);
         assert_eq!(r.len(), 9);
+        // Already canonical: first and last rows bracket the domain.
+        assert_eq!(r.tuple_at(0), &[0, 0]);
+        assert_eq!(r.tuple_at(8), &[2, 2]);
     }
 
     #[test]
@@ -613,5 +712,16 @@ mod tests {
         let r = count_rel(&[0, 1], &[(&[1, 2], 3)]);
         let p = r.reorder(&[v(1), v(0)]);
         assert_eq!(p.get(&[2, 1]), Some(&Count(3)));
+    }
+
+    #[test]
+    fn nullary_relation_roundtrips() {
+        let mut r: Relation<Count> = Relation::new([]);
+        assert!(r.is_empty());
+        r.insert(vec![], Count(2));
+        r.insert(vec![], Count(3));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&[]), Some(&Count(5)));
+        assert_eq!(r.total(), Count(5));
     }
 }

@@ -1,0 +1,291 @@
+//! Property suite for the columnar kernel: the sort-merge / galloping
+//! join, semijoin and projection operators must agree with a naive
+//! nested-loop reference on random relations, across semirings with
+//! different zero/duplicate behaviour (`Count`, `Boolean`, `MinPlus`).
+
+use faqs_hypergraph::Var;
+use faqs_relation::Relation;
+use faqs_semiring::{Boolean, Count, MinPlus, Semiring};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Schema pairs exercising every key shape: full overlap, partial
+/// overlap at prefix and non-prefix positions, disjoint (cartesian),
+/// unary ⊆ binary containment, and unsorted schema orders.
+const SCHEMAS: &[(&[u32], &[u32])] = &[
+    (&[0, 1], &[1, 2]),
+    (&[0, 1], &[0, 1]),
+    (&[0], &[0, 1]),
+    (&[0, 1, 2], &[1, 3]),
+    (&[0, 1], &[2, 3]),
+    (&[2, 0], &[1, 0]),
+    (&[1, 0, 2], &[2, 1]),
+];
+
+fn vars(ids: &[u32]) -> Vec<Var> {
+    ids.iter().map(|&i| Var(i)).collect()
+}
+
+/// A random relation over `schema` with `n` draws in `[0, domain)` and
+/// values from `value_of` (duplicates ⊕-collapse; zero values test the
+/// listing invariant).
+fn random_rel<S: Semiring>(
+    schema: &[u32],
+    n: usize,
+    domain: u32,
+    rng: &mut StdRng,
+    mut value_of: impl FnMut(&mut StdRng) -> S,
+) -> Relation<S> {
+    let pairs: Vec<(Vec<u32>, S)> = (0..n)
+        .map(|_| {
+            let t: Vec<u32> = schema.iter().map(|_| rng.random_range(0..domain)).collect();
+            (t, value_of(rng))
+        })
+        .collect();
+    Relation::from_pairs(vars(schema), pairs)
+}
+
+/// Checks the canonical invariants: strictly sorted rows, no zero
+/// annotations, arena shape consistent with the schema.
+fn assert_canonical<S: Semiring>(r: &Relation<S>, what: &str) {
+    let tuples: Vec<&[u32]> = r.tuples().collect();
+    for w in tuples.windows(2) {
+        assert!(w[0] < w[1], "{what}: rows not strictly sorted: {w:?}");
+    }
+    for (t, v) in r.iter() {
+        assert_eq!(t.len(), r.schema().len(), "{what}: arity drift");
+        assert!(!v.is_zero(), "{what}: zero annotation listed");
+    }
+}
+
+/// Nested-loop reference join: every pair of tuples agreeing on the
+/// shared variables contributes the ⊗-product.
+fn ref_join<S: Semiring>(a: &Relation<S>, b: &Relation<S>) -> Relation<S> {
+    let shared = a.shared_vars(b);
+    let a_pos: Vec<usize> = shared
+        .iter()
+        .map(|v| a.schema().iter().position(|w| w == v).unwrap())
+        .collect();
+    let b_pos: Vec<usize> = shared
+        .iter()
+        .map(|v| b.schema().iter().position(|w| w == v).unwrap())
+        .collect();
+    let fresh: Vec<Var> = b
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| !a.schema().contains(v))
+        .collect();
+    let fresh_pos: Vec<usize> = fresh
+        .iter()
+        .map(|v| b.schema().iter().position(|w| w == v).unwrap())
+        .collect();
+    let mut schema: Vec<Var> = a.schema().to_vec();
+    schema.extend(fresh.iter().copied());
+    let mut pairs: Vec<(Vec<u32>, S)> = Vec::new();
+    for (t, v) in a.iter() {
+        for (u, w) in b.iter() {
+            if a_pos.iter().zip(&b_pos).all(|(&i, &j)| t[i] == u[j]) {
+                let mut row = t.to_vec();
+                row.extend(fresh_pos.iter().map(|&j| u[j]));
+                pairs.push((row, v.mul(w)));
+            }
+        }
+    }
+    Relation::from_pairs(schema, pairs)
+}
+
+/// Nested-loop reference semijoin: keep `a`'s entries with a witness in
+/// `b` on the shared variables, annotations untouched.
+fn ref_semijoin<S: Semiring>(a: &Relation<S>, b: &Relation<S>) -> Relation<S> {
+    let shared = a.shared_vars(b);
+    let a_pos: Vec<usize> = shared
+        .iter()
+        .map(|v| a.schema().iter().position(|w| w == v).unwrap())
+        .collect();
+    let b_pos: Vec<usize> = shared
+        .iter()
+        .map(|v| b.schema().iter().position(|w| w == v).unwrap())
+        .collect();
+    let pairs: Vec<(Vec<u32>, S)> = a
+        .iter()
+        .filter(|(t, _)| {
+            b.iter()
+                .any(|(u, _)| a_pos.iter().zip(&b_pos).all(|(&i, &j)| t[i] == u[j]))
+        })
+        .map(|(t, v)| (t.to_vec(), v.clone()))
+        .collect();
+    Relation::from_pairs(a.schema().to_vec(), pairs)
+}
+
+/// Reference projection: ⊕-fold collapsed tuples with a quadratic scan.
+fn ref_project<S: Semiring>(a: &Relation<S>, onto: &[Var]) -> Relation<S> {
+    let pos: Vec<usize> = onto
+        .iter()
+        .map(|v| a.schema().iter().position(|w| w == v).unwrap())
+        .collect();
+    let mut keys: Vec<Vec<u32>> = Vec::new();
+    let mut vals: Vec<S> = Vec::new();
+    for (t, v) in a.iter() {
+        let key: Vec<u32> = pos.iter().map(|&i| t[i]).collect();
+        match keys.iter().position(|k| *k == key) {
+            Some(i) => vals[i].add_assign(v),
+            None => {
+                keys.push(key);
+                vals.push(v.clone());
+            }
+        }
+    }
+    Relation::from_pairs(
+        onto.to_vec(),
+        keys.into_iter().zip(vals).collect::<Vec<_>>(),
+    )
+}
+
+/// Runs every operator comparison for one semiring.
+fn check_ops<S: Semiring>(
+    combo: usize,
+    seed: u64,
+    na: usize,
+    nb: usize,
+    domain: u32,
+    value_of: impl FnMut(&mut StdRng) -> S + Copy,
+) {
+    let (sa, sb) = SCHEMAS[combo % SCHEMAS.len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a: Relation<S> = random_rel(sa, na, domain, &mut rng, value_of);
+    let b: Relation<S> = random_rel(sb, nb, domain, &mut rng, value_of);
+    assert_canonical(&a, "from_pairs a");
+    assert_canonical(&b, "from_pairs b");
+
+    let j = a.join(&b);
+    assert_canonical(&j, "join");
+    assert_eq!(j, ref_join(&a, &b), "join vs nested loop");
+
+    let shared = a.shared_vars(&b);
+    let idx = b.build_index(&shared);
+    assert_eq!(a.join_indexed(&b, &idx), j, "join with prebuilt index");
+
+    let sj = a.semijoin(&b);
+    assert_canonical(&sj, "semijoin");
+    assert_eq!(sj, ref_semijoin(&a, &b), "semijoin vs nested loop");
+    assert_eq!(
+        a.semijoin_indexed(&b, &idx),
+        sj,
+        "semijoin with prebuilt index"
+    );
+    let own = a.build_index(&shared);
+    assert_eq!(a.semijoin_probed(&own, &b), sj, "probed semijoin");
+
+    // Project onto every suffix/prefix/single-var subset of a's schema.
+    let schema = a.schema().to_vec();
+    for k in 1..=schema.len() {
+        let prefix = &schema[..k];
+        let p = a.project(prefix);
+        assert_canonical(&p, "project prefix");
+        assert_eq!(p, ref_project(&a, prefix), "project prefix vs reference");
+        let suffix = &schema[schema.len() - k..];
+        let p = a.project(suffix);
+        assert_canonical(&p, "project suffix");
+        assert_eq!(p, ref_project(&a, suffix), "project suffix vs reference");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counting_kernel_matches_reference(
+        combo in 0usize..7,
+        seed: u64,
+        na in 0usize..40,
+        nb in 0usize..40,
+        domain in 1u32..5,
+    ) {
+        // Count(0) draws exercise the zero-dropping path.
+        check_ops::<Count>(combo, seed, na, nb, domain, |r| Count(r.random_range(0..4)));
+    }
+
+    #[test]
+    fn boolean_kernel_matches_reference(
+        combo in 0usize..7,
+        seed: u64,
+        na in 0usize..40,
+        nb in 0usize..40,
+        domain in 1u32..5,
+    ) {
+        check_ops::<Boolean>(combo, seed, na, nb, domain, |r| Boolean(r.random_bool(0.8)));
+    }
+
+    #[test]
+    fn tropical_kernel_matches_reference(
+        combo in 0usize..7,
+        seed: u64,
+        na in 0usize..40,
+        nb in 0usize..40,
+        domain in 1u32..5,
+    ) {
+        // Integer-valued costs keep min/+ exact; occasional +∞ draws
+        // exercise the tropical zero.
+        check_ops::<MinPlus>(combo, seed, na, nb, domain, |r| {
+            if r.random_bool(0.1) {
+                MinPlus::INFINITY
+            } else {
+                MinPlus::new(r.random_range(0..16) as f64)
+            }
+        });
+    }
+
+    #[test]
+    fn aggregate_out_sum_equals_project(
+        combo in 0usize..7,
+        seed: u64,
+        n in 0usize..40,
+        domain in 1u32..5,
+    ) {
+        let (sa, _) = SCHEMAS[combo % SCHEMAS.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Relation<Count> =
+            random_rel(sa, n, domain, &mut rng, |r| Count(r.random_range(0..4)));
+        for &v in a.schema() {
+            let rest: Vec<Var> = a.schema().iter().copied().filter(|w| *w != v).collect();
+            prop_assert_eq!(
+                a.aggregate_out(v, faqs_relation::Aggregate::Sum),
+                a.project(&rest)
+            );
+        }
+    }
+
+    #[test]
+    fn product_same_schema_matches_reference(
+        seed: u64,
+        na in 0usize..40,
+        nb in 0usize..40,
+        domain in 1u32..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Relation<Count> =
+            random_rel(&[0, 1], na, domain, &mut rng, |r| Count(r.random_range(1..4)));
+        let b: Relation<Count> =
+            random_rel(&[0, 1], nb, domain, &mut rng, |r| Count(r.random_range(1..4)));
+        let p = a.product_same_schema(&b);
+        assert_canonical(&p, "product_same_schema");
+        // Same-schema product is the join restricted to the shared schema.
+        prop_assert_eq!(p, ref_join(&a, &b));
+    }
+
+    #[test]
+    fn split_union_roundtrips(
+        seed: u64,
+        n in 0usize..60,
+        parts in 1usize..5,
+        domain in 1u32..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Relation<Count> =
+            random_rel(&[0, 1], n, domain, &mut rng, |r| Count(r.random_range(1..4)));
+        let split = a.split(parts);
+        prop_assert_eq!(Relation::union_all(&split), a);
+    }
+}

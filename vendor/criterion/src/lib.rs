@@ -161,10 +161,21 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&full_id(&self.name, &id)) {
             return self;
         }
+        // `--quick` clamps whatever the group configured, so CI smoke
+        // runs stay fast even for groups that raise the budgets.
+        let (samples, warm_up, measurement) = if self.criterion.quick {
+            (
+                self.sample_size.min(3),
+                self.warm_up.min(Duration::from_millis(50)),
+                self.measurement.min(Duration::from_millis(250)),
+            )
+        } else {
+            (self.sample_size, self.warm_up, self.measurement)
+        };
         let mut bencher = Bencher {
-            samples: self.sample_size,
-            warm_up: self.warm_up,
-            measurement: self.measurement,
+            samples,
+            warm_up,
+            measurement,
             result: None,
         };
         f(&mut bencher);
@@ -192,6 +203,10 @@ impl BenchmarkGroup<'_> {
 /// The harness entry point; one per bench binary.
 pub struct Criterion {
     filter: Option<String>,
+    /// `-- --quick` mode: clamp warm-up/measurement budgets so a full
+    /// bench target finishes in CI-smoke time (mirrors real criterion's
+    /// `--quick` flag).
+    quick: bool,
 }
 
 impl Default for Criterion {
@@ -202,7 +217,8 @@ impl Default for Criterion {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .filter(|a| !a.is_empty());
-        Criterion { filter }
+        let quick = std::env::args().skip(1).any(|a| a == "--quick");
+        Criterion { filter, quick }
     }
 }
 
@@ -295,8 +311,32 @@ mod tests {
     use super::*;
 
     #[test]
+    fn quick_mode_clamps_budgets() {
+        let mut c = Criterion {
+            filter: None,
+            quick: true,
+        };
+        let mut group = c.benchmark_group("quick");
+        // The group asks for a long run; --quick must clamp it.
+        group
+            .sample_size(100)
+            .measurement_time(Duration::from_secs(60));
+        let t0 = std::time::Instant::now();
+        group.bench_function("clamped", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "quick run took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
     fn bench_group_runs_and_reports() {
-        let mut c = Criterion { filter: None };
+        let mut c = Criterion {
+            filter: None,
+            quick: false,
+        };
         let mut group = c.benchmark_group("smoke");
         group
             .sample_size(3)
