@@ -1,0 +1,96 @@
+//! Criterion benches for the plan-cached parallel executor: the
+//! Theorem G.3 upward pass raced at 1 vs N threads on ≥100k-tuple
+//! acyclic instances, plus the plan-cache amortisation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_exec::{Executor, ExecutorConfig};
+use faqs_hypergraph::{path_query, star_query, Hypergraph};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::Count;
+use rand::Rng;
+use std::hint::black_box;
+
+/// A Count-annotated instance with `n` tuples per factor.
+fn counting_query(h: &Hypergraph, n: usize, seed: u64) -> FaqQuery<Count> {
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: n,
+        domain: (n / 4).max(4) as u32,
+        seed,
+    };
+    random_instance(h, &cfg, vec![], |r| Count(r.random_range(1..4)))
+}
+
+/// 1-vs-N-thread race on a wide star: 8 leaves × 16k tuples = 128k
+/// tuples total, all leaf aggregations independent.
+fn bench_upward_pass_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel_star8x16k");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let q = counting_query(&star_query(8), 16_000, 0xA11);
+    for threads in [1usize, 2, 4] {
+        // One executor per thread count, plan prebuilt (warm cache): the
+        // race measures the upward pass, not GHD construction.
+        let ex = Executor::new(ExecutorConfig {
+            threads,
+            parallel_join_threshold: 8192,
+        });
+        black_box(ex.solve(&q).unwrap());
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| black_box(ex.solve(black_box(&q)).unwrap().total()))
+        });
+    }
+    group.finish();
+}
+
+/// The same race on a path (deep rather than wide): parallelism comes
+/// from the partitioned sort-merge join path, not sibling subtrees.
+fn bench_upward_pass_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_parallel_path6x20k");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let q = counting_query(&path_query(6), 20_000, 0xA12);
+    for threads in [1usize, 4] {
+        let ex = Executor::new(ExecutorConfig {
+            threads,
+            parallel_join_threshold: 4096,
+        });
+        black_box(ex.solve(&q).unwrap());
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| black_box(ex.solve(black_box(&q)).unwrap().total()))
+        });
+    }
+    group.finish();
+}
+
+/// Plan-cache amortisation: a cold plan (GYO + hoisting + validation on
+/// every call) vs a warm plan replayed from the cache, on a small
+/// instance where planning dominates.
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache_star16");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let q = counting_query(&star_query(16), 64, 0xA13);
+    group.bench_function("cold_plan_per_call", |b| {
+        b.iter(|| {
+            let ex = Executor::new(ExecutorConfig::sequential());
+            black_box(ex.solve(black_box(&q)).unwrap().total())
+        })
+    });
+    let warm = Executor::new(ExecutorConfig::sequential());
+    black_box(warm.solve(&q).unwrap());
+    group.bench_function("warm_plan_cached", |b| {
+        b.iter(|| black_box(warm.solve(black_box(&q)).unwrap().total()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_upward_pass_star,
+    bench_upward_pass_path,
+    bench_plan_cache
+);
+criterion_main!(benches);

@@ -736,6 +736,89 @@ pub fn e13_kernel(n: usize) {
     emit("project (prefix)", slow, fast);
 }
 
+/// **E14 — executor.** The plan-cached parallel executor vs. the
+/// sequential reference engine: wall-clock for the upward pass at 1/2/4
+/// threads on a wide acyclic instance, plus the plan-cache hit ledger
+/// proving GHD construction and validation are skipped on repeat
+/// shapes. Not a paper artifact — the serving-path row behind the
+/// ROADMAP's "heavy traffic from millions of users" north star.
+pub fn e14_executor(n: usize) {
+    use faqs_exec::{Executor, ExecutorConfig};
+    use std::time::Instant;
+
+    banner("E14 · Plan-cached parallel executor vs sequential engine");
+    header(&["config", "N/factor", "total µs", "speedup vs engine"]);
+
+    let h = star_query(8);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: n,
+        domain: (n / 4).max(4) as u32,
+        seed: 0xE14,
+    };
+    let q: FaqQuery<Count> = random_instance(&h, &cfg, vec![], |r| Count(r.random_range(1..4)));
+
+    let time_us = |f: &mut dyn FnMut() -> Count| -> f64 {
+        let reps = 8;
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..reps {
+            acc = acc.wrapping_add(std::hint::black_box(f()).0);
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+
+    let engine_us = time_us(&mut || solve_faq(&q).unwrap().total());
+    row(&[
+        "engine (cold plan/call)".to_string(),
+        n.to_string(),
+        format!("{engine_us:.0}"),
+        "1.0×".into(),
+    ]);
+    for threads in [1usize, 2, 4] {
+        let ex = Executor::new(ExecutorConfig {
+            threads,
+            parallel_join_threshold: 8192,
+        });
+        let expected = solve_faq(&q).unwrap().total();
+        assert_eq!(ex.solve(&q).unwrap().total(), expected, "executor agrees");
+        let us = time_us(&mut || ex.solve(&q).unwrap().total());
+        row(&[
+            format!("executor threads={threads} (warm)"),
+            n.to_string(),
+            format!("{us:.0}"),
+            format!("{:.1}×", engine_us / us.max(1e-9)),
+        ]);
+    }
+
+    println!();
+    header(&["cache", "calls", "hits", "misses", "hit rate"]);
+    let ex = Executor::new(ExecutorConfig::with_threads(4));
+    let calls = 32;
+    for seed in 0..calls {
+        let qi: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 64,
+                domain: 16,
+                seed,
+            },
+            vec![],
+            |r| Count(r.random_range(1..4)),
+        );
+        ex.solve(&qi).unwrap();
+    }
+    let stats = ex.cache_stats();
+    assert_eq!(stats.misses, 1, "one shape ⇒ one plan build");
+    row(&[
+        "star8 repeat traffic".to_string(),
+        calls.to_string(),
+        stats.hits.to_string(),
+        stats.misses.to_string(),
+        format!("{:.0}%", 100.0 * stats.hit_rate()),
+    ]);
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -788,6 +871,7 @@ mod tests {
         e11_faq_general(8);
         e12_hash_split(16);
         e13_kernel(256);
+        e14_executor(512);
         ablation_width();
     }
 

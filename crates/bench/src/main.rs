@@ -8,7 +8,7 @@
 //!
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
-//! `kernel`, `ablation`, `all` (default).
+//! `kernel`, `executor`, `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -40,12 +40,14 @@ fn main() {
     run("faq", &|| exp::e11_faq_general(n.min(64)));
     run("hashsplit", &|| exp::e12_hash_split(n.min(128)));
     run("kernel", &|| exp::e13_kernel(16 * n));
+    run("executor", &|| exp::e14_executor(32 * n));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
-             lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel ablation all"
+             lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
+             ablation all"
         );
         std::process::exit(2);
     }

@@ -64,15 +64,34 @@ impl std::error::Error for EngineError {}
 /// `free` variables, re-rooting removed join trees when needed.
 ///
 /// Strategy: start from the canonical decomposition; every free variable
-/// already in `V(C(H))` is fine; otherwise find a forest edge containing
-/// it and re-root that edge's tree there (pulling the edge into `C(H)`).
-/// Fails when two free variables would demand conflicting roots of the
-/// same tree and no single edge contains both.
+/// already in `V(C(H))` is fine; otherwise consider every forest edge
+/// containing a missing free variable as a candidate new root for its
+/// join tree. Each candidate is evaluated on a *cloned* decomposition
+/// (re-rooting evicts the old root's vertices from the core, so the net
+/// coverage change depends on the whole tree, not on the candidate edge
+/// alone) and we commit to the candidate that strictly grows the number
+/// of covered free variables, preferring the largest gain. Fails only
+/// when no candidate re-rooting makes progress — e.g. two free variables
+/// demand conflicting roots of the same tree and no single edge contains
+/// both. Terminates because coverage strictly increases every round.
 pub fn decomposition_for_free_vars(
     h: &Hypergraph,
     free: &[Var],
 ) -> Result<Decomposition, EngineError> {
-    let mut d = Decomposition::of(h);
+    decomposition_covering_free_vars(h, Decomposition::of(h), free)
+}
+
+/// [`decomposition_for_free_vars`] from an explicit starting
+/// decomposition (any rooting of `h`'s join forest, e.g. one produced by
+/// [`Decomposition::reroot`] or a width-minimising search). The greedy
+/// ranking bug this fixes is masked from the canonical start — GYO
+/// places every tree root core-adjacent — but bites on re-rooted states.
+pub fn decomposition_covering_free_vars(
+    h: &Hypergraph,
+    base: Decomposition,
+    free: &[Var],
+) -> Result<Decomposition, EngineError> {
+    let mut d = base;
     loop {
         let missing: Vec<Var> = free
             .iter()
@@ -83,35 +102,39 @@ pub fn decomposition_for_free_vars(
             return Ok(d);
         }
         let covered_now = free.len() - missing.len();
-        // Candidate: the forest edge containing the most *free* variables
-        // overall (not just missing ones — re-rooting evicts the old
-        // root's vertices from the core, so an edge holding several free
-        // variables beats one holding a single missing variable).
-        let best = d
+        // Trial-run every candidate re-rooting on a clone and keep the
+        // best strict improvement. Ranking candidates by a static proxy
+        // (e.g. how many free variables the edge holds) is wrong: an
+        // edge dense in already-covered free variables can win the
+        // ranking yet evict exactly as many covered variables as it
+        // adds, stalling the loop on an answerable query.
+        let mut best: Option<(usize, Decomposition)> = None;
+        for e in d
             .forest_edges
             .iter()
             .copied()
             .filter(|e| missing.iter().any(|v| h.edge(*e).contains(v)))
-            .max_by_key(|e| free.iter().filter(|v| h.edge(*e).contains(v)).count());
-        let Some(e) = best else {
-            return Err(EngineError::FreeVarsOutsideCore(missing));
-        };
-        d.reroot(h, e);
-        let covered_after = free.iter().filter(|v| d.core_vars.contains(v)).count();
-        if covered_after <= covered_now {
-            let still: Vec<Var> = free
-                .iter()
-                .copied()
-                .filter(|v| !d.core_vars.contains(v))
-                .collect();
-            return Err(EngineError::FreeVarsOutsideCore(still));
+        {
+            let mut trial = d.clone();
+            trial.reroot(h, e);
+            let covered = free.iter().filter(|v| trial.core_vars.contains(v)).count();
+            if covered > covered_now && best.as_ref().map(|(c, _)| covered > *c).unwrap_or(true) {
+                best = Some((covered, trial));
+            }
+        }
+        match best {
+            Some((_, trial)) => d = trial,
+            None => return Err(EngineError::FreeVarsOutsideCore(missing)),
         }
     }
 }
 
 /// Chooses the GHD used for evaluation: the width-minimising one when
 /// its core already contains `F`, otherwise a re-rooted decomposition.
-fn ghd_for_query<S: Semiring>(q: &FaqQuery<S>) -> Result<Ghd, EngineError> {
+///
+/// Public because plan-building front ends (the `faqs-exec` executor)
+/// construct the same GHD once per query *shape* and cache it.
+pub fn ghd_for_query<S: Semiring>(q: &FaqQuery<S>) -> Result<Ghd, EngineError> {
     let report = internal_node_width(&q.hypergraph);
     let covers = q
         .free_vars
@@ -213,21 +236,46 @@ pub fn check_push_down<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Result<(), En
 /// the aggregate operator or never co-occur in a hyperedge (in which
 /// case the join factorises conditionally on the pending separator and
 /// Theorem G.1's second condition applies).
+///
+/// Co-occurrence is answered from per-variable edge bitsets built in one
+/// pass over the hypergraph, so each pair probe is a handful of word
+/// ANDs instead of an O(|E|·arity) edge scan — on wide hypergraphs
+/// (hundreds of edges) the old inner probe dominated validation, which
+/// matters now that cached plans amortise everything *except* this
+/// check's first run. Uniformly-aggregated queries (the FAQ-SS common
+/// case) short-circuit to `Ok` without building anything.
 fn check_elimination_order<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Result<(), EngineError> {
     let order = planned_elimination_order(q, ghd);
+    let uniform = order
+        .windows(2)
+        .all(|w| q.aggregates[w[0].index()] == q.aggregates[w[1].index()]);
+    if uniform {
+        return Ok(()); // every exchange is between equal aggregates
+    }
+
+    // occ[v] = bitset over edge ids containing v, packed per variable.
+    let words = q.hypergraph.num_edges().div_ceil(64);
+    let mut occ = vec![0u64; q.hypergraph.num_vars() * words];
+    for (e, vars) in q.hypergraph.edges() {
+        let (word, bit) = (e.index() / 64, 1u64 << (e.index() % 64));
+        for v in vars {
+            occ[v.index() * words + word] |= bit;
+        }
+    }
+    let edges_of = |v: Var| &occ[v.index() * words..(v.index() + 1) * words];
+
     for i in 0..order.len() {
-        for j in (i + 1)..order.len() {
-            let (a, b) = (order[i], order[j]);
+        let a = order[i];
+        let agg_a = q.aggregates[a.index()];
+        let occ_a = edges_of(a);
+        for &b in order.iter().skip(i + 1) {
             if a >= b {
                 continue; // canonical order eliminates b (higher) first anyway
             }
-            if q.aggregates[a.index()] == q.aggregates[b.index()] {
+            if agg_a == q.aggregates[b.index()] {
                 continue;
             }
-            let co_occur = q
-                .hypergraph
-                .edges()
-                .any(|(_, e)| e.contains(&a) && e.contains(&b));
+            let co_occur = occ_a.iter().zip(edges_of(b)).any(|(x, y)| x & y != 0);
             if co_occur {
                 return Err(EngineError::IncompatibleAggregateOrder(a, b));
             }
@@ -455,6 +503,115 @@ mod tests {
         let fast = solve_faq(&q).unwrap();
         let slow = solve_faq_brute_force(&q);
         assert!(fast.approx_eq(&slow));
+    }
+
+    /// The hypergraph of the re-rooting regression: a triangle core on
+    /// `{x2,x3,x4}` plus one removed join tree, the chain
+    /// `r{x0,x5} — e_good{x0,x1} — e_bad{x1,x2,x3}` (GYO roots it at
+    /// `e_bad`).
+    fn reroot_regression_hypergraph() -> Hypergraph {
+        use faqs_hypergraph::EdgeId;
+        let mut h = Hypergraph::new(6);
+        h.add_edge([Var(2), Var(4)]);
+        h.add_edge([Var(4), Var(3)]);
+        h.add_edge([Var(3), Var(2)]);
+        h.add_edge([Var(0), Var(5)]); // r
+        h.add_edge([Var(0), Var(1)]); // e_good
+        h.add_edge([Var(1), Var(2), Var(3)]); // e_bad
+        let d = faqs_hypergraph::Decomposition::of(&h);
+        assert_eq!(
+            d.forest_roots,
+            vec![EdgeId(5)],
+            "GYO roots the tree at e_bad"
+        );
+        h
+    }
+
+    #[test]
+    fn rerooting_commits_only_to_strict_coverage_growth() {
+        // Regression for the greedy re-rooting bug: the old code ranked
+        // candidates by *total* free-variable count but measured success
+        // by *newly covered* ones. From the decomposition rooted at
+        // `r{x0,x5}` with F = {x0,x1,x2,x3}, only x1 is missing; the old
+        // ranking preferred e_bad{x1,x2,x3} (three free variables) over
+        // e_good{x0,x1} (two) — but re-rooting at e_bad evicts x0 from
+        // the core, coverage stalls at 3, and the old loop bailed with
+        // FreeVarsOutsideCore even though e_good covers everything. The
+        // fixed search evaluates each candidate on a cloned
+        // decomposition and commits to strict growth.
+        use faqs_hypergraph::{Decomposition, EdgeId};
+        let h = reroot_regression_hypergraph();
+        let free = [Var(0), Var(1), Var(2), Var(3)];
+
+        let mut start = Decomposition::of(&h);
+        start.reroot(&h, EdgeId(3)); // root the tree at r{x0,x5}
+        assert!(
+            !start.core_vars.contains(&Var(1)),
+            "x1 must start outside the core"
+        );
+        let d = decomposition_covering_free_vars(&h, start, &free)
+            .expect("F is placeable: e_good{x0,x1} plus the triangle covers it");
+        for v in free {
+            assert!(d.core_vars.contains(&v), "{v} must end up in the core");
+        }
+        // The winning root is e_good, not the free-var-dense e_bad.
+        assert_eq!(d.forest_roots, vec![EdgeId(4)]);
+    }
+
+    #[test]
+    fn reroot_regression_instance_solves_end_to_end() {
+        // The same hypergraph through the full engine: the canonical
+        // start also places F (x1 is the only missing variable there),
+        // and the answer matches brute force.
+        let h = reroot_regression_hypergraph();
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: 6,
+            domain: 3,
+            seed: 42,
+        };
+        let free = vec![Var(0), Var(1), Var(2), Var(3)];
+        let q: FaqQuery<Count> = faqs_relation::random_instance(&h, &cfg, free, |_| Count(1));
+        let fast = solve_faq(&q).unwrap();
+        let slow = solve_faq_brute_force(&q);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn wide_hypergraph_elimination_order_validates_quickly() {
+        // A star with many leaves and alternating aggregates: every
+        // inverted pair of differently-aggregated leaves never co-occurs
+        // (leaves only meet through the center), so validation must
+        // accept — and with per-variable edge bitsets it does so without
+        // the old O(k²·|E|·arity) pair-probe blowup.
+        let k = 400;
+        let h = star_query(k);
+        let cfg = RandomInstanceConfig {
+            tuples_per_factor: 2,
+            domain: 2,
+            seed: 3,
+        };
+        let mut q: FaqQuery<Count> = faqs_relation::random_instance(&h, &cfg, vec![], |_| Count(1));
+        for v in 1..=k as u32 {
+            if v % 2 == 1 {
+                q = q.with_aggregate(Var(v), Aggregate::Max);
+            }
+        }
+        let ghd = crate::engine::ghd_for_query(&q).unwrap();
+        check_push_down(&q, &ghd).expect("star leaves never co-occur");
+
+        // And a genuine conflict is still caught: two differently
+        // aggregated variables sharing an edge.
+        let h2 = path_query(3);
+        let q2: FaqQuery<Count> =
+            faqs_relation::random_instance(&h2, &RandomInstanceConfig::default(), vec![], |_| {
+                Count(1)
+            })
+            .with_aggregate(Var(1), Aggregate::Max);
+        let ghd2 = crate::engine::ghd_for_query(&q2).unwrap();
+        assert!(matches!(
+            check_push_down(&q2, &ghd2),
+            Err(EngineError::IncompatibleAggregateOrder(_, _))
+        ));
     }
 
     #[test]

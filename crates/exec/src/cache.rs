@@ -1,0 +1,137 @@
+//! The plan cache: fingerprint → validated plan, with hit/miss
+//! statistics.
+//!
+//! Negative results are cached too: a shape that fails validation (say,
+//! an illegal aggregate exchange) fails every time, so repeated traffic
+//! on a bad shape costs one hash lookup instead of one GHD construction.
+
+use crate::fingerprint::PlanKey;
+use crate::plan::QueryPlan;
+use faqs_core::EngineError;
+use faqs_relation::FaqQuery;
+use faqs_semiring::Semiring;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time cache counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls answered from the cache.
+    pub hits: u64,
+    /// Calls that had to build (and validate) a plan.
+    pub misses: u64,
+    /// Distinct shapes currently cached (including negative entries).
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` before any traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe map from query shape to validated plan.
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<Result<QueryPlan, EngineError>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached plan for `q`'s shape, building (and validating) it on
+    /// first sight. Returns a shared handle so concurrent executions
+    /// replay one plan without copying the GHD.
+    ///
+    /// The build runs *outside* the lock: a cold, expensive shape must
+    /// not stall concurrent hits on hot shapes. Two threads racing the
+    /// same cold shape may both build; the first insert wins and the
+    /// loser adopts it, so all callers still share one plan.
+    pub fn get_or_build<S: Semiring>(
+        &self,
+        q: &FaqQuery<S>,
+        lattice: bool,
+    ) -> Arc<Result<QueryPlan, EngineError>> {
+        let key = PlanKey::of(q, lattice);
+        {
+            let map = self.map.lock().expect("plan cache poisoned");
+            if let Some(plan) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(plan);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(QueryPlan::build(q, lattice));
+        let mut map = self.map.lock().expect("plan cache poisoned");
+        Arc::clone(map.entry(key).or_insert(plan))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("plan cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached plan (counters survive — they describe
+    /// traffic, not contents).
+    pub fn clear(&self) {
+        self.map.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_hypergraph::star_query;
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::Count;
+
+    fn inst(seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            &star_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: 4,
+                domain: 3,
+                seed,
+            },
+            vec![],
+            |_| Count(1),
+        )
+    }
+
+    #[test]
+    fn hits_and_misses_count() {
+        let cache = PlanCache::new();
+        assert_eq!(cache.stats().hits, 0);
+        let a = cache.get_or_build(&inst(1), false);
+        assert!(a.is_ok());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+        // Same shape, different data: a hit.
+        let _ = cache.get_or_build(&inst(2), false);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 1);
+        // Different entry point: a distinct shape.
+        let _ = cache.get_or_build(&inst(1), true);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().entries, 2);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 2, "counters describe traffic");
+    }
+}

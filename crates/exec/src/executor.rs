@@ -1,0 +1,399 @@
+//! The plan-cached, multi-threaded FAQ executor.
+//!
+//! Scheduling model: the upward pass of Theorem G.3 is a post-order
+//! reduction over the GHD, and sibling subtrees are independent work
+//! units (the per-subtree star peeling of Lemma 4.1 makes the same
+//! observation for the distributed protocols). The executor walks the
+//! tree recursively; at every node it tries to hand all but one child
+//! subtree to scoped worker threads, drawing on a global thread budget
+//! (`threads - 1` tokens on a `std::sync::atomic` counter — no channels,
+//! no pools, no dependencies). Whatever the budget cannot absorb runs
+//! inline, so the sequential configuration (`threads = 1`) follows
+//! *exactly* the engine's code path. Large single joins additionally
+//! split their probe side by key range across workers
+//! ([`faqs_relation::Relation::join_indexed_par`]).
+//!
+//! Determinism: child messages are folded into their parent in a fixed
+//! (node-order) sequence regardless of which worker finishes first, and
+//! the partitioned join emits ranges in order — so for a given plan the
+//! output is bit-identical across thread counts.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::plan::QueryPlan;
+use faqs_core::EngineError;
+use faqs_hypergraph::{NodeId, Var};
+use faqs_relation::{FaqQuery, Relation};
+use faqs_semiring::{Aggregate, LatticeOps, Semiring};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Executor tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Worker threads the upward pass may occupy, *including* the
+    /// calling thread. `1` = fully sequential (the engine's behavior).
+    pub threads: usize,
+    /// Probe-side row count above which a single join is split by key
+    /// range across idle workers.
+    pub parallel_join_threshold: usize,
+}
+
+impl ExecutorConfig {
+    /// A sequential configuration (identical to `solve_faq`'s pass).
+    pub fn sequential() -> Self {
+        ExecutorConfig {
+            threads: 1,
+            parallel_join_threshold: usize::MAX,
+        }
+    }
+
+    /// A parallel configuration with the given thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutorConfig {
+            threads: threads.max(1),
+            parallel_join_threshold: 8192,
+        }
+    }
+}
+
+impl Default for ExecutorConfig {
+    /// Reads `FAQS_EXEC_THREADS` (used by CI to run the suite in both
+    /// sequential and parallel configurations); defaults to sequential.
+    fn default() -> Self {
+        match std::env::var("FAQS_EXEC_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(t) if t > 1 => ExecutorConfig::with_threads(t),
+            _ => ExecutorConfig::sequential(),
+        }
+    }
+}
+
+/// The front door for repeated FAQ traffic: caches one validated plan
+/// per query shape and runs the upward pass across worker threads.
+#[derive(Default)]
+pub struct Executor {
+    cfg: ExecutorConfig,
+    cache: PlanCache,
+}
+
+impl Executor {
+    /// An executor with the given configuration and an empty cache.
+    pub fn new(cfg: ExecutorConfig) -> Self {
+        Executor {
+            cfg,
+            cache: PlanCache::new(),
+        }
+    }
+
+    /// Shorthand for [`Executor::new`] + [`ExecutorConfig::with_threads`].
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(ExecutorConfig::with_threads(threads))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ExecutorConfig {
+        self.cfg
+    }
+
+    /// Plan-cache counters (hits prove the GHD/validation work was
+    /// skipped on repeat shapes).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Solves a general FAQ with `Sum`/`Product` aggregates — the
+    /// executor-backed equivalent of [`faqs_core::solve_faq`], equal on
+    /// every input (sequential config runs the identical pass; parallel
+    /// configs only reorder commutative work).
+    pub fn solve<S: Semiring>(&self, q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
+        q.validate()
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+        let plan = self.cache.get_or_build(q, false);
+        let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
+        Ok(eval(q, plan, &self.cfg, &|rel, var, op| {
+            rel.aggregate_out(var, op)
+        }))
+    }
+
+    /// [`Executor::solve`] for lattice-capable semirings: additionally
+    /// accepts `Max`/`Min` aggregates, like `solve_faq_lattice`.
+    pub fn solve_lattice<S: LatticeOps>(
+        &self,
+        q: &FaqQuery<S>,
+    ) -> Result<Relation<S>, EngineError> {
+        q.validate()
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+        let plan = self.cache.get_or_build(q, true);
+        let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
+        Ok(eval(q, plan, &self.cfg, &|rel, var, op| {
+            rel.aggregate_out_lattice(var, op)
+        }))
+    }
+}
+
+/// Takes one worker token if any is available.
+fn try_acquire(budget: &AtomicUsize) -> bool {
+    budget
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+/// Takes up to `want` tokens, returning how many were taken.
+fn acquire_up_to(budget: &AtomicUsize, want: usize) -> usize {
+    let mut got = 0;
+    while got < want && try_acquire(budget) {
+        got += 1;
+    }
+    got
+}
+
+/// Runs the upward pass on a prebuilt plan.
+fn eval<S, F>(q: &FaqQuery<S>, plan: &QueryPlan, cfg: &ExecutorConfig, agg: &F) -> Relation<S>
+where
+    S: Semiring,
+    F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
+{
+    let budget = AtomicUsize::new(cfg.threads.saturating_sub(1));
+    let mut result =
+        eval_subtree(q, plan, plan.root(), cfg, &budget, agg).unwrap_or_else(Relation::unit);
+    // Root: aggregate out the remaining bound variables, innermost
+    // (highest index) first — exactly the engine's epilogue.
+    let mut bound: Vec<Var> = result
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| !q.is_free(*v))
+        .collect();
+    bound.sort_unstable_by(|a, b| b.cmp(a));
+    for v in bound {
+        result = agg(&result, v, q.aggregates[v.index()]);
+    }
+    if result.schema() != q.free_vars.as_slice() {
+        result = result.reorder(&q.free_vars);
+    }
+    result
+}
+
+/// The full (un-aggregated) relation of `node`'s subtree: its λ factors
+/// joined smallest-first per the plan, then each child's message folded
+/// in, in deterministic child order. Children evaluate concurrently when
+/// the budget allows. `None` only for a factorless, childless synthetic
+/// root (the `⊗`-identity).
+fn eval_subtree<S, F>(
+    q: &FaqQuery<S>,
+    plan: &QueryPlan,
+    node: NodeId,
+    cfg: &ExecutorConfig,
+    budget: &AtomicUsize,
+    agg: &F,
+) -> Option<Relation<S>>
+where
+    S: Semiring,
+    F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
+{
+    let children = plan.children(node);
+    let messages: Vec<Relation<S>> = if children.len() <= 1 || cfg.threads == 1 {
+        children
+            .iter()
+            .map(|&c| subtree_message(q, plan, c, node, cfg, budget, agg))
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            // Offer all but the last child to the budget; stragglers run
+            // inline below while the workers make progress.
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, Relation<S>>>> =
+                Vec::with_capacity(children.len());
+            for (i, &c) in children.iter().enumerate() {
+                if i + 1 < children.len() && try_acquire(budget) {
+                    handles.push(Some(s.spawn(move || {
+                        let m = subtree_message(q, plan, c, node, cfg, budget, agg);
+                        budget.fetch_add(1, Ordering::Release);
+                        m
+                    })));
+                } else {
+                    handles.push(None);
+                }
+            }
+            children
+                .iter()
+                .zip(handles)
+                .map(|(&c, h)| match h {
+                    Some(h) => h.join().expect("executor worker panicked"),
+                    None => subtree_message(q, plan, c, node, cfg, budget, agg),
+                })
+                .collect()
+        })
+    };
+
+    // Own factors, smallest-first with the plan's cached key schemas.
+    let mut acc: Option<Relation<S>> = None;
+    for step in plan.joins(node) {
+        let f = q.factor(step.edge);
+        acc = Some(match acc {
+            Some(cur) => {
+                let idx = f.build_index(&step.key);
+                join_adaptive(&cur, f, &idx, cfg, budget)
+            }
+            None => f.clone(),
+        });
+    }
+
+    // Fold child messages in node order (determinism) — the `⊗` on the
+    // bag overlap of Theorem G.3.
+    for message in messages {
+        acc = Some(match acc {
+            Some(cur) => {
+                let shared = cur.shared_vars(&message);
+                let idx = message.build_index(&shared);
+                join_adaptive(&cur, &message, &idx, cfg, budget)
+            }
+            None => message,
+        });
+    }
+    acc
+}
+
+/// A child's upward message: its subtree relation with every variable
+/// private to the subtree (absent from the parent's bag) aggregated out,
+/// innermost (highest index) first — the push-down of Corollary G.2.
+fn subtree_message<S, F>(
+    q: &FaqQuery<S>,
+    plan: &QueryPlan,
+    child: NodeId,
+    parent: NodeId,
+    cfg: &ExecutorConfig,
+    budget: &AtomicUsize,
+    agg: &F,
+) -> Relation<S>
+where
+    S: Semiring,
+    F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
+{
+    let mut message =
+        eval_subtree(q, plan, child, cfg, budget, agg).expect("non-root GHD nodes carry a factor");
+    let parent_chi = plan.ghd.chi(parent);
+    let mut private: Vec<Var> = message
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| !parent_chi.contains(v))
+        .collect();
+    private.sort_unstable_by(|a, b| b.cmp(a));
+    for v in private {
+        debug_assert!(!q.is_free(v), "free vars never private (RIP + F ⊆ root)");
+        message = agg(&message, v, q.aggregates[v.index()]);
+    }
+    message
+}
+
+/// Indexed join that splits the probe side across idle workers when it
+/// is large enough to amortise the spawns.
+fn join_adaptive<S: Semiring>(
+    cur: &Relation<S>,
+    other: &Relation<S>,
+    idx: &faqs_relation::JoinIndex,
+    cfg: &ExecutorConfig,
+    budget: &AtomicUsize,
+) -> Relation<S> {
+    let extra = if cur.len() >= cfg.parallel_join_threshold {
+        acquire_up_to(budget, cfg.threads.saturating_sub(1))
+    } else {
+        0
+    };
+    let out = cur.join_indexed_par(other, idx, extra + 1);
+    if extra > 0 {
+        budget.fetch_add(extra, Ordering::Release);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_core::solve_faq;
+    use faqs_hypergraph::{example_h2, star_query};
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::Count;
+
+    fn inst(seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            &example_h2(),
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 4,
+                seed,
+            },
+            vec![],
+            |_| Count(2),
+        )
+    }
+
+    #[test]
+    fn sequential_executor_matches_engine() {
+        let ex = Executor::new(ExecutorConfig::sequential());
+        for seed in 0..10 {
+            let q = inst(seed);
+            assert_eq!(ex.solve(&q).unwrap(), solve_faq(&q).unwrap(), "seed {seed}");
+        }
+        let stats = ex.cache_stats();
+        assert_eq!(stats.misses, 1, "one shape, one plan build");
+        assert_eq!(stats.hits, 9);
+    }
+
+    #[test]
+    fn parallel_executor_is_deterministic() {
+        let q = inst(3);
+        let expected = Executor::with_threads(1).solve(&q).unwrap();
+        for threads in [2usize, 4, 8] {
+            let ex = Executor::with_threads(threads);
+            for _ in 0..3 {
+                assert_eq!(ex.solve(&q).unwrap(), expected, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn executor_rejects_invalid_instances() {
+        let mut q = inst(1);
+        q.factors.pop();
+        assert!(matches!(
+            Executor::default().solve(&q),
+            Err(EngineError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn cached_error_replays_without_rebuilding() {
+        let ex = Executor::default();
+        let q = inst(1).with_aggregate(faqs_hypergraph::Var(1), Aggregate::Max);
+        for _ in 0..3 {
+            assert!(matches!(ex.solve(&q), Err(EngineError::NeedsLatticeOps(_))));
+        }
+        let stats = ex.cache_stats();
+        assert_eq!(stats.misses, 1, "negative entry cached");
+        assert_eq!(stats.hits, 2);
+        // The lattice entry point is a different shape and succeeds.
+        assert!(ex.solve_lattice(&q).is_ok());
+        assert_eq!(ex.cache_stats().entries, 2);
+    }
+
+    #[test]
+    fn wide_star_parallelises_correctly() {
+        // A star wide enough that several sibling subtrees really do run
+        // on worker threads.
+        let h = star_query(12);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 64,
+                domain: 16,
+                seed: 5,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let seq = solve_faq(&q).unwrap();
+        assert_eq!(Executor::with_threads(4).solve(&q).unwrap(), seq);
+    }
+}

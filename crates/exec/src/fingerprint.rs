@@ -1,0 +1,124 @@
+//! Query-shape fingerprints: the plan-cache key.
+//!
+//! Two FAQ instances share a plan exactly when they agree on everything
+//! the planner looks at: the hypergraph shape, the free variables, the
+//! per-bound-variable aggregates, and the two semiring capabilities the
+//! validity checks consult (`⊗`-idempotence gates product aggregates,
+//! and the lattice entry point additionally admits `Max`/`Min`). The
+//! factor *data* is deliberately absent — that is the whole point of the
+//! cache: GHD construction, MD-hoisting and elimination-order validation
+//! run once per shape, not once per call.
+
+use faqs_relation::FaqQuery;
+use faqs_semiring::{Aggregate, Semiring};
+
+/// The structural fingerprint of an FAQ instance.
+///
+/// Equality and hashing are fully structural (no lossy digesting), so a
+/// cache hit can never alias two genuinely different shapes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey {
+    num_vars: u32,
+    /// Edge vertex sets in declaration order (edges are kept sorted by
+    /// the hypergraph itself, so this is canonical).
+    edges: Vec<Vec<u32>>,
+    /// Free variables in the query's declared (output) order.
+    free: Vec<u32>,
+    /// Aggregates of *bound* variables in index order; free variables
+    /// are normalised to `Sum` (the engine never reads them), improving
+    /// the hit rate across instances that only differ there.
+    aggregates: Vec<Aggregate>,
+    /// `S::IDEMPOTENT_MUL` — gates the product-aggregate check.
+    idempotent_mul: bool,
+    /// Whether the query entered through the lattice entry point
+    /// (`Max`/`Min` admitted) — plan validity differs between the two.
+    lattice: bool,
+}
+
+impl PlanKey {
+    /// Fingerprints `q` for the given entry point.
+    pub fn of<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> PlanKey {
+        PlanKey {
+            num_vars: q.hypergraph.num_vars() as u32,
+            edges: q
+                .hypergraph
+                .edges()
+                .map(|(_, vars)| vars.iter().map(|v| v.0).collect())
+                .collect(),
+            free: q.free_vars.iter().map(|v| v.0).collect(),
+            aggregates: q
+                .hypergraph
+                .vars()
+                .map(|v| {
+                    if q.is_free(v) {
+                        Aggregate::Sum
+                    } else {
+                        q.aggregates[v.index()]
+                    }
+                })
+                .collect(),
+            idempotent_mul: S::IDEMPOTENT_MUL,
+            lattice,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_hypergraph::{star_query, Var};
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::{Boolean, Count};
+
+    fn q(seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            &star_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: 4,
+                domain: 3,
+                seed,
+            },
+            vec![],
+            |_| Count(1),
+        )
+    }
+
+    #[test]
+    fn same_shape_different_data_collides() {
+        assert_eq!(PlanKey::of(&q(1), false), PlanKey::of(&q(2), false));
+    }
+
+    #[test]
+    fn shape_changes_separate_keys() {
+        let base = PlanKey::of(&q(1), false);
+        // Different aggregates.
+        let agg = q(1).with_aggregate(Var(1), Aggregate::Product);
+        assert_ne!(base, PlanKey::of(&agg, false));
+        // Different free vars.
+        let mut fv = q(1);
+        fv.free_vars = vec![Var(0)];
+        assert_ne!(base, PlanKey::of(&fv, false));
+        // Different entry point.
+        assert_ne!(base, PlanKey::of(&q(1), true));
+        // Different semiring capability (Boolean has idempotent ⊗).
+        let qb: FaqQuery<Boolean> = faqs_relation::random_boolean_instance(
+            &star_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: 4,
+                domain: 3,
+                seed: 1,
+            },
+            true,
+        );
+        assert_ne!(base, PlanKey::of(&qb, false));
+    }
+
+    #[test]
+    fn free_var_aggregates_are_normalised() {
+        let mut a = q(1);
+        a.free_vars = vec![Var(1)];
+        let mut b = a.clone();
+        b = b.with_aggregate(Var(1), Aggregate::Max); // free: engine ignores it
+        assert_eq!(PlanKey::of(&a, false), PlanKey::of(&b, false));
+    }
+}

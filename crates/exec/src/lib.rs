@@ -1,0 +1,55 @@
+//! # faqs-exec — the plan-cached, multi-threaded FAQ executor
+//!
+//! `faqs-core` is the *reference* engine: every call re-derives the
+//! GYO-GHD of Construction 2.8, re-validates the elimination order, and
+//! runs the Theorem G.3 upward pass on one thread. That is the right
+//! shape for an oracle, and the wrong shape for serving repeated query
+//! traffic — the ROADMAP's north star. This crate is the front door for
+//! that traffic:
+//!
+//! * **Plan cache** ([`PlanCache`]): a structural fingerprint of
+//!   `(hypergraph shape, aggregates, free variables, semiring
+//!   capabilities)` ([`PlanKey`]) maps to a cached, validated
+//!   [`QueryPlan`] — GHD, per-node smallest-first join order, per-step
+//!   index-key schemas. GHD construction, MD-hoisting, re-rooting and
+//!   elimination-order validation run once per query *shape* instead of
+//!   once per call; [`Executor::cache_stats`] exposes hit/miss counters.
+//! * **Parallel upward pass** ([`Executor`]): sibling GHD subtrees are
+//!   independent (the paper's per-subtree star peeling), so they
+//!   evaluate concurrently on `std::thread::scope` workers drawn from a
+//!   fixed thread budget; large single joins further split their probe
+//!   side by key range ([`faqs_relation::Relation::join_indexed_par`]).
+//!   The sequential configuration reproduces `solve_faq` exactly, and
+//!   parallel runs are deterministic (fixed fold order).
+//!
+//! ```
+//! use faqs_exec::{Executor, ExecutorConfig};
+//! use faqs_hypergraph::star_query;
+//! use faqs_relation::{random_instance, RandomInstanceConfig};
+//! use faqs_semiring::Count;
+//!
+//! let ex = Executor::new(ExecutorConfig::with_threads(4));
+//! let h = star_query(4);
+//! let cfg = RandomInstanceConfig { tuples_per_factor: 32, domain: 8, seed: 1 };
+//! for seed in 0..4 {
+//!     let q = random_instance(&h, &RandomInstanceConfig { seed, ..cfg }, vec![], |_| Count(1));
+//!     let answer = ex.solve(&q).unwrap().total();
+//!     assert_eq!(answer, faqs_core::solve_faq(&q).unwrap().total());
+//! }
+//! // One plan build served all four calls.
+//! assert_eq!(ex.cache_stats().misses, 1);
+//! assert_eq!(ex.cache_stats().hits, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod executor;
+mod fingerprint;
+mod plan;
+
+pub use cache::{CacheStats, PlanCache};
+pub use executor::{Executor, ExecutorConfig};
+pub use fingerprint::PlanKey;
+pub use plan::{JoinStep, QueryPlan};

@@ -1,0 +1,200 @@
+//! Cached query plans: everything `solve_faq` derives from the query
+//! *shape*, computed once and replayed across calls.
+//!
+//! A [`QueryPlan`] packages the validated GHD of Construction 2.8 (GYO
+//! run, MD-hoisting, re-rooting for free variables), the per-node
+//! smallest-first factor join order with the index-key schema of every
+//! join step, and the per-node child lists driving the upward pass of
+//! Theorem G.3. Building one costs the same as a cold `solve_faq`
+//! prologue; replaying one costs a hash lookup.
+
+use faqs_core::{check_push_down, ghd_for_query, EngineError};
+use faqs_hypergraph::{EdgeId, Ghd, NodeId, Var};
+use faqs_relation::FaqQuery;
+use faqs_semiring::{Aggregate, LatticeOps, Semiring};
+
+/// One step of a node's factor-join pipeline: absorb `edge`'s factor,
+/// probing an index built on exactly `key` (the variables the factor
+/// shares with the accumulated schema so far). The first step of every
+/// node has an empty `key` — its factor seeds the accumulator.
+#[derive(Clone, Debug)]
+pub struct JoinStep {
+    /// The hyperedge whose factor this step absorbs.
+    pub edge: EdgeId,
+    /// Index-key schema for the probe (empty for the seeding step).
+    pub key: Vec<Var>,
+}
+
+/// A validated, shape-level execution plan for one FAQ query shape.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// The GHD the upward pass runs on (hoisted, re-rooted so that
+    /// `F ⊆ χ(root)`).
+    pub ghd: Ghd,
+    /// Live children of each node (dense by `NodeId` index), in
+    /// ascending node order — the deterministic message-fold order.
+    children: Vec<Vec<NodeId>>,
+    /// Factor-join pipeline per node (dense by `NodeId` index). Factors
+    /// are ordered smallest-first by the *planning* instance's factor
+    /// sizes; on a cache hit with different data the order is merely a
+    /// heuristic, never a correctness concern.
+    joins: Vec<Vec<JoinStep>>,
+}
+
+impl QueryPlan {
+    /// Builds and validates the plan for `q`. `lattice` selects the
+    /// entry point: `false` mirrors `solve_faq` (rejects `Max`/`Min` on
+    /// bound variables), `true` mirrors `solve_faq_lattice`.
+    pub fn build<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> Result<QueryPlan, EngineError> {
+        if !lattice {
+            for v in q.hypergraph.vars() {
+                if !q.is_free(v)
+                    && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min)
+                {
+                    return Err(EngineError::NeedsLatticeOps(v));
+                }
+            }
+        }
+        let ghd = ghd_for_query(q)?;
+        let root_chi = ghd.chi(ghd.root());
+        if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
+            return Err(EngineError::FreeVarsOutsideCore(vec![*bad]));
+        }
+        // Product-aggregate idempotence + elimination-order exchange
+        // legality — the expensive validation the cache amortises.
+        check_push_down(q, &ghd)?;
+
+        let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
+        let mut joins: Vec<Vec<JoinStep>> = vec![Vec::new(); n_nodes];
+        for node in ghd.node_ids() {
+            children[node.index()] = ghd.children(node);
+            let mut factors: Vec<EdgeId> = ghd.node(node).lambda.clone();
+            // Smallest-first, exactly as the engine orders them; stable
+            // tie-break on the λ declaration order.
+            factors.sort_by_key(|&e| q.factor(e).len());
+            let mut steps: Vec<JoinStep> = Vec::with_capacity(factors.len());
+            let mut acc_schema: Vec<Var> = Vec::new();
+            for e in factors {
+                let vars = q.hypergraph.edge(e);
+                let key: Vec<Var> = if steps.is_empty() {
+                    Vec::new()
+                } else {
+                    acc_schema
+                        .iter()
+                        .copied()
+                        .filter(|v| vars.contains(v))
+                        .collect()
+                };
+                let fresh: Vec<Var> = vars
+                    .iter()
+                    .copied()
+                    .filter(|v| !acc_schema.contains(v))
+                    .collect();
+                acc_schema.extend(fresh);
+                steps.push(JoinStep { edge: e, key });
+            }
+            joins[node.index()] = steps;
+        }
+        Ok(QueryPlan {
+            ghd,
+            children,
+            joins,
+        })
+    }
+
+    /// Convenience wrapper: the lattice entry point, typed to require
+    /// [`LatticeOps`] like `solve_faq_lattice` does.
+    pub fn build_lattice<S: LatticeOps>(q: &FaqQuery<S>) -> Result<QueryPlan, EngineError> {
+        Self::build(q, true)
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.ghd.root()
+    }
+
+    /// Live children of `node`, in the deterministic fold order.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// The factor-join pipeline of `node`.
+    #[inline]
+    pub fn joins(&self, node: NodeId) -> &[JoinStep] {
+        &self.joins[node.index()]
+    }
+
+    /// Total number of live GHD nodes (sizing hint for schedulers).
+    pub fn num_nodes(&self) -> usize {
+        self.ghd.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_hypergraph::{example_h2, path_query, star_query};
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::Count;
+
+    fn inst(h: &faqs_hypergraph::Hypergraph, free: Vec<Var>, seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 5,
+                domain: 3,
+                seed,
+            },
+            free,
+            |_| Count(1),
+        )
+    }
+
+    #[test]
+    fn plan_join_keys_cover_shared_vars() {
+        for h in [star_query(3), path_query(4), example_h2()] {
+            let q = inst(&h, vec![], 7);
+            let plan = QueryPlan::build(&q, false).unwrap();
+            for node in plan.ghd.node_ids() {
+                let steps = plan.joins(node);
+                let mut acc: Vec<Var> = Vec::new();
+                for (i, s) in steps.iter().enumerate() {
+                    let vars = q.hypergraph.edge(s.edge);
+                    if i == 0 {
+                        assert!(s.key.is_empty());
+                        acc.extend(vars.iter().copied());
+                    } else {
+                        let expect: Vec<Var> =
+                            acc.iter().copied().filter(|v| vars.contains(v)).collect();
+                        assert_eq!(s.key, expect, "key = shared(acc, factor)");
+                        let fresh: Vec<Var> =
+                            vars.iter().copied().filter(|v| !acc.contains(v)).collect();
+                        acc.extend(fresh);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_max_on_plain_entry_point() {
+        let q = inst(&star_query(2), vec![], 1).with_aggregate(Var(1), Aggregate::Max);
+        assert!(matches!(
+            QueryPlan::build(&q, false),
+            Err(EngineError::NeedsLatticeOps(_))
+        ));
+        assert!(QueryPlan::build_lattice(&q).is_ok());
+    }
+
+    #[test]
+    fn plan_rejects_unplaceable_free_vars() {
+        let q = inst(&path_query(5), vec![Var(0), Var(5)], 1);
+        assert!(matches!(
+            QueryPlan::build(&q, false),
+            Err(EngineError::FreeVarsOutsideCore(_))
+        ));
+    }
+}

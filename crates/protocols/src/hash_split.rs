@@ -23,11 +23,24 @@ use faqs_semiring::{Boolean, Semiring};
 use std::collections::HashMap;
 
 /// A consistent "bitmap-style" hash family (Definition G.7): a tuple is
-/// owned by the player indexed by its join-key value modulo `|K|`.
+/// owned by the player selected by a *mixed* hash of its join-key value.
+///
+/// The key is scrambled by Fibonacci hashing (multiplication by
+/// `⌊2³²/φ⌋`, whose golden-ratio rotation equidistributes consecutive
+/// and strided inputs) before the range reduction; a raw `key % shards`
+/// collapses onto a single shard whenever the key domain strides by a
+/// multiple of the shard count (e.g. keys `0, 4, 8, …` on 4 shards).
+/// Definition G.7's consistency requirement is preserved: ownership is a
+/// pure function of the join-key value alone, so every tuple of a leaf
+/// relation that can join a given center value still lives on one known
+/// player.
 #[derive(Clone, Copy, Debug)]
 pub struct ConsistentHashSplit {
     shards: usize,
 }
+
+/// `⌊2³² / φ⌋`, the Fibonacci hashing multiplier.
+const FIB_MIX: u32 = 2654435769;
 
 impl ConsistentHashSplit {
     /// A split across `shards` players.
@@ -39,7 +52,11 @@ impl ConsistentHashSplit {
     /// The shard owning join-key value `key`.
     #[inline]
     pub fn owner(&self, key: u32) -> usize {
-        key as usize % self.shards
+        let mixed = key.wrapping_mul(FIB_MIX);
+        // Lemire range reduction: maps the mixed 32-bit value onto
+        // `[0, shards)` using the high bits (which Fibonacci hashing
+        // scrambles best) instead of the stride-sensitive low bits.
+        ((mixed as u64 * self.shards as u64) >> 32) as usize
     }
 }
 
@@ -202,9 +219,36 @@ mod tests {
     #[test]
     fn owner_is_consistent() {
         let s = ConsistentHashSplit::new(4);
-        assert_eq!(s.owner(0), 0);
-        assert_eq!(s.owner(5), 1);
-        assert_eq!(s.owner(5), s.owner(5));
+        for key in 0..256 {
+            assert!(s.owner(key) < 4, "owner in range");
+            assert_eq!(s.owner(key), s.owner(key), "pure function of the key");
+        }
+    }
+
+    #[test]
+    fn strided_domains_stay_balanced() {
+        // Regression: `key % shards` sent every key of a domain striding
+        // by |K| (or any multiple) to shard 0. The mixed hash must keep
+        // every stride family spread across all shards.
+        for shards in [2usize, 4, 8] {
+            let s = ConsistentHashSplit::new(shards);
+            for stride in [shards as u32, 2 * shards as u32, 16, 64] {
+                let n = 256u32;
+                let mut load = vec![0usize; shards];
+                for k in 0..n {
+                    load[s.owner(k * stride)] += 1;
+                }
+                let ideal = n as usize / shards;
+                assert!(
+                    *load.iter().max().unwrap() <= 2 * ideal,
+                    "stride {stride} on {shards} shards is skewed: {load:?}"
+                );
+                assert!(
+                    load.iter().all(|&l| l > 0),
+                    "stride {stride} on {shards} shards starves a shard: {load:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -291,6 +291,22 @@ pub(crate) fn join_via<S: Semiring>(
     other: &Relation<S>,
     idx: &JoinIndex,
 ) -> Relation<S> {
+    join_via_partitioned(left, other, idx, 1)
+}
+
+/// [`join_via`] with the probe side partitioned across `threads`
+/// `std::thread::scope` workers. `left` is canonically sorted, so a
+/// contiguous row range is a key range: each worker runs the identical
+/// probe loop over its range into a private arena, and the arenas
+/// concatenate back in range order — bit-for-bit the sequential output,
+/// no re-sort, no locks. Degenerate cases (one thread, small inputs)
+/// stay on the single-threaded path.
+pub(crate) fn join_via_partitioned<S: Semiring>(
+    left: &Relation<S>,
+    other: &Relation<S>,
+    idx: &JoinIndex,
+    threads: usize,
+) -> Relation<S> {
     assert_keyed_on_shared(left, other, idx);
     let my_pos = left.positions(idx.key_vars());
     let fresh: Vec<Var> = other
@@ -304,12 +320,99 @@ pub(crate) fn join_via<S: Semiring>(
     let mut schema: Vec<Var> = left.schema().to_vec();
     schema.extend(fresh.iter().copied());
     let mut out = Relation::new(schema);
-    let (out_data, out_values) = out.parts_mut();
 
+    let threads = threads.clamp(1, left.len().max(1));
+    if threads == 1 {
+        let (out_data, out_values) = out.parts_mut();
+        join_range(
+            left,
+            other,
+            idx,
+            &my_pos,
+            &fresh_pos,
+            0..left.len(),
+            out_data,
+            out_values,
+        );
+        return out;
+    }
+
+    let chunk = left.len().div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+        .map(|t| (t * chunk).min(left.len())..((t + 1) * chunk).min(left.len()))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let parts: Vec<(Vec<u32>, Vec<S>)> = std::thread::scope(|s| {
+        // Spawn all but the last range; the calling thread works the
+        // last one instead of idling in the joins.
+        let (spawned, inline) = ranges.split_at(ranges.len() - 1);
+        let handles: Vec<_> = spawned
+            .iter()
+            .cloned()
+            .map(|range| {
+                let (my_pos, fresh_pos) = (&my_pos, &fresh_pos);
+                s.spawn(move || {
+                    let mut data = Vec::new();
+                    let mut values = Vec::new();
+                    join_range(
+                        left,
+                        other,
+                        idx,
+                        my_pos,
+                        fresh_pos,
+                        range,
+                        &mut data,
+                        &mut values,
+                    );
+                    (data, values)
+                })
+            })
+            .collect();
+        let mut last = (Vec::new(), Vec::new());
+        join_range(
+            left,
+            other,
+            idx,
+            &my_pos,
+            &fresh_pos,
+            inline[0].clone(),
+            &mut last.0,
+            &mut last.1,
+        );
+        let mut parts: Vec<(Vec<u32>, Vec<S>)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("join worker"))
+            .collect();
+        parts.push(last);
+        parts
+    });
+    let (out_data, out_values) = out.parts_mut();
+    out_data.reserve(parts.iter().map(|(d, _)| d.len()).sum());
+    out_values.reserve(parts.iter().map(|(_, v)| v.len()).sum());
+    for (d, v) in parts {
+        out_data.extend_from_slice(&d);
+        out_values.extend(v);
+    }
+    out
+}
+
+/// The probe loop of the indexed join over one contiguous row range of
+/// `left`, appending to the caller's arena.
+#[allow(clippy::too_many_arguments)]
+fn join_range<S: Semiring>(
+    left: &Relation<S>,
+    other: &Relation<S>,
+    idx: &JoinIndex,
+    my_pos: &[usize],
+    fresh_pos: &[usize],
+    range: std::ops::Range<usize>,
+    out_data: &mut Vec<u32>,
+    out_values: &mut Vec<S>,
+) {
     let mut key = vec![0u32; my_pos.len()];
-    for i in 0..left.len() {
+    for i in range {
         let t = left.tuple_at(i);
-        for (k, &p) in key.iter_mut().zip(&my_pos) {
+        for (k, &p) in key.iter_mut().zip(my_pos) {
             *k = t[p];
         }
         let Some(rows) = idx.lookup(&key) else {
@@ -327,7 +430,6 @@ pub(crate) fn join_via<S: Semiring>(
             out_values.push(prod);
         }
     }
-    out
 }
 
 /// A prebuilt index fed to a join/semijoin must key on *exactly* the

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Converts a vendored-criterion bench transcript (mean/min/max rows)
+# into a BENCH_<name>.json perf-trajectory record under bench-records/.
+#
+# Usage: scripts/bench-record.sh <bench-name> <transcript.txt>
+set -euo pipefail
+
+bench="$1"
+txt="$2"
+mkdir -p bench-records
+out="bench-records/BENCH_${bench}.json"
+{
+  echo '{'
+  echo "  \"commit\": \"${GITHUB_SHA:-local}\","
+  echo "  \"bench\": \"${bench}\","
+  echo '  "mode": "quick",'
+  echo '  "results": {'
+  awk '/ mean /{printf "%s    \"%s\": { \"mean\": \"%s %s\", \"min\": \"%s %s\", \"max\": \"%s %s\" }", sep, $1, $3, $4, $6, $7, $9, $10; sep=",\n"} END {print ""}' "$txt"
+  echo '  }'
+  echo '}'
+} > "$out"
+cat "$out"

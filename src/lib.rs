@@ -18,6 +18,9 @@
 //!   packings, multicommodity-flow routing, the synchronous round
 //!   simulator of Model 2.1.
 //! * [`engine`] — the centralized FAQ engine (ground truth).
+//! * [`exec`] — the plan-cached, multi-threaded executor: the front
+//!   door for repeated query traffic (`Executor::solve` with a
+//!   sequential config reproduces `engine::solve_faq` exactly).
 //! * [`protocols`] — the paper's distributed protocols (trivial, star,
 //!   forest, d-degenerate, general-FAQ, hash-split).
 //! * [`mcm`] — matrix-chain multiplication over `F₂` on a line, plus the
@@ -54,6 +57,7 @@
 //! ```
 
 pub use faqs_core as engine;
+pub use faqs_exec as exec;
 pub use faqs_hypergraph as hypergraph;
 pub use faqs_lowerbounds as lowerbounds;
 pub use faqs_mcm as mcm;
@@ -65,6 +69,7 @@ pub use faqs_semiring as semiring;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use faqs_core::{solve_bcq, solve_faq, solve_faq_brute_force};
+    pub use faqs_exec::{Executor, ExecutorConfig};
     pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
     pub use faqs_network::{Assignment, Topology};
