@@ -1,0 +1,74 @@
+//! Criterion bench for the topology-general distributed runtime
+//! ([`faqs_protocols::DistributedFaqRun`]): wall-clock of a full
+//! plan-build + shard-routing + upward-pass simulation per topology
+//! family and per placement. Recorded in CI as `BENCH_distributed.json`
+//! — the perf trajectory of the general runtime alongside the kernel
+//! (`BENCH_relation.json`) and executor (`BENCH_engine.json`) rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_network::{Assignment, Player, Topology};
+use faqs_protocols::{DistributedFaqRun, InputPlacement};
+use faqs_relation::{irreducible_star_instance, FaqQuery};
+use faqs_semiring::Boolean;
+use std::hint::black_box;
+
+/// The shared hard star instance (messages never shrink under
+/// projection) — same fixture as the conformance suite and E15.
+fn hard_star(n: u32) -> FaqQuery<Boolean> {
+    irreducible_star_instance(4, n)
+}
+
+fn bench_by_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_runtime_topology");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let q = hard_star(128);
+    for g in [
+        Topology::line(6),
+        Topology::clique(6),
+        Topology::grid(2, 3),
+        Topology::random_connected(8, 0.3, 7),
+    ] {
+        let players: Vec<Player> = g.players().collect();
+        let placement = InputPlacement::hash_split(q.k(), &players, players[0]);
+        group.bench_with_input(BenchmarkId::from_parameter(g.name()), &g, |b, g| {
+            b.iter(|| {
+                let run = DistributedFaqRun::new(black_box(&q), g, placement.clone(), 1).unwrap();
+                let out = run.execute().unwrap();
+                black_box((out.stats.rounds, out.stats.total_bits))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_by_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_runtime_placement");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let q = hard_star(128);
+    let g = Topology::grid(3, 3);
+    let ids: Vec<u32> = (0..g.num_players() as u32).collect();
+    let players: Vec<Player> = g.players().collect();
+    let whole = InputPlacement::from_assignment(&Assignment::round_robin(&q, &g, &ids));
+    let split = InputPlacement::hash_split(q.k(), &players, Player(8));
+    for (label, placement) in [("whole", whole), ("hash-split", split)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &placement,
+            |b, placement| {
+                b.iter(|| {
+                    let run =
+                        DistributedFaqRun::new(black_box(&q), &g, placement.clone(), 1).unwrap();
+                    black_box(run.execute().unwrap().stats.total_bits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_topology, bench_by_placement);
+criterion_main!(benches);

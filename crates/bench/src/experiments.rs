@@ -21,7 +21,7 @@ use faqs_mcm::{
 use faqs_network::{min_cut, steiner_packing, Assignment, Player, Topology};
 use faqs_protocols::{
     model_capacity_bits, run_bcq_protocol, run_faq_protocol, run_hash_split_protocol,
-    run_set_intersection, run_trivial, BoundReport,
+    run_set_intersection, run_trivial, BoundReport, DistributedFaqRun, InputPlacement,
 };
 use faqs_relation::{
     random_boolean_instance, random_instance, BcqBuilder, FaqQuery, RandomInstanceConfig,
@@ -817,6 +817,54 @@ pub fn e14_executor(n: usize) {
         stats.misses.to_string(),
         format!("{:.0}%", 100.0 * stats.hit_rate()),
     ]);
+}
+
+/// **E15 — distributed runtime.** The topology-general
+/// `DistributedFaqRun` across topology families and placements, every
+/// row confronted with the `BoundReport` bit envelope
+/// (`ConformanceReport`): the paper's inequalities as a live table.
+pub fn e15_distributed(n: usize) {
+    banner("E15 · Topology-general distributed runtime vs bounds");
+    header(&[
+        "G",
+        "placement",
+        "rounds",
+        "bits",
+        "lower",
+        "upper",
+        "conforms",
+    ]);
+    // The shared hard star instance (same fixture as the conformance
+    // suite and the distributed bench): every message is irreducible, so
+    // the measurement genuinely confronts the bounds.
+    let q = faqs_relation::irreducible_star_instance(4, n as u32);
+    let expected = solve_bcq(&q);
+    for g in [
+        Topology::line(4),
+        Topology::star(5),
+        Topology::grid(3, 3),
+        Topology::random_connected(8, 0.3, 0xE15),
+    ] {
+        let players: Vec<Player> = g.players().collect();
+        let whole =
+            InputPlacement::from_assignment(&Assignment::round_robin(&q, &g, &players_of(&g)));
+        let split = InputPlacement::hash_split(q.k(), &players, *players.last().unwrap());
+        for (label, placement) in [("whole", whole), ("hash-split", split)] {
+            let run = DistributedFaqRun::new(&q, &g, placement, 1).expect("run");
+            let out = run.execute().expect("execute");
+            assert_eq!(!out.result.total().is_zero(), expected, "answer agrees");
+            let rep = run.conformance(out.stats);
+            row(&[
+                g.name().to_string(),
+                label.to_string(),
+                out.stats.rounds.to_string(),
+                out.stats.total_bits.to_string(),
+                rep.lower_bits.to_string(),
+                rep.upper_bits.to_string(),
+                rep.conforms().to_string(),
+            ]);
+        }
+    }
 }
 
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction

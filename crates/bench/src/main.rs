@@ -8,7 +8,7 @@
 //!
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
-//! `kernel`, `executor`, `ablation`, `all` (default).
+//! `kernel`, `executor`, `distributed`, `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -41,13 +41,14 @@ fn main() {
     run("hashsplit", &|| exp::e12_hash_split(n.min(128)));
     run("kernel", &|| exp::e13_kernel(16 * n));
     run("executor", &|| exp::e14_executor(32 * n));
+    run("distributed", &|| exp::e15_distributed(n.min(128)));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             ablation all"
+             distributed ablation all"
         );
         std::process::exit(2);
     }

@@ -332,24 +332,12 @@ pub fn solve_faq_on_ghd<S: Semiring>(
             break;
         }
         let parent = ghd.parent(node).expect("non-root has a parent");
-        let mut message = rel[node.index()]
+        let message = rel[node.index()]
             .take()
             .expect("non-root nodes carry a factor");
         // Aggregate out the variables private to this subtree: those in
-        // χ(node) but not in χ(parent). Processed in decreasing variable
-        // index (the innermost aggregates of Equation 4 first).
-        let parent_chi = ghd.chi(parent);
-        let mut private: Vec<Var> = message
-            .schema()
-            .iter()
-            .copied()
-            .filter(|v| !parent_chi.contains(v))
-            .collect();
-        private.sort_unstable_by(|a, b| b.cmp(a));
-        for v in private {
-            debug_assert!(!q.is_free(v), "free vars never private (RIP + F ⊆ root)");
-            message = agg(&message, v, q.aggregates[v.index()]);
-        }
+        // χ(node) but not in χ(parent).
+        let message = push_down_message(q, message, ghd.chi(parent), &agg);
         // Combine into the parent (⊗ on the overlap).
         rel[parent.index()] = Some(match rel[parent.index()].take() {
             Some(cur) => cur.join(&message),
@@ -359,7 +347,43 @@ pub fn solve_faq_on_ghd<S: Semiring>(
 
     // Root: aggregate out the remaining bound variables, again innermost
     // (highest index) first.
-    let mut result = rel[root.index()].take().unwrap_or_else(Relation::unit);
+    let result = rel[root.index()].take().unwrap_or_else(Relation::unit);
+    Ok(finish_root(q, result, agg))
+}
+
+/// One message push-down (Corollary G.2), shared by the engine, the
+/// executor and the distributed runtime: aggregates out of `message`
+/// every variable absent from `keep` (the parent's bag), innermost
+/// (highest index) first — the order Equation (4)'s nesting requires.
+pub fn push_down_message<S: Semiring>(
+    q: &FaqQuery<S>,
+    mut message: Relation<S>,
+    keep: &[Var],
+    agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
+) -> Relation<S> {
+    let mut private: Vec<Var> = message
+        .schema()
+        .iter()
+        .copied()
+        .filter(|v| !keep.contains(v))
+        .collect();
+    private.sort_unstable_by(|a, b| b.cmp(a));
+    for v in private {
+        debug_assert!(!q.is_free(v), "free vars never private (RIP + F ⊆ root)");
+        message = agg(&message, v, q.aggregates[v.index()]);
+    }
+    message
+}
+
+/// The root epilogue shared by the engine, the executor and the
+/// distributed runtime: aggregates the remaining bound variables of the
+/// root relation innermost (highest index) first, then presents the free
+/// variables in the query's declared order.
+pub fn finish_root<S: Semiring>(
+    q: &FaqQuery<S>,
+    mut result: Relation<S>,
+    agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
+) -> Relation<S> {
     let mut bound: Vec<Var> = result
         .schema()
         .iter()
@@ -370,11 +394,10 @@ pub fn solve_faq_on_ghd<S: Semiring>(
     for v in bound {
         result = agg(&result, v, q.aggregates[v.index()]);
     }
-    // Present free variables in the query's declared order.
     if result.schema() != q.free_vars.as_slice() {
         result = result.reorder(&q.free_vars);
     }
-    Ok(result)
+    result
 }
 
 /// Evaluates a Boolean Conjunctive Query: `true` iff some assignment

@@ -34,7 +34,8 @@ mod yannakakis;
 
 pub use brute::{solve_faq_brute_force, solve_faq_brute_force_lattice};
 pub use engine::{
-    check_push_down, decomposition_covering_free_vars, decomposition_for_free_vars, ghd_for_query,
-    solve_bcq, solve_faq, solve_faq_lattice, solve_faq_on_ghd, EngineError,
+    check_push_down, decomposition_covering_free_vars, decomposition_for_free_vars, finish_root,
+    ghd_for_query, push_down_message, solve_bcq, solve_faq, solve_faq_lattice, solve_faq_on_ghd,
+    EngineError,
 };
 pub use yannakakis::{natural_join, yannakakis_reduce};

@@ -155,24 +155,11 @@ where
     F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
 {
     let budget = AtomicUsize::new(cfg.threads.saturating_sub(1));
-    let mut result =
+    let result =
         eval_subtree(q, plan, plan.root(), cfg, &budget, agg).unwrap_or_else(Relation::unit);
-    // Root: aggregate out the remaining bound variables, innermost
-    // (highest index) first — exactly the engine's epilogue.
-    let mut bound: Vec<Var> = result
-        .schema()
-        .iter()
-        .copied()
-        .filter(|v| !q.is_free(*v))
-        .collect();
-    bound.sort_unstable_by(|a, b| b.cmp(a));
-    for v in bound {
-        result = agg(&result, v, q.aggregates[v.index()]);
-    }
-    if result.schema() != q.free_vars.as_slice() {
-        result = result.reorder(&q.free_vars);
-    }
-    result
+    // Root: the engine's shared epilogue (aggregate the remaining bound
+    // variables innermost-first, reorder onto the free-variable schema).
+    faqs_core::finish_root(q, result, |rel, v, op| agg(rel, v, op))
 }
 
 /// The full (un-aggregated) relation of `node`'s subtree: its λ factors
@@ -270,21 +257,11 @@ where
     S: Semiring,
     F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
 {
-    let mut message =
+    let message =
         eval_subtree(q, plan, child, cfg, budget, agg).expect("non-root GHD nodes carry a factor");
-    let parent_chi = plan.ghd.chi(parent);
-    let mut private: Vec<Var> = message
-        .schema()
-        .iter()
-        .copied()
-        .filter(|v| !parent_chi.contains(v))
-        .collect();
-    private.sort_unstable_by(|a, b| b.cmp(a));
-    for v in private {
-        debug_assert!(!q.is_free(v), "free vars never private (RIP + F ⊆ root)");
-        message = agg(&message, v, q.aggregates[v.index()]);
-    }
-    message
+    faqs_core::push_down_message(q, message, plan.ghd.chi(parent), |rel, v, op| {
+        agg(rel, v, op)
+    })
 }
 
 /// Indexed join that splits the probe side across idle workers when it

@@ -13,7 +13,10 @@
 //! Causality is the caller's contract: a payload may only be sent with
 //! `ready_at` after the round the sender learned it (the protocols in
 //! `faqs-protocols` thread arrival rounds through their dataflow, so the
-//! discipline is enforced by construction and asserted in tests).
+//! discipline is enforced by construction and asserted in tests). The
+//! [`NetRun::transmit_causal`] / [`NetRun::route_causal`] entry points
+//! make the declaration explicit and let the scheduler *reject*
+//! `ready_at` violations ([`TransmitError::CausalityViolation`]).
 
 use crate::topology::{LinkId, Player, Topology};
 use std::collections::HashMap;
@@ -23,12 +26,46 @@ use std::collections::HashMap;
 pub enum TransmitError {
     /// `from` and `to` are not adjacent in the topology.
     NotAdjacent(Player, Player),
+    /// The link is administratively down ([`Topology::set_capacity`] to
+    /// `0`): it can carry no bits in any round. Before this variant a
+    /// zero-capacity request span forever inside the FIFO fill loop —
+    /// the stall is now an explicit, testable error.
+    ZeroCapacity(LinkId),
+    /// No positive-capacity route connects the two players (they may
+    /// still be connected through down links).
+    NoRoute(Player, Player),
+    /// A causal send declared a payload learned at the end of round
+    /// `learned_at` but asked to start transmitting at `ready_at` ≤
+    /// `learned_at` — the sender cannot transmit data before the round
+    /// after it learned it.
+    CausalityViolation {
+        /// The offending sender.
+        at: Player,
+        /// Round at whose end the payload became known to the sender.
+        learned_at: u64,
+        /// The requested (too early) start round.
+        ready_at: u64,
+    },
 }
 
 impl std::fmt::Display for TransmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransmitError::NotAdjacent(a, b) => write!(f, "{a} and {b} share no link"),
+            TransmitError::ZeroCapacity(l) => {
+                write!(f, "link {} has zero capacity (administratively down)", l.0)
+            }
+            TransmitError::NoRoute(a, b) => {
+                write!(f, "no positive-capacity route from {a} to {b}")
+            }
+            TransmitError::CausalityViolation {
+                at,
+                learned_at,
+                ready_at,
+            } => write!(
+                f,
+                "{at} cannot send at round {ready_at} data it learns at the end of round {learned_at}"
+            ),
         }
     }
 }
@@ -110,19 +147,55 @@ impl<'a> NetRun<'a> {
         ready_at: u64,
     ) -> Result<u64, TransmitError> {
         let link = self.link_between(from, to)?;
-        Ok(self.transmit_on(link, from, bits, ready_at))
+        self.transmit_on(link, from, bits, ready_at)
+    }
+
+    /// [`NetRun::transmit`] with an explicit causality declaration: the
+    /// payload became known to `from` at the end of round `learned_at`
+    /// (`0` for the player's initial input), so the transmission may
+    /// start no earlier than `learned_at + 1`. Requests that would send
+    /// data before the sender can know it are rejected with
+    /// [`TransmitError::CausalityViolation`] — protocols that thread
+    /// arrival rounds through this entry point are causal by
+    /// construction *and* checked by the scheduler.
+    pub fn transmit_causal(
+        &mut self,
+        from: Player,
+        to: Player,
+        bits: u64,
+        learned_at: u64,
+        ready_at: u64,
+    ) -> Result<u64, TransmitError> {
+        if ready_at <= learned_at {
+            return Err(TransmitError::CausalityViolation {
+                at: from,
+                learned_at,
+                ready_at,
+            });
+        }
+        self.transmit(from, to, bits, ready_at)
     }
 
     /// [`NetRun::transmit`] on an explicit link (used when routing along
-    /// a Steiner tree whose links are known).
-    pub fn transmit_on(&mut self, link: LinkId, from: Player, bits: u64, ready_at: u64) -> u64 {
+    /// a Steiner tree whose links are known). Zero-capacity (down) links
+    /// carry nothing — not even zero-bit "nothing to say" messages.
+    pub fn transmit_on(
+        &mut self,
+        link: LinkId,
+        from: Player,
+        bits: u64,
+        ready_at: u64,
+    ) -> Result<u64, TransmitError> {
+        let cap = self.g.capacity(link);
+        if cap == 0 {
+            return Err(TransmitError::ZeroCapacity(link));
+        }
         let start = ready_at.max(1);
         if bits == 0 {
-            return start - 1;
+            return Ok(start - 1);
         }
         let (a, _b) = self.g.link(link);
         let dir = usize::from(from != a);
-        let cap = self.g.capacity(link);
         let sched = &mut self.schedules[link.index()][dir];
 
         self.stats.transmissions += 1;
@@ -146,7 +219,7 @@ impl<'a> NetRun<'a> {
                 }
                 if remaining == 0 {
                     self.stats.rounds = self.stats.rounds.max(round);
-                    return round;
+                    return Ok(round);
                 }
             }
             round += 1;
@@ -154,9 +227,11 @@ impl<'a> NetRun<'a> {
     }
 
     /// Sends `bits` from `from` to an arbitrary (possibly distant)
-    /// player along a shortest path, pipelined in capacity-sized chunks
-    /// with single-round relay latency (so the cost is
-    /// `≈ bits/capacity + distance`, not their product). Returns the
+    /// player along a shortest *positive-capacity* path, pipelined in
+    /// capacity-sized chunks with single-round relay latency (so the
+    /// cost is `≈ bits/capacity + distance`, not their product). Down
+    /// links ([`Topology::set_capacity`] to `0`) are routed around;
+    /// [`TransmitError::NoRoute`] when no live path exists. Returns the
     /// arrival-completion round.
     pub fn send_via_shortest_path(
         &mut self,
@@ -165,45 +240,83 @@ impl<'a> NetRun<'a> {
         bits: u64,
         ready_at: u64,
     ) -> Result<u64, TransmitError> {
-        if from == to || bits == 0 {
+        if from == to {
             return Ok(ready_at.max(1) - 1);
         }
-        // BFS path.
-        let dist = self.g.distances(to);
+        // BFS over live links only — checked even for zero-bit sends, so
+        // a partitioned pair reports `NoRoute` instead of a silent `Ok`
+        // (matching `transmit_on`'s dead-link policy).
+        let dist = self.g.live_distances(to);
         if dist[from.index()] == u32::MAX {
-            return Err(TransmitError::NotAdjacent(from, to));
+            return Err(TransmitError::NoRoute(from, to));
         }
-        let mut path = vec![from];
+        let mut nodes = vec![from];
+        let mut links = Vec::new();
         let mut cur = from;
         while cur != to {
-            let next = self
+            let (next, link) = self
                 .g
                 .neighbors(cur)
                 .iter()
-                .map(|(v, _)| *v)
-                .find(|v| dist[v.index()] < dist[cur.index()])
+                .copied()
+                .find(|(v, l)| self.g.capacity(*l) > 0 && dist[v.index()] < dist[cur.index()])
                 .expect("BFS distance decreases toward target");
-            path.push(next);
+            nodes.push(next);
+            links.push(link);
             cur = next;
         }
-        // Chunk to the bottleneck capacity along the path.
-        let chunk = path
-            .windows(2)
-            .map(|w| {
-                let l = self.link_between(w[0], w[1]).expect("adjacent");
-                self.g.capacity(l)
-            })
+        self.send_along_path(&nodes, &links, bits, ready_at)
+    }
+
+    /// [`NetRun::send_via_shortest_path`] with a causality declaration:
+    /// the payload is known to `from` at the end of round `learned_at`,
+    /// so the first hop departs at `learned_at + 1` and every relay hop
+    /// forwards each chunk the round after it arrives — the multi-hop
+    /// analogue of [`NetRun::transmit_causal`].
+    pub fn route_causal(
+        &mut self,
+        from: Player,
+        to: Player,
+        bits: u64,
+        learned_at: u64,
+    ) -> Result<u64, TransmitError> {
+        self.send_via_shortest_path(from, to, bits, learned_at.saturating_add(1))
+    }
+
+    /// Pipelines `bits` along an explicit hop sequence (e.g. a
+    /// Steiner-tree path from `SteinerTree::path`): the payload is
+    /// chunked to the bottleneck capacity and every relay forwards a
+    /// chunk the round after receiving it. `nodes`/`links` come in the
+    /// `path()` shape (`nodes.len() == links.len() + 1`). Returns the
+    /// arrival-completion round at the last hop.
+    pub fn send_along_path(
+        &mut self,
+        nodes: &[Player],
+        links: &[LinkId],
+        bits: u64,
+        ready_at: u64,
+    ) -> Result<u64, TransmitError> {
+        assert_eq!(nodes.len(), links.len() + 1, "hop/link shape mismatch");
+        if let Some(&dead) = links.iter().find(|&&l| self.g.capacity(l) == 0) {
+            return Err(TransmitError::ZeroCapacity(dead));
+        }
+        if links.is_empty() || bits == 0 {
+            return Ok(ready_at.max(1) - 1);
+        }
+        let chunk = links
+            .iter()
+            .map(|&l| self.g.capacity(l))
             .min()
-            .expect("non-trivial path");
+            .expect("non-empty path");
         let mut remaining = bits;
         let mut last = ready_at.max(1) - 1;
         let mut chunk_ready = ready_at.max(1);
         while remaining > 0 {
             let sz = chunk.min(remaining);
             remaining -= sz;
-            let mut t = chunk_ready.max(1) - 1;
-            for w in path.windows(2) {
-                t = self.transmit(w[0], w[1], sz, t + 1)?;
+            let mut t = chunk_ready - 1;
+            for (i, &l) in links.iter().enumerate() {
+                t = self.transmit_on(l, nodes[i], sz, t + 1)?;
             }
             last = last.max(t);
             chunk_ready += 1;
@@ -334,6 +447,95 @@ mod tests {
             .send_via_shortest_path(Player(0), Player(3), 4, 1)
             .unwrap();
         assert_eq!(done, 3);
+    }
+
+    #[test]
+    fn zero_capacity_link_is_an_error_not_a_stall() {
+        // Regression: a zero-capacity link used to spin forever in the
+        // FIFO fill loop. It must now fail fast, for any bit count —
+        // a down link carries nothing, not even empty messages.
+        let mut g = Topology::line(2).with_uniform_capacity(4);
+        g.set_capacity(LinkId(0), 0);
+        let mut run = NetRun::new(&g);
+        assert_eq!(
+            run.transmit(Player(0), Player(1), 8, 1),
+            Err(TransmitError::ZeroCapacity(LinkId(0)))
+        );
+        assert_eq!(
+            run.transmit(Player(0), Player(1), 0, 1),
+            Err(TransmitError::ZeroCapacity(LinkId(0)))
+        );
+        assert_eq!(run.stats(), RunStats::default(), "nothing was accounted");
+    }
+
+    #[test]
+    fn shortest_path_routes_around_down_links() {
+        // Ring with the direct 0—1 link down: traffic detours the long
+        // way round instead of stalling.
+        let mut g = Topology::ring(4).with_uniform_capacity(4);
+        g.set_capacity(LinkId(0), 0);
+        let mut run = NetRun::new(&g);
+        let done = run
+            .send_via_shortest_path(Player(0), Player(1), 4, 1)
+            .unwrap();
+        assert_eq!(done, 3, "three live hops: 0—3—2—1");
+        assert_eq!(run.link_total_bits(LinkId(0)), 0, "dead link untouched");
+    }
+
+    #[test]
+    fn no_live_route_is_an_error() {
+        let mut g = Topology::line(3).with_uniform_capacity(4);
+        g.set_capacity(LinkId(1), 0);
+        let mut run = NetRun::new(&g);
+        assert_eq!(
+            run.send_via_shortest_path(Player(0), Player(2), 4, 1),
+            Err(TransmitError::NoRoute(Player(0), Player(2)))
+        );
+        // Zero-bit sends respect the same policy: a partitioned pair is
+        // an error, not a silent success.
+        assert_eq!(
+            run.send_via_shortest_path(Player(0), Player(2), 0, 1),
+            Err(TransmitError::NoRoute(Player(0), Player(2)))
+        );
+        assert_eq!(
+            run.send_via_shortest_path(Player(0), Player(1), 0, 7),
+            Ok(6),
+            "zero bits over a live route still cost nothing"
+        );
+    }
+
+    #[test]
+    fn causal_transmit_rejects_time_travel() {
+        let g = Topology::line(2).with_uniform_capacity(4);
+        let mut run = NetRun::new(&g);
+        // Payload learned at the end of round 5 cannot depart at round 3
+        // (nor at round 5 itself).
+        for ready_at in [3u64, 5] {
+            assert_eq!(
+                run.transmit_causal(Player(0), Player(1), 4, 5, ready_at),
+                Err(TransmitError::CausalityViolation {
+                    at: Player(0),
+                    learned_at: 5,
+                    ready_at,
+                })
+            );
+        }
+        assert_eq!(run.stats().transmissions, 0, "rejected sends cost nothing");
+        // The first legal round is learned_at + 1.
+        assert_eq!(run.transmit_causal(Player(0), Player(1), 4, 5, 6), Ok(6));
+    }
+
+    #[test]
+    fn send_along_path_pipelines_chunks() {
+        // 16 bits over 3 hops at 4 bits/round: 4 chunk rounds + 2 relay
+        // fill rounds.
+        let g = Topology::line(4).with_uniform_capacity(4);
+        let mut run = NetRun::new(&g);
+        let nodes: Vec<Player> = (0..4u32).map(Player).collect();
+        let links: Vec<LinkId> = (0..3u32).map(LinkId).collect();
+        let done = run.send_along_path(&nodes, &links, 16, 1).unwrap();
+        assert_eq!(done, 4 + 2);
+        assert_eq!(run.stats().total_bits, 16 * 3, "every hop is charged");
     }
 
     #[test]

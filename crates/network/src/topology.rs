@@ -119,6 +119,16 @@ impl Topology {
         (0..self.links.len()).map(|i| LinkId(i as u32))
     }
 
+    /// Overrides one link's per-direction capacity. Unlike
+    /// [`Topology::add_link`], a capacity of `0` is allowed and models an
+    /// administratively *down* link: it stays in the graph structurally,
+    /// but the scheduler refuses to carry bits over it
+    /// (`TransmitError::ZeroCapacity`) and the routing helpers steer
+    /// around it.
+    pub fn set_capacity(&mut self, l: LinkId, bits: u64) {
+        self.capacity[l.index()] = bits;
+    }
+
     /// Returns a copy with every link capacity set to `bits`.
     pub fn with_uniform_capacity(mut self, bits: u64) -> Self {
         assert!(bits > 0);
@@ -136,6 +146,25 @@ impl Topology {
         while let Some(u) = q.pop_front() {
             for &(v, _) in &self.adj[u.index()] {
                 if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS distances from `s` over *live* links only (positive
+    /// capacity; `u32::MAX` = unreachable without crossing a down
+    /// link). The metric the scheduler's routing and the distributed
+    /// runtime's placement decisions share.
+    pub fn live_distances(&self, s: Player) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n];
+        dist[s.index()] = 0;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &(v, l) in &self.adj[u.index()] {
+                if self.capacity(l) > 0 && dist[v.index()] == u32::MAX {
                     dist[v.index()] = dist[u.index()] + 1;
                     q.push_back(v);
                 }
@@ -373,6 +402,16 @@ mod tests {
     fn capacity_override() {
         let g = Topology::line(3).with_uniform_capacity(64);
         assert_eq!(g.capacity(LinkId(0)), 64);
+    }
+
+    #[test]
+    fn live_distances_skip_down_links() {
+        let mut g = Topology::ring(4);
+        g.set_capacity(LinkId(0), 0); // 0—1 down
+        assert_eq!(g.distances(Player(0))[1], 1, "structurally adjacent");
+        assert_eq!(g.live_distances(Player(0))[1], 3, "live detour 0—3—2—1");
+        g.set_capacity(LinkId(1), 0); // 1—2 down too: P1 partitioned
+        assert_eq!(g.live_distances(Player(0))[1], u32::MAX);
     }
 
     #[test]

@@ -1,0 +1,761 @@
+//! The topology-general distributed FAQ runtime: any connected
+//! [`Topology`], any shard placement, one cached [`QueryPlan`].
+//!
+//! Where the star/d-degenerate protocols implement the paper's
+//! *specialised* round-optimal pipelines, [`DistributedFaqRun`] is the
+//! general-purpose executor the bounds are *about*: inputs are sharded
+//! across arbitrary players ([`InputPlacement`], hash-split via
+//! [`ConsistentHashSplit`]), shards travel along Steiner-tree /
+//! shortest-path schedules on the [`NetRun`] scheduler, and the upward
+//! pass of Theorem G.3 runs at per-GHD-node *aggregation players* with
+//! the columnar join kernel. Arrival rounds thread through the dataflow
+//! (`route_causal`), so pipelining and causality hold by construction.
+//!
+//! Every run returns the semiring result **and** the measured
+//! [`RunStats`]; [`ConformanceReport`] then confronts the measurement
+//! with the closed-form [`BoundReport`] — the paper's inequalities as
+//! executable checks.
+//!
+//! Push-down before shipping (Corollary G.2 at the shard level): a bound
+//! `Sum` variable occurring in exactly one hyperedge (and one GHD bag) is
+//! aggregated out of each shard *locally by its holder* before routing,
+//! provided every higher-indexed (inner) bound variable of the *same*
+//! hyperedge is also `Sum`-aggregated. The exchange is then sound: `⊗`
+//! distributes over `⊕` across the other factors (the variable appears
+//! in none of them), `Sum` commutes with `Sum`, and `Product` aggregates
+//! are engine-gated to idempotent semirings — for which
+//! `(⊕_v f)^m = ⊕_v f^m`. Without the same-factor guard the exchange is
+//! wrong: `Σ_v Π_w f(v,w) ≠ Π_w Σ_v f(v,w)` (regression-tested).
+
+use crate::bounds::{model_capacity_bits, BoundReport};
+use crate::hash_split::ConsistentHashSplit;
+use crate::outcome::ProtocolError;
+use faqs_exec::QueryPlan;
+use faqs_hypergraph::{EdgeId, NodeId, Var};
+use faqs_network::{best_delta, Assignment, NetRun, Player, RunStats, Topology};
+use faqs_relation::{FaqQuery, Relation};
+use faqs_semiring::{Aggregate, Semiring};
+use std::collections::BTreeSet;
+
+/// Which player holds which shard of each input factor (`K ⊆ V`
+/// generalised to sharded inputs, Definition G.7 / Appendix G.6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputPlacement {
+    /// `shards[e]` = the players holding factor `e`'s shards; a factor
+    /// with one entry is held whole. Multi-shard factors are partitioned
+    /// by [`ConsistentHashSplit`] over the factor's first variable.
+    shards: Vec<Vec<Player>>,
+    output: Player,
+}
+
+impl InputPlacement {
+    /// An explicit placement: `shards[e]` lists the holders of factor
+    /// `e`'s shards; `output` must learn the answer.
+    pub fn new(shards: Vec<Vec<Player>>, output: Player) -> Self {
+        assert!(
+            shards.iter().all(|s| !s.is_empty()),
+            "every factor needs at least one shard holder"
+        );
+        InputPlacement { shards, output }
+    }
+
+    /// Whole-relation placement from a protocol [`Assignment`]: one
+    /// shard per factor, at the assignment's holder.
+    pub fn from_assignment(a: &Assignment) -> Self {
+        let shards = (0..a.len())
+            .map(|e| vec![a.holder(EdgeId(e as u32))])
+            .collect();
+        InputPlacement::new(shards, a.output())
+    }
+
+    /// Hash-split placement (Appendix G.6): every one of the `k` factors
+    /// is sharded across all of `players` by the consistent hash of its
+    /// first variable's value.
+    pub fn hash_split(k: usize, players: &[Player], output: Player) -> Self {
+        assert!(!players.is_empty());
+        InputPlacement::new(vec![players.to_vec(); k], output)
+    }
+
+    /// A random placement for property tests, deterministic in `seed`:
+    /// each factor is held whole or split across up to three random
+    /// players of `g`; the output player is random too.
+    pub fn random(k: usize, g: &Topology, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = g.num_players() as u32;
+        assert!(n > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = (0..k)
+            .map(|_| {
+                let parts = rng.random_range(1..=3usize);
+                (0..parts).map(|_| Player(rng.random_range(0..n))).collect()
+            })
+            .collect();
+        InputPlacement::new(shards, Player(rng.random_range(0..n)))
+    }
+
+    /// The designated output player.
+    pub fn output(&self) -> Player {
+        self.output
+    }
+
+    /// The shard holders of factor `e`.
+    pub fn shard_holders(&self, e: EdgeId) -> &[Player] {
+        &self.shards[e.index()]
+    }
+
+    /// The distinct player set `K` (all shard holders plus the output).
+    pub fn players(&self) -> Vec<Player> {
+        let mut set: BTreeSet<Player> = self.shards.iter().flatten().copied().collect();
+        set.insert(self.output);
+        set.into_iter().collect()
+    }
+
+    fn validate<S: Semiring>(&self, q: &FaqQuery<S>, g: &Topology) -> Result<(), ProtocolError> {
+        if self.shards.len() != q.k() {
+            return Err(ProtocolError::Invalid(format!(
+                "{} shard lists for {} relations",
+                self.shards.len(),
+                q.k()
+            )));
+        }
+        for p in self.players() {
+            if p.index() >= g.num_players() {
+                return Err(ProtocolError::Invalid(format!("{p} not in topology")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one distributed run: the semiring answer (materialised at
+/// the output player) plus the scheduler's measurements.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome<S: Semiring> {
+    /// The result relation over the free variables, identical to
+    /// `faqs_core::solve_faq` on the same query.
+    pub result: Relation<S>,
+    /// Measured rounds / bits / transmissions of the run.
+    pub stats: RunStats,
+    /// The aggregation player chosen for each GHD node (dense by node
+    /// index; the root always aggregates at the output player).
+    pub node_player: Vec<Player>,
+    /// Round at whose end the output player holds the result.
+    pub completed_at: u64,
+}
+
+/// A distributed FAQ execution over an arbitrary topology: shards are
+/// routed to per-GHD-node aggregation players along Steiner-tree /
+/// shortest-path schedules, and the Yannakakis/GHD upward pass runs at
+/// those players with the columnar kernel, threading arrival rounds
+/// through the dataflow.
+///
+/// # Example
+///
+/// ```
+/// use faqs_hypergraph::star_query;
+/// use faqs_network::{Player, Topology};
+/// use faqs_protocols::{DistributedFaqRun, InputPlacement};
+/// use faqs_relation::{random_boolean_instance, RandomInstanceConfig};
+/// use faqs_semiring::Semiring;
+///
+/// // A star BCQ, hash-split across the four players of a ring.
+/// let q = random_boolean_instance(&star_query(3), &RandomInstanceConfig::default(), true);
+/// let g = Topology::ring(4);
+/// let players: Vec<Player> = (0..4).map(Player).collect();
+/// let placement = InputPlacement::hash_split(q.k(), &players, Player(0));
+///
+/// let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
+/// let out = run.execute().unwrap();
+/// assert_eq!(!out.result.total().is_zero(), faqs_core::solve_bcq(&q));
+///
+/// // The measurement conforms to the paper's bit envelope.
+/// assert!(run.conformance(out.stats).within_upper());
+/// ```
+pub struct DistributedFaqRun<'a, S: Semiring> {
+    q: &'a FaqQuery<S>,
+    placement: InputPlacement,
+    plan: QueryPlan,
+    /// The capacity-scaled topology the run executes on.
+    scaled: Topology,
+    all_links_live: bool,
+    threads: usize,
+}
+
+impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
+    /// Prepares a run: validates the query and placement, builds (and
+    /// validates) the [`QueryPlan`], and scales every link to carry
+    /// `capacity_tuples` tuples (`r·⌈log₂ D⌉` bits plus annotation) per
+    /// round — `1` is the paper's Model 2.1 allowance; pass `0` to keep
+    /// `g`'s own (possibly heterogeneous or down) capacities.
+    pub fn new(
+        q: &'a FaqQuery<S>,
+        g: &Topology,
+        placement: InputPlacement,
+        capacity_tuples: u64,
+    ) -> Result<Self, ProtocolError> {
+        q.validate()
+            .map_err(|e| ProtocolError::Invalid(e.to_string()))?;
+        placement.validate(q, g)?;
+        let plan = QueryPlan::build(q, false).map_err(|e| ProtocolError::Engine(e.to_string()))?;
+        let scaled = if capacity_tuples == 0 {
+            g.clone()
+        } else {
+            g.clone()
+                .with_uniform_capacity(capacity_tuples * model_capacity_bits(q))
+        };
+        let all_links_live = scaled.links().all(|l| scaled.capacity(l) > 0);
+        Ok(DistributedFaqRun {
+            q,
+            placement,
+            plan,
+            scaled,
+            all_links_live,
+            // Inherit the executor's CI matrix (`FAQS_EXEC_THREADS`):
+            // local join work is bit-identical at any thread count, so
+            // the matrix only widens coverage, never the results.
+            threads: faqs_exec::ExecutorConfig::default().threads,
+        })
+    }
+
+    /// Sets the worker-thread count for the *local* join work at the
+    /// aggregation players (bit-identical output and identical
+    /// [`RunStats`] at any count — the schedule is data-independent).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The capacity-scaled topology the run executes on.
+    pub fn topology(&self) -> &Topology {
+        &self.scaled
+    }
+
+    /// The placement this run executes.
+    pub fn placement(&self) -> &InputPlacement {
+        &self.placement
+    }
+
+    /// Executes the full FAQ on the round scheduler. The result relation
+    /// equals `faqs_core::solve_faq` on every input; the stats are the
+    /// empirical side of [`ConformanceReport`].
+    pub fn execute(&self) -> Result<DistributedOutcome<S>, ProtocolError> {
+        let shards = self.materialise_shards();
+        let node_player = self.node_players(&shards);
+        let mut run = NetRun::new(&self.scaled);
+        let root = self.plan.root();
+        let (acc, ready) = self.eval_node(root, &mut run, &shards, &node_player)?;
+        let result =
+            faqs_core::finish_root(self.q, acc.unwrap_or_else(Relation::unit), |rel, v, op| {
+                rel.aggregate_out(v, op)
+            });
+        Ok(DistributedOutcome {
+            result,
+            stats: run.stats(),
+            node_player,
+            completed_at: ready,
+        })
+    }
+
+    /// Confronts a run's measurement with the paper's bounds evaluated
+    /// on this query / (scaled) topology / player set.
+    pub fn conformance(&self, stats: RunStats) -> ConformanceReport {
+        ConformanceReport::evaluate(self.q, &self.scaled, &self.placement.players(), stats)
+    }
+
+    /// Per-edge shard relations, pre-aggregated at their holders: every
+    /// bound `Sum` variable private to its single hyperedge (and single
+    /// GHD bag) is summed out shard-locally before any routing —
+    /// provided the exchange respects Equation (4)'s nesting: every
+    /// higher-indexed (i.e. *inner*) bound variable of the same
+    /// hyperedge must itself be `Sum`-aggregated, since `Σ_v Π_w f(v,w)
+    /// ≠ Π_w Σ_v f(v,w)` when `v` and `w` share a factor (non-`Sum`
+    /// aggregates in *other* factors are fine: `Product` is
+    /// idempotence-gated, so `(⊕_v f)^m = ⊕_v f^m`).
+    fn materialise_shards(&self) -> Vec<Vec<(Player, Relation<S>)>> {
+        let h = &self.q.hypergraph;
+        let shippable = |v: Var, edge_vars: &[Var]| {
+            !self.q.is_free(v)
+                && self.q.aggregates[v.index()] == Aggregate::Sum
+                && h.edges().filter(|(_, vars)| vars.contains(&v)).count() == 1
+                && edge_vars.iter().all(|&w| {
+                    w <= v || self.q.is_free(w) || self.q.aggregates[w.index()] == Aggregate::Sum
+                })
+                && self
+                    .plan
+                    .ghd
+                    .node_ids()
+                    .filter(|&n| self.plan.ghd.chi(n).contains(&v))
+                    .count()
+                    == 1
+        };
+        (0..self.q.k())
+            .map(|ei| {
+                let e = EdgeId(ei as u32);
+                let holders = self.placement.shard_holders(e);
+                let factor = self.q.factor(e);
+                let mut ship: Vec<Var> = factor
+                    .schema()
+                    .iter()
+                    .copied()
+                    .filter(|&v| shippable(v, factor.schema()))
+                    .collect();
+                // Innermost (highest index) first, like every other
+                // aggregation site.
+                ship.sort_unstable_by(|a, b| b.cmp(a));
+                let parts: Vec<Relation<S>> = if holders.len() == 1 {
+                    vec![factor.clone()]
+                } else {
+                    let split = ConsistentHashSplit::new(holders.len());
+                    factor.split_by(holders.len(), |t| {
+                        split.owner(t.first().copied().unwrap_or(0))
+                    })
+                };
+                holders
+                    .iter()
+                    .zip(parts)
+                    .map(|(&p, mut part)| {
+                        for &v in &ship {
+                            part = part.aggregate_out(v, Aggregate::Sum);
+                        }
+                        (p, part)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Chooses each GHD node's aggregation player: the root aggregates
+    /// at the output; every other node picks, among its factors' shard
+    /// holders and the output, the player minimising the bit-distance
+    /// mass of its shards (ties to the lowest player id).
+    fn node_players(&self, shards: &[Vec<(Player, Relation<S>)>]) -> Vec<Player> {
+        let n_nodes = self
+            .plan
+            .ghd
+            .node_ids()
+            .map(|n| n.index())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut agg = vec![self.placement.output(); n_nodes];
+        // One BFS per distinct candidate across all nodes (the output is
+        // a candidate for every node; shard holders repeat too).
+        let mut dist_cache: std::collections::BTreeMap<Player, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for node in self.plan.ghd.node_ids() {
+            if node == self.plan.root() {
+                continue; // output player, fixed above
+            }
+            let mut candidates: BTreeSet<Player> = BTreeSet::from([self.placement.output()]);
+            let mut mass: Vec<(Player, u64)> = Vec::new();
+            for step in self.plan.joins(node) {
+                for (p, rel) in &shards[step.edge.index()] {
+                    candidates.insert(*p);
+                    mass.push((*p, rel.bits(self.q.domain)));
+                }
+            }
+            let mut best: Option<(u64, Player)> = None;
+            for &c in &candidates {
+                // Live distances: a down link must not make a candidate
+                // look closer than its actual detour.
+                let dist = dist_cache
+                    .entry(c)
+                    .or_insert_with(|| self.scaled.live_distances(c));
+                let cost: u64 = mass
+                    .iter()
+                    .map(|&(p, bits)| bits.saturating_mul(dist[p.index()].min(1 << 20) as u64))
+                    .sum();
+                // Strict `<` keeps the first (lowest-id) minimiser.
+                if best.map(|(b, _)| cost < b).unwrap_or(true) {
+                    best = Some((cost, c));
+                }
+            }
+            agg[node.index()] = best.expect("at least one candidate").1;
+        }
+        agg
+    }
+
+    /// Evaluates one subtree: children first (their messages routed to
+    /// this node's aggregation player with causal ready rounds), then the
+    /// plan's smallest-first indexed join pipeline over the gathered
+    /// factors, then the child messages folded in deterministic node
+    /// order. Returns the un-aggregated node relation and the round at
+    /// whose end it is complete at the aggregation player.
+    #[allow(clippy::type_complexity)]
+    fn eval_node(
+        &self,
+        node: NodeId,
+        run: &mut NetRun<'_>,
+        shards: &[Vec<(Player, Relation<S>)>],
+        node_player: &[Player],
+    ) -> Result<(Option<Relation<S>>, u64), ProtocolError> {
+        let me = node_player[node.index()];
+        let mut ready = 0u64;
+
+        // Children subtrees, in the plan's deterministic order.
+        let mut messages: Vec<Relation<S>> = Vec::new();
+        for &child in self.plan.children(node) {
+            let (sub, sub_ready) = self.eval_node(child, run, shards, node_player)?;
+            let sub = sub.expect("non-root GHD nodes carry a factor");
+            // Push-down at the child's aggregation player: aggregate out
+            // the subtree-private variables (Corollary G.2) *before* the
+            // message travels.
+            let message =
+                faqs_core::push_down_message(self.q, sub, self.plan.ghd.chi(node), |rel, v, op| {
+                    rel.aggregate_out(v, op)
+                });
+            let from = node_player[child.index()];
+            let arrived = if from == me {
+                sub_ready
+            } else {
+                // The message is learned at the end of `sub_ready`, so
+                // it departs at `sub_ready + 1` — causal by construction.
+                run.route_causal(from, me, message.bits(self.q.domain), sub_ready)
+                    .map_err(|e| ProtocolError::Unreachable(e.to_string()))?
+            };
+            ready = ready.max(arrived);
+            messages.push(message);
+        }
+
+        // Own factors: gather shards, then the cached join pipeline.
+        let mut acc: Option<Relation<S>> = None;
+        for step in self.plan.joins(node) {
+            let (factor, arrived) = self.gather_factor(step.edge, me, run, shards)?;
+            ready = ready.max(arrived);
+            acc = Some(match acc {
+                Some(cur) => {
+                    let idx = factor.build_index(&step.key);
+                    cur.join_indexed_par(&factor, &idx, self.threads)
+                }
+                None => factor,
+            });
+        }
+
+        // Fold child messages in node order — the `⊗` on the bag overlap
+        // of Theorem G.3, deterministic across runs and thread counts.
+        for message in messages {
+            acc = Some(match acc {
+                Some(cur) => {
+                    let shared = cur.shared_vars(&message);
+                    let idx = message.build_index(&shared);
+                    cur.join_indexed_par(&message, &idx, self.threads)
+                }
+                None => message,
+            });
+        }
+        Ok((acc, ready))
+    }
+
+    /// Routes every remote shard of factor `e` to the aggregation player
+    /// `to` — across an edge-disjoint Steiner packing when several
+    /// holders converge (shards round-robin over the trees), along a
+    /// shortest live path otherwise — and reassembles the factor there.
+    fn gather_factor(
+        &self,
+        e: EdgeId,
+        to: Player,
+        run: &mut NetRun<'_>,
+        shards: &[Vec<(Player, Relation<S>)>],
+    ) -> Result<(Relation<S>, u64), ProtocolError> {
+        let parts = &shards[e.index()];
+        let domain = self.q.domain;
+        let remote: Vec<(Player, &Relation<S>)> = parts
+            .iter()
+            .filter(|(p, _)| *p != to)
+            .map(|(p, r)| (*p, r))
+            .collect();
+        let mut ready = 0u64;
+        let mut routed = false;
+        if remote.len() >= 2 && self.all_links_live {
+            let mut members: Vec<Player> = remote.iter().map(|(p, _)| *p).collect();
+            members.push(to);
+            members.sort_unstable();
+            members.dedup();
+            if members.len() >= 2 {
+                let cap_min = self
+                    .scaled
+                    .links()
+                    .map(|l| self.scaled.capacity(l))
+                    .min()
+                    .unwrap_or(1)
+                    .max(1);
+                let total_bits: u64 = remote.iter().map(|(_, r)| r.bits(domain)).sum();
+                let (_delta, packing) =
+                    best_delta(&self.scaled, &members, total_bits.div_ceil(cap_min));
+                if !packing.is_empty() {
+                    for (i, (p, rel)) in remote.iter().enumerate() {
+                        let tree = &packing[i % packing.len()];
+                        let (nodes, links) = tree.path(*p, to).expect("terminals are spanned");
+                        let done = run
+                            .send_along_path(&nodes, &links, rel.bits(domain), 1)
+                            .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
+                        ready = ready.max(done);
+                    }
+                    routed = true;
+                }
+            }
+        }
+        if !routed {
+            for (p, rel) in &remote {
+                let done = run
+                    .send_via_shortest_path(*p, to, rel.bits(domain), 1)
+                    .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
+                ready = ready.max(done);
+            }
+        }
+        let rels: Vec<Relation<S>> = parts.iter().map(|(_, r)| r.clone()).collect();
+        Ok((Relation::union_all(&rels), ready))
+    }
+}
+
+/// Documented slack constant of the executable bound inequalities: the
+/// paper's bounds are `Õ(·)` / `Ω̃(·)` with unspecified constants; the
+/// conformance envelope grants the upper bound this multiplicative
+/// factor (plus a latency additive) before declaring a violation.
+pub const CONFORMANCE_SLACK: u64 = 4;
+
+/// The paper's inequalities as executable checks: a measured
+/// [`RunStats`] confronted with [`BoundReport::evaluate`] translated
+/// into a bit envelope.
+///
+/// * `upper_bits` — the paper's round upper bound times the network's
+///   per-round throughput (every link, both directions), with the
+///   [`CONFORMANCE_SLACK`] constants: a protocol meeting the paper's
+///   round bound can never move more. Co-located placements (`|K| < 2`)
+///   get a zero envelope — the run must be communication-free.
+/// * `lower_bits` — the nominal `Ω̃((y + n2)·N / MinCut)` in bit units
+///   (each required round pushes at least one bit through the
+///   bottleneck). Valid for adversarially *spread* placements on hard
+///   instances, which is what the conformance fixtures construct; use
+///   [`ConformanceReport::within_upper`] alone for arbitrary
+///   placements/instances.
+///
+/// # Example
+///
+/// ```
+/// use faqs_hypergraph::star_query;
+/// use faqs_network::{Player, Topology};
+/// use faqs_protocols::{ConformanceReport, DistributedFaqRun, InputPlacement};
+/// use faqs_relation::{random_boolean_instance, RandomInstanceConfig};
+///
+/// let q = random_boolean_instance(&star_query(3), &RandomInstanceConfig::default(), true);
+/// let g = Topology::line(4);
+/// let players: Vec<Player> = (0..4).map(Player).collect();
+/// let run = DistributedFaqRun::new(
+///     &q,
+///     &g,
+///     InputPlacement::hash_split(q.k(), &players, Player(3)),
+///     1,
+/// )
+/// .unwrap();
+/// let out = run.execute().unwrap();
+///
+/// let report: ConformanceReport = run.conformance(out.stats);
+/// assert!(report.within_upper(), "measured bits inside the paper's envelope");
+/// assert!(report.upper_bits >= report.lower_bits);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// The closed-form bound quantities this run is checked against.
+    pub bound: BoundReport,
+    /// The measured run.
+    pub stats: RunStats,
+    /// Lower bit envelope (see type-level docs for its validity domain).
+    pub lower_bits: u64,
+    /// Upper bit envelope.
+    pub upper_bits: u64,
+}
+
+impl ConformanceReport {
+    /// Evaluates the envelope for computing `q` on `g` (capacities as
+    /// the run saw them) with player set `players`, against `stats`.
+    pub fn evaluate<S: Semiring>(
+        q: &FaqQuery<S>,
+        g: &Topology,
+        players: &[Player],
+        stats: RunStats,
+    ) -> Self {
+        let bound = BoundReport::evaluate(q, g, players);
+        let (lower_bits, upper_bits) = if players.len() < 2 {
+            (0, 0)
+        } else {
+            let per_round: u64 = g.links().map(|l| 2 * g.capacity(l)).sum();
+            let additive = per_round.saturating_mul(g.diameter() as u64 + q.k() as u64 + 1);
+            (
+                bound.lower_rounds,
+                CONFORMANCE_SLACK
+                    .saturating_mul(bound.upper_rounds)
+                    .saturating_mul(per_round)
+                    .saturating_add(additive),
+            )
+        };
+        ConformanceReport {
+            bound,
+            stats,
+            lower_bits,
+            upper_bits,
+        }
+    }
+
+    /// Whether the measured bits stay inside the upper envelope (for a
+    /// co-located placement: whether the run was communication-free).
+    pub fn within_upper(&self) -> bool {
+        self.stats.total_bits <= self.upper_bits
+    }
+
+    /// Whether the measured bits meet the lower envelope.
+    pub fn meets_lower(&self) -> bool {
+        self.stats.total_bits >= self.lower_bits
+    }
+
+    /// `lower_bits ≤ total_bits ≤ upper_bits`.
+    pub fn conforms(&self) -> bool {
+        self.within_upper() && self.meets_lower()
+    }
+
+    /// Panics with the full ledger unless [`ConformanceReport::conforms`].
+    pub fn assert_conforms(&self) {
+        assert!(
+            self.conforms(),
+            "bound conformance violated: lower {} ≤ measured {} ≤ upper {} \
+             (rounds {}, transmissions {}, bound {:?})",
+            self.lower_bits,
+            self.stats.total_bits,
+            self.upper_bits,
+            self.stats.rounds,
+            self.stats.transmissions,
+            self.bound,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_core::{solve_faq, solve_faq_brute_force};
+    use faqs_hypergraph::{path_query, star_query};
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::Count;
+
+    fn count_instance(h: &faqs_hypergraph::Hypergraph, seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 4,
+                seed,
+            },
+            vec![],
+            |r| {
+                use rand::Rng;
+                Count(r.random_range(1..4))
+            },
+        )
+    }
+
+    #[test]
+    fn whole_placement_matches_engine() {
+        for seed in 0..6 {
+            let q = count_instance(&star_query(3), seed);
+            let g = Topology::line(4);
+            let a = Assignment::round_robin(&q, &g, &[0, 1, 2, 3]);
+            let run =
+                DistributedFaqRun::new(&q, &g, InputPlacement::from_assignment(&a), 1).unwrap();
+            let out = run.execute().unwrap();
+            assert_eq!(out.result, solve_faq(&q).unwrap(), "seed {seed}");
+            assert_eq!(out.result, solve_faq_brute_force(&q), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hash_split_placement_matches_engine() {
+        for seed in 0..6 {
+            let q = count_instance(&path_query(3), seed);
+            let g = Topology::ring(5);
+            let players: Vec<Player> = (0..5).map(Player).collect();
+            let placement = InputPlacement::hash_split(q.k(), &players, Player(2));
+            let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
+            let out = run.execute().unwrap();
+            assert_eq!(out.result, solve_faq(&q).unwrap(), "seed {seed}");
+            assert!(out.stats.total_bits > 0, "sharded inputs must communicate");
+        }
+    }
+
+    #[test]
+    fn colocated_run_is_communication_free() {
+        let q = count_instance(&star_query(3), 1);
+        let g = Topology::line(4);
+        let placement = InputPlacement::new(vec![vec![Player(2)]; q.k()], Player(2));
+        let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
+        let out = run.execute().unwrap();
+        assert_eq!(out.result, solve_faq(&q).unwrap());
+        assert_eq!(out.stats, RunStats::default());
+        let report = run.conformance(out.stats);
+        assert_eq!(report.upper_bits, 0, "co-located envelope is zero");
+        report.assert_conforms();
+    }
+
+    #[test]
+    fn root_aggregates_at_the_output_player() {
+        let q = count_instance(&star_query(4), 3);
+        let g = Topology::grid(2, 3);
+        let players: Vec<Player> = (0..6).map(Player).collect();
+        let placement = InputPlacement::hash_split(q.k(), &players, Player(5));
+        let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
+        let out = run.execute().unwrap();
+        assert_eq!(out.node_player[run.plan.root().index()], Player(5));
+    }
+
+    #[test]
+    fn dead_link_is_routed_around() {
+        let q = count_instance(&star_query(3), 4);
+        // Ring with one down link: still connected through the long way.
+        let mut g = Topology::ring(4).with_uniform_capacity(64);
+        g.set_capacity(faqs_network::LinkId(0), 0);
+        let a = Assignment::round_robin(&q, &g, &[0, 1, 2, 3]);
+        // capacity_tuples = 0 keeps the heterogeneous (down) capacities.
+        let run = DistributedFaqRun::new(&q, &g, InputPlacement::from_assignment(&a), 0).unwrap();
+        let out = run.execute().unwrap();
+        assert_eq!(out.result, solve_faq(&q).unwrap());
+    }
+
+    #[test]
+    fn sum_product_exchange_guard_regression() {
+        use faqs_semiring::Gf2;
+        // `Σ_{x0} Π_{x1} f(x0, x1)` over GF(2): Equation (4) nests the
+        // Product (higher index) inside the Sum, so the per-group
+        // Product must run first. Shard pre-aggregation used to sum x0
+        // out early — `Π_{x1} Σ_{x0} f` — flipping the answer from 0
+        // to 1 on this instance. The same-factor guard must refuse the
+        // exchange.
+        let h = star_query(1); // single edge {x0, x1}
+        let factor = Relation::from_pairs(
+            vec![Var(0), Var(1)],
+            [(vec![0, 0], Gf2(true)), (vec![1, 1], Gf2(true))],
+        );
+        let q =
+            FaqQuery::new_ss(h, vec![factor], vec![], 2).with_aggregate(Var(1), Aggregate::Product);
+        let engine = solve_faq(&q).unwrap();
+        assert_eq!(engine, solve_faq_brute_force(&q), "engine vs oracle");
+
+        let g = Topology::line(2);
+        for placement in [
+            // Co-located (exercises the pure local path) …
+            InputPlacement::new(vec![vec![Player(0)]], Player(0)),
+            // … and remote (the pre-aggregated shard actually ships).
+            InputPlacement::new(vec![vec![Player(1)]], Player(0)),
+        ] {
+            let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
+            assert_eq!(run.execute().unwrap().result, engine);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_placement() {
+        let q = count_instance(&star_query(3), 1);
+        let g = Topology::line(2);
+        let placement = InputPlacement::new(vec![vec![Player(0)]], Player(0)); // too few
+        assert!(DistributedFaqRun::new(&q, &g, placement, 1).is_err());
+    }
+}

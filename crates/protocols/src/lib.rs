@@ -16,6 +16,13 @@
 //!   (or a final star when the query is acyclic).
 //! * [`run_hash_split_protocol`] — the Appendix G.6 variant where
 //!   relations are split across players by a consistent hash family.
+//! * [`DistributedFaqRun`] — the topology-general runtime: any
+//!   [`faqs_network::Topology`], any [`InputPlacement`] of factor shards,
+//!   one `faqs_exec::QueryPlan`; shards travel Steiner-tree /
+//!   shortest-path schedules and the GHD upward pass runs at per-node
+//!   aggregation players. [`ConformanceReport`] then confronts the
+//!   measured [`faqs_network::RunStats`] with [`BoundReport`] — the
+//!   paper's inequalities as executable checks.
 //!
 //! Every run returns a [`ProtocolOutcome`]: the actual answer (validated
 //! against the centralized engine in tests), the measured rounds and
@@ -27,6 +34,7 @@
 
 mod bounds;
 mod degenerate;
+mod distributed;
 mod hash_split;
 mod outcome;
 mod setint;
@@ -37,6 +45,9 @@ pub use bounds::{model_capacity_bits, BoundReport};
 pub use degenerate::{
     run_bcq_protocol, run_bcq_protocol_with_cut, run_faq_protocol, run_faq_protocol_lattice,
     BcqOutcome,
+};
+pub use distributed::{
+    ConformanceReport, DistributedFaqRun, DistributedOutcome, InputPlacement, CONFORMANCE_SLACK,
 };
 pub use hash_split::{run_hash_split_protocol, ConsistentHashSplit};
 pub use outcome::{ProtocolError, ProtocolOutcome};

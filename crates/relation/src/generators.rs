@@ -80,6 +80,22 @@ pub fn random_boolean_instance(
     q
 }
 
+/// A *hard* star BCQ with `k` leaves over domain `n`: every relation
+/// lists all `n` center values (`(x, x mod 5)` pairs), so no upward
+/// message shrinks below `n` entries under projection or aggregation —
+/// the irreducible instance shared by the bound-conformance fixtures,
+/// the `distributed` harness table (E15), and the distributed bench,
+/// which pin measurements against it.
+pub fn irreducible_star_instance(k: usize, n: u32) -> FaqQuery<Boolean> {
+    assert!(n >= 5, "need the (x, x mod 5) witness pairs in-domain");
+    let h = faqs_hypergraph::star_query(k);
+    let mut b = crate::builder::BcqBuilder::new(&h, n as usize);
+    for e in 0..k {
+        b.relation_from_pairs(e, (0..n).map(|x| (x, x % 5)));
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

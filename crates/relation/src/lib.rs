@@ -29,7 +29,9 @@ mod relation;
 
 pub use builder::BcqBuilder;
 pub use faqs_semiring::Aggregate;
-pub use generators::{random_boolean_instance, random_instance, RandomInstanceConfig};
+pub use generators::{
+    irreducible_star_instance, random_boolean_instance, random_instance, RandomInstanceConfig,
+};
 pub use kernel::JoinIndex;
 pub use query::{FaqQuery, QueryError};
 pub use relation::{Relation, Tuple};

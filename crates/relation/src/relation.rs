@@ -452,6 +452,28 @@ impl<S: Semiring> Relation<S> {
         out
     }
 
+    /// Partitions the listing by an owner function (e.g. a consistent
+    /// hash of the join-key value): tuple `t` lands in part
+    /// `owner_of(t) % parts`. Canonical order is preserved inside every
+    /// part, so the parts reassemble with [`Relation::union_all`] on the
+    /// presorted fast path.
+    pub fn split_by(
+        &self,
+        parts: usize,
+        mut owner_of: impl FnMut(&[u32]) -> usize,
+    ) -> Vec<Relation<S>> {
+        assert!(parts >= 1);
+        let mut out: Vec<Relation<S>> = (0..parts)
+            .map(|_| Relation::new(self.schema.clone()))
+            .collect();
+        for (t, v) in self.iter() {
+            let part = &mut out[owner_of(t) % parts];
+            part.data.extend_from_slice(t);
+            part.values.push(v.clone());
+        }
+        out
+    }
+
     /// Union of same-schema relations with `⊕`-accumulation of duplicate
     /// tuples (inverse of [`Relation::split`]): concatenate the arenas,
     /// then one sort-merge.
@@ -738,6 +760,16 @@ mod tests {
         let r = count_rel(&[0], &[(&[1], 1), (&[2], 2), (&[3], 3), (&[4], 4)]);
         let parts = r.split(3);
         assert_eq!(parts.iter().map(Relation::len).sum::<usize>(), 4);
+        assert_eq!(Relation::union_all(&parts), r);
+    }
+
+    #[test]
+    fn split_by_owner_partitions_and_roundtrips() {
+        let r = count_rel(&[0], &[(&[1], 1), (&[2], 2), (&[3], 3), (&[4], 4)]);
+        let parts = r.split_by(2, |t| t[0] as usize % 2);
+        assert_eq!(parts[0].tuples().count(), 2, "even keys");
+        assert!(parts[0].tuples().all(|t| t[0] % 2 == 0));
+        assert!(parts[1].tuples().all(|t| t[0] % 2 == 1));
         assert_eq!(Relation::union_all(&parts), r);
     }
 

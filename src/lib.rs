@@ -73,7 +73,10 @@ pub mod prelude {
     pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
     pub use faqs_network::{Assignment, Topology};
-    pub use faqs_protocols::{run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice};
+    pub use faqs_protocols::{
+        run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice, ConformanceReport,
+        DistributedFaqRun, InputPlacement,
+    };
     pub use faqs_relation::{BcqBuilder, FaqQuery, Relation};
     pub use faqs_semiring::{Aggregate, Boolean, Count, Gf2, Prob, Semiring};
 }

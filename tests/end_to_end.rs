@@ -401,6 +401,48 @@ fn solve_faq_matches_across_assignment_layouts() {
 }
 
 #[test]
+fn distributed_runtime_matches_every_other_strategy() {
+    // The topology-general runtime against the specialised protocol,
+    // the engine and the oracle, on the same instance and topology —
+    // the full strategy lattice through the facade.
+    let h = star_query(4);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: 12,
+        domain: 8,
+        seed: 81,
+    };
+    let q = random_boolean_instance(&h, &cfg, true);
+    let expected = !solve_faq_brute_force(&q).total().is_zero();
+    assert_eq!(solve_bcq(&q), expected);
+
+    for g in [Topology::line(4), Topology::clique(4), Topology::grid(2, 2)] {
+        let a = Assignment::round_robin(&q, &g, &all_player_ids(&g));
+        let protocol = run_bcq_protocol(&q, &g, &a, 1).unwrap();
+        assert_eq!(protocol.answer, expected, "specialised on {}", g.name());
+
+        let players: Vec<Player> = g.players().collect();
+        for placement in [
+            InputPlacement::from_assignment(&a),
+            InputPlacement::hash_split(q.k(), &players, a.output()),
+        ] {
+            let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
+            let out = run.execute().unwrap();
+            assert_eq!(
+                !out.result.total().is_zero(),
+                expected,
+                "general runtime on {}",
+                g.name()
+            );
+            assert!(
+                run.conformance(out.stats).within_upper(),
+                "bit envelope on {}",
+                g.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn engine_free_vars_match_solve_faq_for_pgm_style_queries() {
     let h = path_query(4);
     let cfg = RandomInstanceConfig {
