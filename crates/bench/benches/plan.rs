@@ -1,0 +1,63 @@
+//! Criterion bench for the cost-based planner (`faqs-plan`): planning
+//! overhead (structural vs statistics-driven candidate search) and the
+//! end-to-end payoff of the chosen plan on the shared skewed-star
+//! instance. Recorded in CI as `BENCH_plan.json` — the planner's perf
+//! trajectory next to the kernel (`BENCH_relation.json`), executor
+//! (`BENCH_engine.json`) and distributed (`BENCH_distributed.json`)
+//! rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_core::solve_faq_with_plan;
+use faqs_plan::{plan_query, PlannerConfig};
+use faqs_relation::{irreducible_star_instance, skewed_star_instance};
+use std::hint::black_box;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_build");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let uniform = irreducible_star_instance(4, 128);
+    let skewed = skewed_star_instance(4, 24);
+    for (label, q) in [("uniform_star", &uniform), ("skewed_star", &skewed)] {
+        for (mode, cfg) in [
+            ("structural", PlannerConfig::structural()),
+            ("stats", PlannerConfig::stats()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, mode), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let plan = plan_query(black_box(q), false, cfg).unwrap();
+                    black_box((plan.cost, plan.candidates.len()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_chosen_plan_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_payoff");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    // The shared skewed fixture: the structural default seeds the pass
+    // with the n²-row factor; the stats plan re-roots onto a thin edge.
+    let q = skewed_star_instance(4, 48);
+    let structural = plan_query(&q, false, &PlannerConfig::structural()).unwrap();
+    let stats = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+    assert!(!stats.chose_default(), "fixture must trigger the re-root");
+    for (mode, plan) in [("structural_plan", &structural), ("stats_plan", &stats)] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), plan, |b, plan| {
+            b.iter(|| {
+                let out =
+                    solve_faq_with_plan(black_box(&q), plan, |rel, v, op| rel.aggregate_out(v, op))
+                        .unwrap();
+                black_box(out.total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_chosen_plan_execution);
+criterion_main!(benches);

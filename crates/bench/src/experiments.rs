@@ -867,6 +867,83 @@ pub fn e15_distributed(n: usize) {
     }
 }
 
+/// **E16 — plan-explain.** The cost-based planner's candidate tables:
+/// for the shared `irreducible_star_instance` (uniform — every reroot
+/// ties and the structural default must win) and the shared
+/// `skewed_star_instance` (one `n²`-row leaf — the stats-aware planner
+/// must re-root away from it), print every scored GHD candidate with
+/// its predicted kernel work, predicted shipped bits (for the placed
+/// skewed run), and the chosen plan. Not a paper artifact — the
+/// planner-trajectory row behind the ROADMAP's "fast as the hardware
+/// allows" north star; CI records the companion bench as
+/// `BENCH_plan.json`.
+pub fn e16_plan_explain(n: usize) {
+    use faqs_plan::{plan_query, plan_query_placed, PlacementContext, PlannerConfig};
+
+    banner("E16 · Cost-based planner — candidate tables (plan-explain)");
+
+    let print_plan = |label: &str, plan: &faqs_plan::ChosenPlan| {
+        println!(
+            "{label}: {} candidate(s), stats_aware = {}, kept default = {}",
+            plan.candidates.len(),
+            plan.stats_aware,
+            plan.chose_default()
+        );
+        header(&[
+            "candidate (GHD root)",
+            "y",
+            "predicted cpu",
+            "predicted bits",
+            "chosen",
+        ]);
+        for c in &plan.candidates {
+            row(&[
+                c.label.clone(),
+                c.y.to_string(),
+                c.cost.cpu.to_string(),
+                c.cost.net_bits.to_string(),
+                if c.chosen {
+                    "◀ chosen".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        println!();
+    };
+
+    // Uniform hard instance: every candidate ties, the default wins —
+    // the determinism the pinned distributed schedules rely on.
+    let uniform = faqs_relation::irreducible_star_instance(4, n as u32);
+    let plan = plan_query(&uniform, false, &PlannerConfig::stats()).expect("plan");
+    assert!(plan.chose_default(), "uniform star must keep the default");
+    print_plan("irreducible_star (uniform)", &plan);
+
+    // Skewed instance, local cost: the planner must re-root away from
+    // the n²-row leaf.
+    let skewed = faqs_relation::skewed_star_instance(4, (n as u32).clamp(8, 32));
+    let plan = plan_query(&skewed, false, &PlannerConfig::stats()).expect("plan");
+    assert!(
+        !plan.chose_default(),
+        "skew must beat the structural default"
+    );
+    print_plan("skewed_star (local cost)", &plan);
+
+    // Skewed instance, placement-aware: candidates ranked on predicted
+    // shipped bits across a line, huge factor held far from the output.
+    let g = Topology::line(4);
+    let ctx = PlacementContext {
+        topology: &g,
+        holders: (0..skewed.k())
+            .map(|e| vec![Player((e % 3) as u32)])
+            .collect(),
+        output: Player(3),
+    };
+    let plan =
+        plan_query_placed(&skewed, false, &PlannerConfig::stats(), Some(&ctx)).expect("plan");
+    print_plan("skewed_star (placement-aware, line4, output P3)", &plan);
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -920,6 +997,7 @@ mod tests {
         e12_hash_split(16);
         e13_kernel(256);
         e14_executor(512);
+        e16_plan_explain(16);
         ablation_width();
     }
 

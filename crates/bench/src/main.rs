@@ -8,7 +8,8 @@
 //!
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
-//! `kernel`, `executor`, `distributed`, `ablation`, `all` (default).
+//! `kernel`, `executor`, `distributed`, `plan-explain`, `ablation`,
+//! `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -42,13 +43,14 @@ fn main() {
     run("kernel", &|| exp::e13_kernel(16 * n));
     run("executor", &|| exp::e14_executor(32 * n));
     run("distributed", &|| exp::e15_distributed(n.min(128)));
+    run("plan-explain", &|| exp::e16_plan_explain(n.min(64)));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             distributed ablation all"
+             distributed plan-explain ablation all"
         );
         std::process::exit(2);
     }

@@ -1,291 +1,68 @@
 //! The upward message-passing engine (Theorem G.3).
+//!
+//! Plan *choice* — which GHD, which per-node factor join order — lives
+//! in `faqs-plan`; this module owns plan *execution*. The planner's
+//! historical entry points (`ghd_for_query`, `check_push_down`, the
+//! free-variable re-rooting search, `EngineError` itself) are
+//! re-exported below under their old names.
 
-use faqs_hypergraph::{internal_node_width, Decomposition, Ghd, Hypergraph, Var};
+use faqs_hypergraph::{EdgeId, Ghd, Var};
+use faqs_plan::{ChosenPlan, PlannerConfig};
 use faqs_relation::{FaqQuery, Relation};
 use faqs_semiring::{Aggregate, Boolean, LatticeOps, Semiring};
 
-/// Engine failure.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EngineError {
-    /// The free variables cannot be placed inside the core of any
-    /// decomposition we can construct (the paper's restriction
-    /// `F ⊆ V(C(H))`, Appendix G.5).
-    FreeVarsOutsideCore(Vec<Var>),
-    /// A `Max`/`Min` aggregate was used with [`solve_faq`]; use
-    /// [`solve_faq_lattice`].
-    NeedsLatticeOps(Var),
-    /// A product aggregate (`⊕⁽ⁱ⁾ = ⊗`) on a semiring whose `⊗` is not
-    /// idempotent: the GHD push-down cannot commute it past other
-    /// aggregates (the `f^m ≠ f` multiplicity blow-up); see the semantics
-    /// note in `faqs-core`'s brute-force module.
-    NonIdempotentProduct(Var),
-    /// The GHD elimination order would swap two differently-aggregated
-    /// variables that co-occur in a hyperedge — an exchange Theorem G.1
-    /// does not license (e.g. `Σ_x max_y f(x,y)` cannot become
-    /// `max_y Σ_x f(x,y)`). The query is well-defined (the brute-force
-    /// oracle evaluates it) but outside the engine's push-down fragment.
-    IncompatibleAggregateOrder(Var, Var),
-    /// The query failed validation.
-    Invalid(String),
-}
-
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EngineError::FreeVarsOutsideCore(vs) => {
-                write!(
-                    f,
-                    "free variables {vs:?} cannot be placed in the core V(C(H))"
-                )
-            }
-            EngineError::NeedsLatticeOps(v) => {
-                write!(f, "variable {v} uses Max/Min; call solve_faq_lattice")
-            }
-            EngineError::NonIdempotentProduct(v) => {
-                write!(
-                    f,
-                    "variable {v} uses a product aggregate over a non-idempotent ⊗"
-                )
-            }
-            EngineError::IncompatibleAggregateOrder(v, w) => {
-                write!(
-                    f,
-                    "aggregates of co-occurring variables {v} and {w} cannot be exchanged"
-                )
-            }
-            EngineError::Invalid(e) => write!(f, "invalid query: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-/// Finds a core/forest decomposition whose core vertex set contains all
-/// `free` variables, re-rooting removed join trees when needed.
-///
-/// Strategy: start from the canonical decomposition; every free variable
-/// already in `V(C(H))` is fine; otherwise consider every forest edge
-/// containing a missing free variable as a candidate new root for its
-/// join tree. Each candidate is evaluated on a *cloned* decomposition
-/// (re-rooting evicts the old root's vertices from the core, so the net
-/// coverage change depends on the whole tree, not on the candidate edge
-/// alone) and we commit to the candidate that strictly grows the number
-/// of covered free variables, preferring the largest gain. Fails only
-/// when no candidate re-rooting makes progress — e.g. two free variables
-/// demand conflicting roots of the same tree and no single edge contains
-/// both. Terminates because coverage strictly increases every round.
-pub fn decomposition_for_free_vars(
-    h: &Hypergraph,
-    free: &[Var],
-) -> Result<Decomposition, EngineError> {
-    decomposition_covering_free_vars(h, Decomposition::of(h), free)
-}
-
-/// [`decomposition_for_free_vars`] from an explicit starting
-/// decomposition (any rooting of `h`'s join forest, e.g. one produced by
-/// [`Decomposition::reroot`] or a width-minimising search). The greedy
-/// ranking bug this fixes is masked from the canonical start — GYO
-/// places every tree root core-adjacent — but bites on re-rooted states.
-pub fn decomposition_covering_free_vars(
-    h: &Hypergraph,
-    base: Decomposition,
-    free: &[Var],
-) -> Result<Decomposition, EngineError> {
-    let mut d = base;
-    loop {
-        let missing: Vec<Var> = free
-            .iter()
-            .copied()
-            .filter(|v| !d.core_vars.contains(v))
-            .collect();
-        if missing.is_empty() {
-            return Ok(d);
-        }
-        let covered_now = free.len() - missing.len();
-        // Trial-run every candidate re-rooting on a clone and keep the
-        // best strict improvement. Ranking candidates by a static proxy
-        // (e.g. how many free variables the edge holds) is wrong: an
-        // edge dense in already-covered free variables can win the
-        // ranking yet evict exactly as many covered variables as it
-        // adds, stalling the loop on an answerable query.
-        let mut best: Option<(usize, Decomposition)> = None;
-        for e in d
-            .forest_edges
-            .iter()
-            .copied()
-            .filter(|e| missing.iter().any(|v| h.edge(*e).contains(v)))
-        {
-            let mut trial = d.clone();
-            trial.reroot(h, e);
-            let covered = free.iter().filter(|v| trial.core_vars.contains(v)).count();
-            if covered > covered_now && best.as_ref().map(|(c, _)| covered > *c).unwrap_or(true) {
-                best = Some((covered, trial));
-            }
-        }
-        match best {
-            Some((_, trial)) => d = trial,
-            None => return Err(EngineError::FreeVarsOutsideCore(missing)),
-        }
-    }
-}
-
-/// Chooses the GHD used for evaluation: the width-minimising one when
-/// its core already contains `F`, otherwise a re-rooted decomposition.
-///
-/// Public because plan-building front ends (the `faqs-exec` executor)
-/// construct the same GHD once per query *shape* and cache it.
-pub fn ghd_for_query<S: Semiring>(q: &FaqQuery<S>) -> Result<Ghd, EngineError> {
-    let report = internal_node_width(&q.hypergraph);
-    let covers = q
-        .free_vars
-        .iter()
-        .all(|v| report.decomposition.core_vars.contains(v));
-    if covers {
-        return Ok(report.ghd);
-    }
-    let d = decomposition_for_free_vars(&q.hypergraph, &q.free_vars)?;
-    let mut ghd = Ghd::from_decomposition(&q.hypergraph, &d);
-    ghd.hoist_md();
-    Ok(ghd)
-}
+pub use faqs_plan::{
+    check_push_down, decomposition_covering_free_vars, decomposition_for_free_vars, ghd_for_query,
+    EngineError,
+};
 
 /// Solves a general FAQ with `Sum`/`Product` aggregates (Equation 4) by
-/// the upward pass of Theorem G.3. Returns the result relation over the
-/// free variables (for `F = ∅`: a nullary relation whose single
-/// annotation is the scalar answer — [`Relation::total`] extracts it).
+/// the upward pass of Theorem G.3, on the plan chosen by `faqs-plan`
+/// (statistics-driven by default; `FAQS_PLAN_DISABLE_STATS=1` falls
+/// back to the structural width-minimising GHD). Returns the result
+/// relation over the free variables (for `F = ∅`: a nullary relation
+/// whose single annotation is the scalar answer — [`Relation::total`]
+/// extracts it).
 pub fn solve_faq<S: Semiring>(q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
-    for v in q.hypergraph.vars() {
-        if !q.is_free(v) && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min) {
-            return Err(EngineError::NeedsLatticeOps(v));
-        }
-    }
-    check_product_aggregates(q)?;
-    let ghd = ghd_for_query(q)?;
-    solve_faq_on_ghd(q, &ghd, |rel, var, op| rel.aggregate_out(var, op))
-}
-
-/// Product aggregates are only push-down-safe when `⊗` is idempotent
-/// (e.g. the Boolean semiring, where they model universal
-/// quantification); reject them otherwise.
-fn check_product_aggregates<S: Semiring>(q: &FaqQuery<S>) -> Result<(), EngineError> {
-    if S::IDEMPOTENT_MUL {
-        return Ok(());
-    }
-    for v in q.hypergraph.vars() {
-        if !q.is_free(v) && q.aggregates[v.index()] == Aggregate::Product {
-            return Err(EngineError::NonIdempotentProduct(v));
-        }
-    }
-    Ok(())
+    let plan = faqs_plan::plan_query(q, false, &PlannerConfig::default())?;
+    solve_faq_with_plan(q, &plan, |rel, var, op| rel.aggregate_out(var, op))
 }
 
 /// [`solve_faq`] for lattice-capable semirings: additionally accepts
 /// `Max`/`Min` aggregates.
 pub fn solve_faq_lattice<S: LatticeOps>(q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
-    check_product_aggregates(q)?;
-    let ghd = ghd_for_query(q)?;
-    solve_faq_on_ghd(q, &ghd, |rel, var, op| rel.aggregate_out_lattice(var, op))
+    let plan = faqs_plan::plan_query(q, true, &PlannerConfig::default())?;
+    solve_faq_with_plan(q, &plan, |rel, var, op| rel.aggregate_out_lattice(var, op))
 }
 
-/// The elimination order the upward pass will use: per node in
-/// post-order, the variables private to that node in decreasing index;
-/// finally the root's bound variables in decreasing index.
-fn planned_elimination_order<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Vec<Var> {
-    let root = ghd.root();
-    let mut order = Vec::new();
-    let mut eliminated = vec![false; q.hypergraph.num_vars()];
-    for node in ghd.post_order() {
-        let scope: Vec<Var> = if node == root {
-            ghd.chi(root)
-                .iter()
-                .copied()
-                .filter(|v| !q.is_free(*v))
-                .collect()
-        } else {
-            let parent_chi = ghd.chi(ghd.parent(node).expect("non-root"));
-            ghd.chi(node)
-                .iter()
-                .copied()
-                .filter(|v| !parent_chi.contains(v))
-                .collect()
-        };
-        let mut scope: Vec<Var> = scope
-            .into_iter()
-            .filter(|v| !eliminated[v.index()])
-            .collect();
-        scope.sort_unstable_by(|a, b| b.cmp(a));
-        for v in scope {
-            eliminated[v.index()] = true;
-            order.push(v);
-        }
-    }
-    order
-}
-
-/// Public gate used by the distributed protocols, which eliminate the
-/// same private-variable sets on the same GHD: validates product
-/// aggregates (idempotence) and the push-down order in one call.
-pub fn check_push_down<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Result<(), EngineError> {
-    check_product_aggregates(q)?;
-    check_elimination_order(q, ghd)
-}
-
-/// Verifies the planned elimination order is a legal reordering of
-/// Equation (4)'s canonical innermost-first order: every *inverted* pair
-/// (a variable eliminated before a higher-indexed one) must either share
-/// the aggregate operator or never co-occur in a hyperedge (in which
-/// case the join factorises conditionally on the pending separator and
-/// Theorem G.1's second condition applies).
+/// The upward pass on an explicit [`ChosenPlan`] — the engine-side
+/// entry point for callers that already planned (the executor replays
+/// cached plans through its own scheduler; tests compare structural and
+/// stats-aware plans for bit-identical results).
 ///
-/// Co-occurrence is answered from per-variable edge bitsets built in one
-/// pass over the hypergraph, so each pair probe is a handful of word
-/// ANDs instead of an O(|E|·arity) edge scan — on wide hypergraphs
-/// (hundreds of edges) the old inner probe dominated validation, which
-/// matters now that cached plans amortise everything *except* this
-/// check's first run. Uniformly-aggregated queries (the FAQ-SS common
-/// case) short-circuit to `Ok` without building anything.
-fn check_elimination_order<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Result<(), EngineError> {
-    let order = planned_elimination_order(q, ghd);
-    let uniform = order
-        .windows(2)
-        .all(|w| q.aggregates[w[0].index()] == q.aggregates[w[1].index()]);
-    if uniform {
-        return Ok(()); // every exchange is between equal aggregates
-    }
-
-    // occ[v] = bitset over edge ids containing v, packed per variable.
-    let words = q.hypergraph.num_edges().div_ceil(64);
-    let mut occ = vec![0u64; q.hypergraph.num_vars() * words];
-    for (e, vars) in q.hypergraph.edges() {
-        let (word, bit) = (e.index() / 64, 1u64 << (e.index() % 64));
-        for v in vars {
-            occ[v.index() * words + word] |= bit;
-        }
-    }
-    let edges_of = |v: Var| &occ[v.index() * words..(v.index() + 1) * words];
-
-    for i in 0..order.len() {
-        let a = order[i];
-        let agg_a = q.aggregates[a.index()];
-        let occ_a = edges_of(a);
-        for &b in order.iter().skip(i + 1) {
-            if a >= b {
-                continue; // canonical order eliminates b (higher) first anyway
-            }
-            if agg_a == q.aggregates[b.index()] {
-                continue;
-            }
-            let co_occur = occ_a.iter().zip(edges_of(b)).any(|(x, y)| x & y != 0);
-            if co_occur {
-                return Err(EngineError::IncompatibleAggregateOrder(a, b));
-            }
-        }
-    }
-    Ok(())
+/// The plan must have been built by `faqs_plan::plan_query` for *this*
+/// query: planning already ran instance validation, free-variable
+/// coverage and elimination-order legality, so this entry point does
+/// not repeat them (the pre-refactor `solve_faq` paid the O(data)
+/// `q.validate()` scan once; re-checking here would make it twice per
+/// call). [`solve_faq_on_ghd`] is the validating entry point for
+/// caller-supplied GHDs of unknown provenance.
+pub fn solve_faq_with_plan<S: Semiring>(
+    q: &FaqQuery<S>,
+    plan: &ChosenPlan,
+    agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
+) -> Result<Relation<S>, EngineError> {
+    upward_pass(q, &plan.ghd, &plan.join_order, agg)
 }
 
 /// The upward pass itself, on a caller-supplied GHD (exposed so the
-/// distributed protocols can run the identical local computation).
+/// distributed protocols can run the identical local computation),
+/// fully validated: the instance, free-variable coverage, and the
+/// elimination order are all checked here since the GHD's provenance
+/// is unknown. The per-node factor order is derived through the
+/// planner's single implementation
+/// ([`faqs_plan::join_order_for_ghd`]); use [`solve_faq_with_plan`]
+/// when a [`ChosenPlan`] is already in hand.
 ///
 /// `agg` performs one push-down step `⊕_{x_v} rel` (Corollary G.2).
 pub fn solve_faq_on_ghd<S: Semiring>(
@@ -295,26 +72,45 @@ pub fn solve_faq_on_ghd<S: Semiring>(
 ) -> Result<Relation<S>, EngineError> {
     q.validate()
         .map_err(|e| EngineError::Invalid(e.to_string()))?;
+    faqs_plan::check_elimination_order(q, ghd)?;
+    upward_pass(q, ghd, &faqs_plan::join_order_for_ghd(q, ghd), agg)
+}
+
+/// Executes Theorem G.3's upward pass over `ghd` with the planner's
+/// per-node factor join order. Only the cheap root-coverage guard runs
+/// here; instance and elimination-order validation are the caller's
+/// contract (the planner's, on the `solve_faq`/`solve_faq_with_plan`
+/// paths).
+fn upward_pass<S: Semiring>(
+    q: &FaqQuery<S>,
+    ghd: &Ghd,
+    join_order: &[Vec<EdgeId>],
+    agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
+) -> Result<Relation<S>, EngineError> {
     let root = ghd.root();
     let root_chi = ghd.chi(root);
     if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
         return Err(EngineError::FreeVarsOutsideCore(vec![*bad]));
     }
-    check_elimination_order(q, ghd)?;
 
     // Initial relation per node: the ⊗-product of its λ factors (the
-    // synthetic root may have none — represented as `None` = identity).
-    // Factors are joined smallest-first so the accumulator stays small,
-    // and each factor is indexed exactly once (by the join that absorbs
-    // it) — no factor is rehashed across operations.
+    // synthetic root may have none — represented as `None` = identity),
+    // absorbed in the planner's order. Each factor is indexed exactly
+    // once (by the join that absorbs it) — no factor is rehashed across
+    // operations. The engine consumes the planner's order verbatim: the
+    // old consumer-local smallest-first sort is gone, and the debug
+    // assert pins the contract that the order covers exactly λ(node).
     let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
     let mut rel: Vec<Option<Relation<S>>> = vec![None; n_nodes];
     for node in ghd.node_ids() {
-        let mut factors: Vec<&Relation<S>> =
-            ghd.node(node).lambda.iter().map(|&e| q.factor(e)).collect();
-        factors.sort_by_key(|f| f.len());
+        let order = &join_order[node.index()];
+        debug_assert!(
+            faqs_plan::join_order_covers_lambda(ghd, node, order),
+            "join order must be the planner's permutation of λ(node)"
+        );
         let mut acc: Option<Relation<S>> = None;
-        for f in factors {
+        for &e in order {
+            let f = q.factor(e);
             acc = Some(match acc {
                 Some(cur) => {
                     let idx = f.build_index(&cur.shared_vars(f));
@@ -415,7 +211,7 @@ mod tests {
     use super::*;
     use crate::brute::solve_faq_brute_force;
     use faqs_hypergraph::{
-        cycle_query, example_h0, example_h1, example_h2, path_query, star_query,
+        cycle_query, example_h0, example_h1, example_h2, path_query, star_query, Hypergraph,
     };
     use faqs_relation::{random_boolean_instance, BcqBuilder, RandomInstanceConfig};
     use faqs_semiring::{Count, Prob};

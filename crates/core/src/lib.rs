@@ -36,6 +36,6 @@ pub use brute::{solve_faq_brute_force, solve_faq_brute_force_lattice};
 pub use engine::{
     check_push_down, decomposition_covering_free_vars, decomposition_for_free_vars, finish_root,
     ghd_for_query, push_down_message, solve_bcq, solve_faq, solve_faq_lattice, solve_faq_on_ghd,
-    EngineError,
+    solve_faq_with_plan, EngineError,
 };
 pub use yannakakis::{natural_join, yannakakis_reduce};

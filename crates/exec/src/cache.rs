@@ -1,13 +1,21 @@
 //! The plan cache: fingerprint → validated plan, with hit/miss
 //! statistics.
 //!
-//! Negative results are cached too: a shape that fails validation (say,
-//! an illegal aggregate exchange) fails every time, so repeated traffic
-//! on a bad shape costs one hash lookup instead of one GHD construction.
+//! Two key tiers share one map. With statistics-driven planning, the
+//! lookup key carries the instance's coarse [`StatsDigest`] — skewed
+//! and uniform instances of one shape get distinct, separately-costed
+//! plans. The *structural* key (digest stripped) is the fallback tier:
+//! negative results — a shape that fails validation (say, an illegal
+//! aggregate exchange) fails for every possible data — are cached there
+//! once and replayed for any digest, so repeated traffic on a bad shape
+//! costs one hash lookup instead of one GHD construction.
+//!
+//! [`StatsDigest`]: faqs_plan::StatsDigest
 
 use crate::fingerprint::PlanKey;
 use crate::plan::QueryPlan;
 use faqs_core::EngineError;
+use faqs_plan::{PlannerConfig, QueryStats};
 use faqs_relation::FaqQuery;
 use faqs_semiring::Semiring;
 use std::collections::HashMap;
@@ -51,9 +59,19 @@ impl PlanCache {
         Self::default()
     }
 
-    /// The cached plan for `q`'s shape, building (and validating) it on
-    /// first sight. Returns a shared handle so concurrent executions
-    /// replay one plan without copying the GHD.
+    /// The cached plan for `q`, building (and validating) it on first
+    /// sight. Returns a shared handle so concurrent executions replay
+    /// one plan without copying the GHD.
+    ///
+    /// With `planner.use_stats`, the lookup key includes the instance's
+    /// statistics digest; on a digest miss the structural tier is
+    /// probed for a cached *negative* result before building. Plans
+    /// that fail to build with a *shape-level* error (illegal aggregate
+    /// exchange, unplaceable free variables, …) are inserted under the
+    /// structural key so every digest shares the one negative entry;
+    /// [`EngineError::Invalid`] wraps instance validation (out-of-domain
+    /// values, mismatched factor schemas) and is data-dependent, so it
+    /// is never cached — the next instance of the shape may be valid.
     ///
     /// The build runs *outside* the lock: a cold, expensive shape must
     /// not stall concurrent hits on hot shapes. Two threads racing the
@@ -63,19 +81,48 @@ impl PlanCache {
         &self,
         q: &FaqQuery<S>,
         lattice: bool,
+        planner: &PlannerConfig,
     ) -> Arc<Result<QueryPlan, EngineError>> {
-        let key = PlanKey::of(q, lattice);
+        let digest = if planner.use_stats {
+            Some(QueryStats::of(q).digest())
+        } else {
+            None
+        };
+        let key = PlanKey::with_digest(q, lattice, digest);
         {
             let map = self.map.lock().expect("plan cache poisoned");
             if let Some(plan) = map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(plan);
             }
+            if key.has_digest() {
+                if let Some(plan) = map.get(&key.structural()) {
+                    if plan.is_err() {
+                        // Structural-tier negative entry: the shape is
+                        // invalid for any data, digest notwithstanding.
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(plan);
+                    }
+                }
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(QueryPlan::build(q, lattice));
-        let mut map = self.map.lock().expect("plan cache poisoned");
-        Arc::clone(map.entry(key).or_insert(plan))
+        let plan = Arc::new(QueryPlan::build_with(q, lattice, planner, None));
+        match plan.as_ref() {
+            // Instance-dependent failure: do not cache (a later, valid
+            // instance of this shape must not inherit the error).
+            Err(EngineError::Invalid(_)) => plan,
+            // Shape-level failure: one negative entry serves all
+            // digests.
+            Err(_) => {
+                let mut map = self.map.lock().expect("plan cache poisoned");
+                Arc::clone(map.entry(key.structural()).or_insert(plan))
+            }
+            Ok(_) => {
+                let mut map = self.map.lock().expect("plan cache poisoned");
+                Arc::clone(map.entry(key).or_insert(plan))
+            }
+        }
     }
 
     /// Current counters.
@@ -116,22 +163,107 @@ mod tests {
 
     #[test]
     fn hits_and_misses_count() {
+        let planner = PlannerConfig::stats();
         let cache = PlanCache::new();
         assert_eq!(cache.stats().hits, 0);
-        let a = cache.get_or_build(&inst(1), false);
+        let a = cache.get_or_build(&inst(1), false, &planner);
         assert!(a.is_ok());
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 0);
-        // Same shape, different data: a hit.
-        let _ = cache.get_or_build(&inst(2), false);
+        // Same shape, same digest bucket, different data: a hit.
+        let _ = cache.get_or_build(&inst(2), false, &planner);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().entries, 1);
         // Different entry point: a distinct shape.
-        let _ = cache.get_or_build(&inst(1), true);
+        let _ = cache.get_or_build(&inst(1), true, &planner);
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().entries, 2);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().misses, 2, "counters describe traffic");
+    }
+
+    #[test]
+    fn skewed_digest_gets_its_own_plan_entry() {
+        use faqs_semiring::Boolean;
+        let planner = PlannerConfig::stats();
+        let cache = PlanCache::new();
+        let uniform: FaqQuery<Boolean> = faqs_relation::random_boolean_instance(
+            &star_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 8,
+                seed: 3,
+            },
+            true,
+        );
+        let skewed: FaqQuery<Boolean> = faqs_relation::skewed_star_instance(3, 8);
+        assert!(cache.get_or_build(&uniform, false, &planner).is_ok());
+        assert!(cache.get_or_build(&skewed, false, &planner).is_ok());
+        assert_eq!(
+            cache.stats().misses,
+            2,
+            "skewed traffic must not adopt the uniform plan"
+        );
+        assert_eq!(cache.stats().entries, 2);
+        // Structural planning collapses both onto one key.
+        let structural = PlannerConfig::structural();
+        let _ = cache.get_or_build(&uniform, false, &structural);
+        let _ = cache.get_or_build(&skewed, false, &structural);
+        assert_eq!(cache.stats().misses, 3, "one structural-tier build");
+        assert_eq!(cache.stats().hits, 1, "second structural call hits");
+    }
+
+    #[test]
+    fn data_dependent_invalid_errors_are_not_cached() {
+        // Regression: an out-of-domain instance fails q.validate()
+        // inside planning with EngineError::Invalid — a *data* problem.
+        // Caching it (under any tier) would poison every later valid
+        // instance of the same shape through the public cache API.
+        let planner = PlannerConfig::stats();
+        let cache = PlanCache::new();
+        let mut bad = inst(1);
+        bad.domain = 1; // every listed tuple is now out of domain
+        assert!(matches!(
+            *cache.get_or_build(&bad, false, &planner),
+            Err(EngineError::Invalid(_))
+        ));
+        assert_eq!(cache.stats().entries, 0, "Invalid must not be cached");
+        let good = cache.get_or_build(&inst(1), false, &planner);
+        assert!(good.is_ok(), "a valid same-shape instance must plan");
+        assert_eq!(cache.stats().misses, 2, "the bad build was not reused");
+    }
+
+    #[test]
+    fn negative_entries_live_in_the_structural_tier() {
+        use faqs_semiring::Aggregate;
+        let planner = PlannerConfig::stats();
+        let cache = PlanCache::new();
+        // Max on a bound variable fails the plain entry point no matter
+        // the data.
+        let bad = |seed: u64| inst(seed).with_aggregate(faqs_hypergraph::Var(1), Aggregate::Max);
+        assert!(cache.get_or_build(&bad(1), false, &planner).is_err());
+        assert_eq!(cache.stats().misses, 1);
+        // A *differently-distributed* bad instance of the same shape
+        // replays the structural negative entry instead of rebuilding.
+        let mut skewed_bad: FaqQuery<Count> = random_instance(
+            &star_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: 64,
+                domain: 64,
+                seed: 9,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        skewed_bad = skewed_bad.with_aggregate(faqs_hypergraph::Var(1), Aggregate::Max);
+        assert!(cache.get_or_build(&skewed_bad, false, &planner).is_err());
+        assert_eq!(
+            cache.stats().misses,
+            1,
+            "negative entry shared across digests"
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().entries, 1);
     }
 }

@@ -22,6 +22,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::plan::QueryPlan;
 use faqs_core::EngineError;
 use faqs_hypergraph::{NodeId, Var};
+use faqs_plan::PlannerConfig;
 use faqs_relation::{FaqQuery, Relation};
 use faqs_semiring::{Aggregate, LatticeOps, Semiring};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,18 +71,29 @@ impl Default for ExecutorConfig {
 }
 
 /// The front door for repeated FAQ traffic: caches one validated plan
-/// per query shape and runs the upward pass across worker threads.
+/// per query shape (per statistics digest, when stats-driven planning
+/// is on) and runs the upward pass across worker threads.
 #[derive(Default)]
 pub struct Executor {
     cfg: ExecutorConfig,
+    planner: PlannerConfig,
     cache: PlanCache,
 }
 
 impl Executor {
-    /// An executor with the given configuration and an empty cache.
+    /// An executor with the given configuration, the environment's
+    /// planner configuration (`FAQS_PLAN_DISABLE_STATS=1` forces
+    /// structural planning) and an empty cache.
     pub fn new(cfg: ExecutorConfig) -> Self {
+        Self::with_planner(cfg, PlannerConfig::default())
+    }
+
+    /// An executor with explicit planner knobs (tests and benches pin
+    /// structural vs stats-driven planning regardless of environment).
+    pub fn with_planner(cfg: ExecutorConfig, planner: PlannerConfig) -> Self {
         Executor {
             cfg,
+            planner,
             cache: PlanCache::new(),
         }
     }
@@ -94,6 +106,11 @@ impl Executor {
     /// The active configuration.
     pub fn config(&self) -> ExecutorConfig {
         self.cfg
+    }
+
+    /// The active planner configuration.
+    pub fn planner_config(&self) -> PlannerConfig {
+        self.planner
     }
 
     /// Plan-cache counters (hits prove the GHD/validation work was
@@ -109,7 +126,7 @@ impl Executor {
     pub fn solve<S: Semiring>(&self, q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
         q.validate()
             .map_err(|e| EngineError::Invalid(e.to_string()))?;
-        let plan = self.cache.get_or_build(q, false);
+        let plan = self.cache.get_or_build(q, false, &self.planner);
         let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
         Ok(eval(q, plan, &self.cfg, &|rel, var, op| {
             rel.aggregate_out(var, op)
@@ -124,7 +141,7 @@ impl Executor {
     ) -> Result<Relation<S>, EngineError> {
         q.validate()
             .map_err(|e| EngineError::Invalid(e.to_string()))?;
-        let plan = self.cache.get_or_build(q, true);
+        let plan = self.cache.get_or_build(q, true, &self.planner);
         let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
         Ok(eval(q, plan, &self.cfg, &|rel, var, op| {
             rel.aggregate_out_lattice(var, op)

@@ -1,21 +1,26 @@
-//! Query-shape fingerprints: the plan-cache key.
+//! Query fingerprints: the plan-cache key.
 //!
 //! Two FAQ instances share a plan exactly when they agree on everything
 //! the planner looks at: the hypergraph shape, the free variables, the
-//! per-bound-variable aggregates, and the two semiring capabilities the
+//! per-bound-variable aggregates, the two semiring capabilities the
 //! validity checks consult (`⊗`-idempotence gates product aggregates,
-//! and the lattice entry point additionally admits `Max`/`Min`). The
-//! factor *data* is deliberately absent — that is the whole point of the
-//! cache: GHD construction, MD-hoisting and elimination-order validation
-//! run once per shape, not once per call.
+//! and the lattice entry point additionally admits `Max`/`Min`) — and,
+//! with statistics-driven planning, the coarse [`StatsDigest`] of the
+//! factor cardinalities. The digest is scale-invariant, so uniform
+//! traffic of one shape keeps colliding onto one plan, while skewed
+//! instances (one huge factor, one concentrated column) get plans of
+//! their own. The *structural* key (digest stripped) remains the
+//! fallback tier: negative results — shapes that fail validation no
+//! matter the data — are cached there once and replayed for every
+//! digest.
 
+use faqs_plan::StatsDigest;
 use faqs_relation::FaqQuery;
 use faqs_semiring::{Aggregate, Semiring};
 
-/// The structural fingerprint of an FAQ instance.
-///
-/// Equality and hashing are fully structural (no lossy digesting), so a
-/// cache hit can never alias two genuinely different shapes.
+/// The fingerprint of an FAQ instance: fully structural shape equality
+/// (no lossy digesting, so a hit can never alias two different shapes)
+/// plus the optional statistics digest tier.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct PlanKey {
     num_vars: u32,
@@ -33,11 +38,24 @@ pub struct PlanKey {
     /// Whether the query entered through the lattice entry point
     /// (`Max`/`Min` admitted) — plan validity differs between the two.
     lattice: bool,
+    /// The statistics tier: `None` for pure-structural keys (stats
+    /// disabled, and the tier negative entries live in).
+    digest: Option<StatsDigest>,
 }
 
 impl PlanKey {
-    /// Fingerprints `q` for the given entry point.
+    /// Fingerprints `q` structurally (no statistics tier) for the given
+    /// entry point.
     pub fn of<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> PlanKey {
+        Self::with_digest(q, lattice, None)
+    }
+
+    /// Fingerprints `q` with an optional statistics digest.
+    pub fn with_digest<S: Semiring>(
+        q: &FaqQuery<S>,
+        lattice: bool,
+        digest: Option<StatsDigest>,
+    ) -> PlanKey {
         PlanKey {
             num_vars: q.hypergraph.num_vars() as u32,
             edges: q
@@ -59,6 +77,20 @@ impl PlanKey {
                 .collect(),
             idempotent_mul: S::IDEMPOTENT_MUL,
             lattice,
+            digest,
+        }
+    }
+
+    /// Whether this key carries a statistics digest.
+    pub fn has_digest(&self) -> bool {
+        self.digest.is_some()
+    }
+
+    /// The structural fallback key: this key with the digest stripped.
+    pub fn structural(&self) -> PlanKey {
+        PlanKey {
+            digest: None,
+            ..self.clone()
         }
     }
 }
@@ -111,6 +143,33 @@ mod tests {
             true,
         );
         assert_ne!(base, PlanKey::of(&qb, false));
+    }
+
+    #[test]
+    fn digest_tier_separates_skew_but_not_scale() {
+        use faqs_plan::QueryStats;
+        let digest_of = |q: &FaqQuery<Count>| Some(QueryStats::of(q).digest());
+        let a = PlanKey::with_digest(&q(1), false, digest_of(&q(1)));
+        let b = PlanKey::with_digest(&q(2), false, digest_of(&q(2)));
+        assert_eq!(a, b, "seed jitter stays in one digest bucket");
+        assert!(a.has_digest());
+        assert_eq!(a.structural(), PlanKey::of(&q(1), false));
+
+        // A skewed instance of the same shape lands in its own tier.
+        let skewed: FaqQuery<faqs_semiring::Boolean> = faqs_relation::skewed_star_instance(3, 8);
+        let sk = PlanKey::with_digest(&skewed, false, Some(QueryStats::of(&skewed).digest()));
+        let uniform: FaqQuery<faqs_semiring::Boolean> = faqs_relation::random_boolean_instance(
+            &star_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 8,
+                seed: 5,
+            },
+            true,
+        );
+        let un = PlanKey::with_digest(&uniform, false, Some(QueryStats::of(&uniform).digest()));
+        assert_ne!(sk, un);
+        assert_eq!(sk.structural(), un.structural(), "same shape underneath");
     }
 
     #[test]

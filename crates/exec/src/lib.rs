@@ -9,11 +9,14 @@
 //!
 //! * **Plan cache** ([`PlanCache`]): a structural fingerprint of
 //!   `(hypergraph shape, aggregates, free variables, semiring
-//!   capabilities)` ([`PlanKey`]) maps to a cached, validated
-//!   [`QueryPlan`] — GHD, per-node smallest-first join order, per-step
-//!   index-key schemas. GHD construction, MD-hoisting, re-rooting and
-//!   elimination-order validation run once per query *shape* instead of
-//!   once per call; [`Executor::cache_stats`] exposes hit/miss counters.
+//!   capabilities)` plus the planner's coarse statistics digest
+//!   ([`PlanKey`]) maps to a cached, validated [`QueryPlan`] — the
+//!   `faqs-plan`-chosen GHD, per-node join order, per-step index-key
+//!   schemas. GHD construction, MD-hoisting, re-rooting, cost-based
+//!   candidate selection and elimination-order validation run once per
+//!   query shape (and digest bucket) instead of once per call;
+//!   [`Executor::cache_stats`] exposes hit/miss counters, and negative
+//!   results replay from the digest-free structural tier.
 //! * **Parallel upward pass** ([`Executor`]): sibling GHD subtrees are
 //!   independent (the paper's per-subtree star peeling), so they
 //!   evaluate concurrently on `std::thread::scope` workers drawn from a

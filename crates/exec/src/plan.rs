@@ -1,17 +1,21 @@
 //! Cached query plans: everything `solve_faq` derives from the query
-//! *shape*, computed once and replayed across calls.
+//! shape and statistics, computed once and replayed across calls.
 //!
-//! A [`QueryPlan`] packages the validated GHD of Construction 2.8 (GYO
-//! run, MD-hoisting, re-rooting for free variables), the per-node
-//! smallest-first factor join order with the index-key schema of every
-//! join step, and the per-node child lists driving the upward pass of
-//! Theorem G.3. Building one costs the same as a cold `solve_faq`
-//! prologue; replaying one costs a hash lookup.
+//! A [`QueryPlan`] packages the planner's [`ChosenPlan`] — the
+//! validated GHD (GYO run, MD-hoisting, re-rooting for free variables,
+//! cost-based candidate selection in `faqs-plan`) and the per-node
+//! factor join order — lowered to execution form: each join step
+//! carries the index-key schema the probe will use, and the per-node
+//! child lists drive the upward pass of Theorem G.3. Building one costs
+//! the same as a cold `solve_faq` prologue; replaying one costs a hash
+//! lookup — plus, under stats-driven planning, the one-pass statistics
+//! scan that computes the digest being looked up.
 
-use faqs_core::{check_push_down, ghd_for_query, EngineError};
+use faqs_core::EngineError;
 use faqs_hypergraph::{EdgeId, Ghd, NodeId, Var};
+use faqs_plan::{ChosenPlan, PlacementContext, PlanCost, PlannerConfig};
 use faqs_relation::FaqQuery;
-use faqs_semiring::{Aggregate, LatticeOps, Semiring};
+use faqs_semiring::{LatticeOps, Semiring};
 
 /// One step of a node's factor-join pipeline: absorb `edge`'s factor,
 /// probing an index built on exactly `key` (the variables the factor
@@ -25,57 +29,75 @@ pub struct JoinStep {
     pub key: Vec<Var>,
 }
 
-/// A validated, shape-level execution plan for one FAQ query shape.
+/// A validated, cached execution plan for one FAQ query shape (and,
+/// with statistics enabled, one statistics digest).
 #[derive(Clone, Debug)]
 pub struct QueryPlan {
     /// The GHD the upward pass runs on (hoisted, re-rooted so that
-    /// `F ⊆ χ(root)`).
+    /// `F ⊆ χ(root)`, cost-selected by `faqs-plan`).
     pub ghd: Ghd,
+    /// The planner's predicted cost of this plan (zeros when planned
+    /// structurally).
+    pub cost: PlanCost,
+    /// Whether statistics informed the choice.
+    pub stats_aware: bool,
     /// Live children of each node (dense by `NodeId` index), in
     /// ascending node order — the deterministic message-fold order.
     children: Vec<Vec<NodeId>>,
-    /// Factor-join pipeline per node (dense by `NodeId` index). Factors
-    /// are ordered smallest-first by the *planning* instance's factor
-    /// sizes; on a cache hit with different data the order is merely a
-    /// heuristic, never a correctness concern.
+    /// Factor-join pipeline per node (dense by `NodeId` index), in the
+    /// planner's join order; on a cache hit with different data the
+    /// order is merely a heuristic, never a correctness concern.
     joins: Vec<Vec<JoinStep>>,
 }
 
 impl QueryPlan {
-    /// Builds and validates the plan for `q`. `lattice` selects the
-    /// entry point: `false` mirrors `solve_faq` (rejects `Max`/`Min` on
-    /// bound variables), `true` mirrors `solve_faq_lattice`.
+    /// Builds and validates the plan for `q` with the default planner
+    /// configuration. `lattice` selects the entry point: `false`
+    /// mirrors `solve_faq` (rejects `Max`/`Min` on bound variables),
+    /// `true` mirrors `solve_faq_lattice`.
     pub fn build<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> Result<QueryPlan, EngineError> {
-        if !lattice {
-            for v in q.hypergraph.vars() {
-                if !q.is_free(v)
-                    && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min)
-                {
-                    return Err(EngineError::NeedsLatticeOps(v));
-                }
-            }
-        }
-        let ghd = ghd_for_query(q)?;
-        let root_chi = ghd.chi(ghd.root());
-        if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
-            return Err(EngineError::FreeVarsOutsideCore(vec![*bad]));
-        }
-        // Product-aggregate idempotence + elimination-order exchange
-        // legality — the expensive validation the cache amortises.
-        check_push_down(q, &ghd)?;
+        Self::build_with(q, lattice, &PlannerConfig::default(), None)
+    }
 
+    /// [`QueryPlan::build`] with an explicit planner configuration and
+    /// an optional placement context (the distributed runtime scores
+    /// candidates on predicted shipped bits through the latter).
+    pub fn build_with<S: Semiring>(
+        q: &FaqQuery<S>,
+        lattice: bool,
+        planner: &PlannerConfig,
+        placement: Option<&PlacementContext<'_>>,
+    ) -> Result<QueryPlan, EngineError> {
+        let chosen = faqs_plan::plan_query_placed(q, lattice, planner, placement)?;
+        Ok(Self::lower(q, chosen))
+    }
+
+    /// Lowers a [`ChosenPlan`] to execution form: per-node child lists
+    /// and join steps with precomputed index-key schemas, consuming the
+    /// planner's join order verbatim (the executor's old smallest-first
+    /// sort is gone — `faqs_plan::join_order_for_ghd` is the only
+    /// implementation left).
+    pub fn lower<S: Semiring>(q: &FaqQuery<S>, chosen: ChosenPlan) -> QueryPlan {
+        let ChosenPlan {
+            ghd,
+            join_order,
+            cost,
+            stats_aware,
+            ..
+        } = chosen;
         let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
         let mut joins: Vec<Vec<JoinStep>> = vec![Vec::new(); n_nodes];
         for node in ghd.node_ids() {
             children[node.index()] = ghd.children(node);
-            let mut factors: Vec<EdgeId> = ghd.node(node).lambda.clone();
-            // Smallest-first, exactly as the engine orders them; stable
-            // tie-break on the λ declaration order.
-            factors.sort_by_key(|&e| q.factor(e).len());
+            let factors = &join_order[node.index()];
+            debug_assert!(
+                faqs_plan::join_order_covers_lambda(&ghd, node, factors),
+                "join order must be the planner's permutation of λ(node)"
+            );
             let mut steps: Vec<JoinStep> = Vec::with_capacity(factors.len());
             let mut acc_schema: Vec<Var> = Vec::new();
-            for e in factors {
+            for &e in factors {
                 let vars = q.hypergraph.edge(e);
                 let key: Vec<Var> = if steps.is_empty() {
                     Vec::new()
@@ -96,11 +118,13 @@ impl QueryPlan {
             }
             joins[node.index()] = steps;
         }
-        Ok(QueryPlan {
+        QueryPlan {
             ghd,
+            cost,
+            stats_aware,
             children,
             joins,
-        })
+        }
     }
 
     /// Convenience wrapper: the lattice entry point, typed to require
@@ -138,7 +162,7 @@ mod tests {
     use super::*;
     use faqs_hypergraph::{example_h2, path_query, star_query};
     use faqs_relation::{random_instance, RandomInstanceConfig};
-    use faqs_semiring::Count;
+    use faqs_semiring::{Aggregate, Count};
 
     fn inst(h: &faqs_hypergraph::Hypergraph, free: Vec<Var>, seed: u64) -> FaqQuery<Count> {
         random_instance(

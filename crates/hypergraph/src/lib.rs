@@ -47,4 +47,6 @@ pub use ghd::{Ghd, GhdNode, GhdValidationError, NodeId};
 pub use graph::SimpleGraph;
 pub use gyo::{gyo, is_acyclic, Decomposition, GyoStep, GyoTrace};
 pub use hypergraph::{EdgeId, Hypergraph, Var};
-pub use width::{exact_internal_node_width, internal_node_width, WidthReport};
+pub use width::{
+    candidate_decompositions, exact_internal_node_width, internal_node_width, WidthReport,
+};

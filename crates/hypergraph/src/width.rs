@@ -94,6 +94,30 @@ pub fn internal_node_width(h: &Hypergraph) -> WidthReport {
     }
 }
 
+/// Every core/forest decomposition Construction 2.8 can reach by
+/// re-rooting one removed join tree of the canonical GYO run: the
+/// canonical decomposition first, then one variant per alternative root
+/// of each tree. This is the candidate set the cost-based planner
+/// (`faqs-plan`) scores — the same set [`internal_node_width`]'s
+/// coordinate descent walks, but returned instead of folded, so a
+/// *statistics*-driven objective can pick a different winner than the
+/// width-minimising one.
+pub fn candidate_decompositions(h: &Hypergraph) -> Vec<Decomposition> {
+    let base = Decomposition::of(h);
+    let mut out = vec![base.clone()];
+    for &orig_root in &base.forest_roots {
+        for &cand in &base.tree_of(orig_root) {
+            if cand == orig_root {
+                continue;
+            }
+            let mut d = base.clone();
+            d.reroot(h, cand);
+            out.push(d);
+        }
+    }
+    out
+}
+
 /// Exhaustively minimises the internal node count over all parent
 /// assignments of the canonical GYO-GHD node set (root bag `V(C(H))` plus
 /// one node per hyperedge), subject to GHD validity.
@@ -221,6 +245,27 @@ mod tests {
     fn exact_gives_up_on_large_inputs() {
         let h = clique_query(6); // 15 edges → 15 free nodes
         assert!(exact_internal_node_width(&h, 8).is_none());
+    }
+
+    #[test]
+    fn candidate_decompositions_cover_every_reroot() {
+        // A star's single join tree has one canonical root plus one
+        // variant per other edge; every candidate is a valid base for
+        // Construction 2.8 and together they realise every root choice.
+        let h = star_query(4);
+        let cands = candidate_decompositions(&h);
+        assert_eq!(cands.len(), 4, "canonical + 3 reroots");
+        let mut roots: Vec<_> = cands.iter().map(|d| d.forest_roots.clone()).collect();
+        roots.sort();
+        roots.dedup();
+        assert_eq!(roots.len(), 4, "each candidate has a distinct root");
+        for d in &cands {
+            let g = Ghd::from_decomposition(&h, d);
+            g.validate(&h)
+                .expect("every candidate materialises validly");
+        }
+        // Cyclic-core graphs have no forest to re-root.
+        assert_eq!(candidate_decompositions(&cycle_query(3)).len(), 1);
     }
 
     #[test]

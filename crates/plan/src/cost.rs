@@ -1,0 +1,274 @@
+//! The cost model: a dry run of the Theorem G.3 upward pass over
+//! estimated cardinalities.
+//!
+//! Every candidate GHD is scored by simulating exactly the work the
+//! executor will do — seed each node with its λ factors joined in the
+//! planned order, push each child message down onto the parent's bag,
+//! fold messages in node order — but over [`RelationStats`] instead of
+//! data. Join sizes follow the classic independence estimate of the
+//! Gottlob–Lee–Valiant cardinality-bound tradition
+//! (`|A ⋈ B| ≈ |A|·|B| / ∏_{v shared} max(dᴬ(v), dᴮ(v))`), probe costs
+//! follow the kernel's actual operator shapes (binary-search probes
+//! into a [`JoinIndex`](faqs_relation::JoinIndex), one index build per
+//! absorbed factor), and — when an [`PlacementContext`] is supplied —
+//! shipped bits follow Model 2.1's accounting (`r·⌈log₂ D⌉` plus the
+//! annotation per tuple, charged once per hop), the same arithmetic
+//! `Relation::bits` and `BoundReport` use, so a predicted cost can be
+//! confronted with the paper's envelope like a measured one.
+//!
+//! [`PlacementContext`]: crate::PlacementContext
+
+use crate::planner::{choose_aggregation_players, PlacementContext};
+use crate::stats::QueryStats;
+use faqs_hypergraph::{EdgeId, Ghd, Var};
+use faqs_network::Player;
+use std::collections::BTreeMap;
+
+/// Row-count estimates are capped here so products of distinct counts
+/// never overflow into `inf` (and the final `u64` conversion is safe).
+const EST_CAP: f64 = 1e15;
+
+/// The unreachable-distance clamp shared with the aggregation-player
+/// chooser: a candidate behind a down link is effectively infinitely
+/// far, but must still compare totally against reachable ones.
+pub(crate) const UNREACHABLE_HOPS: u32 = 1 << 20;
+
+/// Predicted cost of one plan candidate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCost {
+    /// Predicted kernel work of the upward pass, in comparisons plus
+    /// emitted rows (index builds, binary-search probes, output).
+    pub cpu: u64,
+    /// Predicted bits shipped across the topology (Model 2.1
+    /// accounting, charged per hop); `0` when no placement was scored.
+    pub net_bits: u64,
+}
+
+impl PlanCost {
+    /// The comparison key: communication dominates when a placement is
+    /// being scored (bits are the paper's bounded resource), predicted
+    /// kernel work breaks ties; purely local plans compare on kernel
+    /// work alone.
+    pub fn key(&self, placed: bool) -> (u64, u64) {
+        if placed {
+            (self.net_bits, self.cpu)
+        } else {
+            (self.cpu, self.net_bits)
+        }
+    }
+}
+
+/// A cardinality estimate flowing through the simulated pass.
+#[derive(Clone, Debug)]
+struct Est {
+    rows: f64,
+    /// Per-variable distinct-count estimates of the current schema.
+    distinct: BTreeMap<Var, f64>,
+}
+
+impl Est {
+    fn unit() -> Est {
+        Est {
+            rows: 1.0,
+            distinct: BTreeMap::new(),
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.distinct.len()
+    }
+}
+
+/// The estimator for one query instance: per-factor statistics plus the
+/// Model 2.1 bit constants.
+pub(crate) struct CostModel<'a> {
+    stats: &'a QueryStats,
+    /// `⌈log₂ D⌉` bits per domain value.
+    log_d: u64,
+    /// Bits per semiring annotation (`S::value_bits()`).
+    value_bits: u64,
+}
+
+impl<'a> CostModel<'a> {
+    pub(crate) fn new(stats: &'a QueryStats, domain: u32, value_bits: u64) -> CostModel<'a> {
+        let log_d = (32 - domain.saturating_sub(1).leading_zeros()).max(1) as u64;
+        CostModel {
+            stats,
+            log_d,
+            value_bits,
+        }
+    }
+
+    fn factor_est(&self, e: EdgeId) -> Est {
+        let s = &self.stats.factors[e.index()];
+        Est {
+            rows: s.rows as f64,
+            distinct: s
+                .schema
+                .iter()
+                .zip(&s.distinct)
+                .map(|(&v, &d)| (v, d.max(1) as f64))
+                .collect(),
+        }
+    }
+
+    /// Model 2.1 bits of an estimated relation.
+    fn est_bits(&self, est: &Est) -> u64 {
+        let per_tuple = est.arity() as u64 * self.log_d + self.value_bits;
+        saturating(est.rows) * per_tuple.max(1)
+    }
+
+    /// Bits of one shard of factor `e` split across `parts` holders.
+    fn shard_bits(&self, e: EdgeId, parts: usize) -> u64 {
+        let s = &self.stats.factors[e.index()];
+        let per_tuple = s.schema.len() as u64 * self.log_d + self.value_bits;
+        (s.rows as u64).div_ceil(parts.max(1) as u64) * per_tuple.max(1)
+    }
+
+    /// One indexed join: `cur` probes an index of `next` (built here),
+    /// matches multiply out.
+    fn join(&self, cur: Est, next: Est, cost: &mut PlanCost) -> Est {
+        let mut denom = 1.0f64;
+        for (v, da) in &cur.distinct {
+            if let Some(db) = next.distinct.get(v) {
+                denom *= da.max(*db).max(1.0);
+            }
+        }
+        let out_rows = (cur.rows * next.rows / denom.max(1.0)).min(EST_CAP);
+        // Index build on `next`, one binary-search probe per `cur` row,
+        // one emitted row per estimated match.
+        cost.cpu = cost
+            .cpu
+            .saturating_add(saturating(next.rows))
+            .saturating_add(saturating(cur.rows * (next.rows.max(1.0).log2() + 1.0)))
+            .saturating_add(saturating(out_rows));
+        let mut distinct = cur.distinct;
+        for (v, db) in next.distinct {
+            let d = distinct.entry(v).or_insert(db);
+            *d = d.min(db);
+        }
+        for d in distinct.values_mut() {
+            *d = d.min(out_rows.max(1.0));
+        }
+        Est {
+            rows: out_rows,
+            distinct,
+        }
+    }
+
+    /// The push-down of Corollary G.2: aggregate the estimate down onto
+    /// the variables of `keep` (a merge scan over the child relation).
+    fn project(&self, est: Est, keep: &[Var], cost: &mut PlanCost) -> Est {
+        cost.cpu = cost.cpu.saturating_add(saturating(est.rows));
+        let mut distinct: BTreeMap<Var, f64> = est
+            .distinct
+            .into_iter()
+            .filter(|(v, _)| keep.contains(v))
+            .collect();
+        let mut capacity = 1.0f64;
+        for d in distinct.values() {
+            capacity = (capacity * d).min(EST_CAP);
+        }
+        let rows = est.rows.min(capacity);
+        for d in distinct.values_mut() {
+            *d = d.min(rows.max(1.0));
+        }
+        Est { rows, distinct }
+    }
+
+    /// Scores one candidate: simulates the full upward pass over the
+    /// estimates, and — when a placement is given — predicts the bits
+    /// each GHD node's gather and each upward message will ship, using
+    /// the same aggregation-player choice the runtime makes.
+    pub(crate) fn simulate(
+        &self,
+        ghd: &Ghd,
+        join_order: &[Vec<EdgeId>],
+        placement: Option<&PlacementContext<'_>>,
+    ) -> PlanCost {
+        let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+        let mut children: Vec<Vec<_>> = vec![Vec::new(); n_nodes];
+        for n in ghd.node_ids() {
+            if let Some(p) = ghd.parent(n) {
+                children[p.index()].push(n); // node order = the fold order
+            }
+        }
+
+        let mut cost = PlanCost::default();
+
+        // Placement: estimated shard masses per node, then the same
+        // argmin-bit·distance aggregation players the runtime picks.
+        let placed = placement.map(|ctx| {
+            let mut node_shards: Vec<Vec<(Player, u64)>> = vec![Vec::new(); n_nodes];
+            for node in ghd.node_ids() {
+                for &e in &join_order[node.index()] {
+                    let holders = &ctx.holders[e.index()];
+                    let bits = self.shard_bits(e, holders.len());
+                    for &p in holders {
+                        node_shards[node.index()].push((p, bits));
+                    }
+                }
+            }
+            let agg = choose_aggregation_players(ctx.topology, ghd, ctx.output, &node_shards);
+            // Gather cost: every remote shard travels holder → player.
+            let mut dists: BTreeMap<Player, Vec<u32>> = BTreeMap::new();
+            for node in ghd.node_ids() {
+                let to = agg[node.index()];
+                let dist = dists
+                    .entry(to)
+                    .or_insert_with(|| ctx.topology.live_distances(to));
+                for &(p, bits) in &node_shards[node.index()] {
+                    if p != to {
+                        let hops = dist[p.index()].min(UNREACHABLE_HOPS) as u64;
+                        cost.net_bits = cost.net_bits.saturating_add(bits.saturating_mul(hops));
+                    }
+                }
+            }
+            (ctx, agg, dists)
+        });
+
+        let mut est: Vec<Option<Est>> = vec![None; n_nodes];
+        for node in ghd.post_order() {
+            let mut acc: Option<Est> = None;
+            for &e in &join_order[node.index()] {
+                let f = self.factor_est(e);
+                acc = Some(match acc {
+                    Some(cur) => self.join(cur, f, &mut cost),
+                    None => f,
+                });
+            }
+            for &child in &children[node.index()] {
+                let sub = est[child.index()].take().expect("post-order: child first");
+                let msg = self.project(sub, ghd.chi(node), &mut cost);
+                if let Some((ctx, agg, dists)) = placed.as_ref() {
+                    let (from, to) = (agg[child.index()], agg[node.index()]);
+                    if from != to {
+                        let dist = dists
+                            .get(&to)
+                            .map(|d| d[from.index()])
+                            .unwrap_or_else(|| ctx.topology.live_distances(to)[from.index()]);
+                        cost.net_bits = cost.net_bits.saturating_add(
+                            self.est_bits(&msg)
+                                .saturating_mul(dist.min(UNREACHABLE_HOPS) as u64),
+                        );
+                    }
+                }
+                acc = Some(match acc {
+                    Some(cur) => self.join(cur, msg, &mut cost),
+                    None => msg,
+                });
+            }
+            let node_est = acc.unwrap_or_else(Est::unit);
+            // Root epilogue: one aggregation sweep over the remainder.
+            if node == ghd.root() {
+                cost.cpu = cost.cpu.saturating_add(saturating(node_est.rows));
+            }
+            est[node.index()] = Some(node_est);
+        }
+        cost
+    }
+}
+
+fn saturating(x: f64) -> u64 {
+    x.max(0.0).min(u64::MAX as f64) as u64
+}

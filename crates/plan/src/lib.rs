@@ -1,0 +1,246 @@
+//! # faqs-plan — the statistics-driven cost-based planner
+//!
+//! The paper's topology-dependent bounds (Theorem 3.1, Corollary G.2,
+//! Theorem G.3) are *instance*-parameterised — they depend on `N`, the
+//! placement and the topology, not just the hypergraph shape — yet the
+//! original planner was purely structural: `choose_ghd` picked the
+//! width-minimising GYO-GHD, join order was a smallest-first heuristic
+//! re-derived inside each consumer, and the distributed runtime costed
+//! aggregation players with its own private BFS logic. Following the
+//! cardinality-bound tradition of Gottlob–Lee–Valiant, this crate owns
+//! one logical **Plan IR** that flows from parse to execution:
+//!
+//! ```text
+//!   factors ──stats──▶ QueryStats ─┐
+//!                                  │ candidates: structural default +
+//!   hypergraph ──GYO──▶ GHD ───────┤ every reroot of the join forest
+//!                                  │ (free-var coverage re-rooting)
+//!   InputPlacement ───────────────▶│
+//!                                  ▼
+//!                    CostModel::simulate (upward-pass dry run:
+//!                    join probes, push-down sizes, shipped bits)
+//!                                  │  strict-improvement argmin
+//!                                  ▼
+//!                    ChosenPlan { ghd, join_order, cost, candidates }
+//! ```
+//!
+//! * [`QueryStats`] / [`StatsDigest`] — per-factor cardinality, distinct
+//!   counts and prefix selectivity, gathered in one kernel pass
+//!   ([`faqs_relation::Relation::stats`]), plus the coarse
+//!   scale-invariant digest the `faqs-exec` plan cache keys on.
+//! * [`plan_query`] / [`plan_query_placed`] — candidate enumeration
+//!   (the structural default first, then every reroot of the canonical
+//!   join forest via [`faqs_hypergraph::candidate_decompositions`],
+//!   each re-rooted further for free-variable coverage) and cost-based
+//!   selection. The default wins all ties, so uniform instances plan
+//!   exactly as the structural planner did — and
+//!   [`PlannerConfig::structural`] (or `FAQS_PLAN_DISABLE_STATS=1`)
+//!   short-circuits to it without reading any data.
+//! * [`ChosenPlan`] — the validated GHD plus the per-node factor join
+//!   order consumed by `faqs-core::solve_faq`, the `faqs-exec`
+//!   executor and `DistributedFaqRun`; no consumer derives its own GHD
+//!   or join order any more.
+//! * [`choose_aggregation_players`] — the placement-aware
+//!   `argmin Σ bits·distance` choice of per-GHD-node aggregation
+//!   players, shared verbatim by the cost model's predictions and the
+//!   distributed runtime's actual routing.
+//!
+//! Validation (`check_push_down`, free-variable coverage) and the
+//! free-variable re-rooting search moved here from `faqs-core`, which
+//! re-exports them under their old names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod error;
+mod planner;
+mod stats;
+mod validate;
+
+pub use cost::PlanCost;
+pub use error::EngineError;
+pub use planner::{
+    choose_aggregation_players, decomposition_covering_free_vars, decomposition_for_free_vars,
+    ghd_for_query, join_order_covers_lambda, join_order_for_ghd, plan_query, plan_query_placed,
+    CandidateReport, ChosenPlan, PlacementContext, PlannerConfig,
+};
+pub use stats::{QueryStats, StatsDigest};
+pub use validate::{check_elimination_order, check_product_aggregates, check_push_down};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_hypergraph::{example_h2, path_query, star_query, EdgeId, Var};
+    use faqs_network::{Player, Topology};
+    use faqs_relation::{random_instance, skewed_star_instance, FaqQuery, RandomInstanceConfig};
+    use faqs_semiring::{Boolean, Count};
+
+    fn count_instance(h: &faqs_hypergraph::Hypergraph, seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 4,
+                seed,
+            },
+            vec![],
+            |_| Count(1),
+        )
+    }
+
+    #[test]
+    fn structural_mode_reproduces_ghd_for_query() {
+        for h in [star_query(3), path_query(4), example_h2()] {
+            let q = count_instance(&h, 7);
+            let plan = plan_query(&q, false, &PlannerConfig::structural()).unwrap();
+            assert!(!plan.stats_aware);
+            assert_eq!(plan.candidates.len(), 1);
+            let reference = ghd_for_query(&q).unwrap();
+            assert_eq!(plan.ghd.root(), reference.root());
+            assert_eq!(plan.ghd.len(), reference.len());
+            for n in reference.node_ids() {
+                assert_eq!(plan.ghd.chi(n), reference.chi(n));
+                assert_eq!(plan.ghd.parent(n), reference.parent(n));
+            }
+            // The join order is a permutation of each node's λ,
+            // smallest-first.
+            for n in plan.ghd.node_ids() {
+                let order = &plan.join_order[n.index()];
+                let mut lambda = plan.ghd.node(n).lambda.clone();
+                let mut sorted = order.clone();
+                sorted.sort();
+                lambda.sort();
+                assert_eq!(sorted, lambda);
+                assert!(order
+                    .windows(2)
+                    .all(|w| q.factor(w[0]).len() <= q.factor(w[1]).len()));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_instances_keep_the_structural_default() {
+        // All factors the same size: every candidate ties and the
+        // default must win (cache keys, pinned distributed schedules
+        // and ablation tables all rely on this determinism).
+        let q = faqs_relation::irreducible_star_instance(4, 16);
+        let plan = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        assert!(plan.stats_aware);
+        assert!(plan.chose_default(), "ties keep candidate 0");
+        assert!(plan.candidates.len() > 1, "reroots were actually scored");
+    }
+
+    #[test]
+    fn skewed_star_reroots_away_from_the_huge_leaf() {
+        // The pinned planner regression: the canonical GYO run roots
+        // the star at edge 0 — the n²-row factor — so the structural
+        // default seeds the upward pass with the huge relation and
+        // probes it on every fold. The cost model must pick a thin
+        // root and predict strictly less kernel work.
+        let q = skewed_star_instance(3, 16);
+        let structural = plan_query(&q, false, &PlannerConfig::structural()).unwrap();
+        assert!(
+            structural.ghd.node(structural.ghd.root()).lambda == vec![EdgeId(0)],
+            "precondition: the structural default roots at the huge edge 0"
+        );
+
+        let plan = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        assert!(!plan.chose_default(), "stats must beat the default here");
+        assert!(
+            !plan.ghd.node(plan.ghd.root()).lambda.contains(&EdgeId(0)),
+            "the huge factor must not seed the root"
+        );
+        let default_cost = plan.candidates[0].cost;
+        assert!(
+            plan.cost.cpu < default_cost.cpu,
+            "chosen {} !< default {}",
+            plan.cost.cpu,
+            default_cost.cpu
+        );
+    }
+
+    #[test]
+    fn placement_awareness_minimises_predicted_bits() {
+        // Same skewed star, huge factor held far from the output: the
+        // placed cost model must predict strictly fewer shipped bits
+        // for the chosen plan than for the structural default (which
+        // gathers the n²-row factor at the output-pinned root).
+        let q = skewed_star_instance(3, 16);
+        let g = Topology::line(4);
+        let ctx = PlacementContext {
+            topology: &g,
+            holders: vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+            output: Player(3),
+        };
+        let plan = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx)).unwrap();
+        assert!(!plan.chose_default());
+        let default_bits = plan.candidates[0].cost.net_bits;
+        assert!(
+            plan.cost.net_bits < default_bits,
+            "chosen {} !< default {}",
+            plan.cost.net_bits,
+            default_bits
+        );
+    }
+
+    #[test]
+    fn aggregation_players_pin_root_and_minimise_mass() {
+        let q: FaqQuery<Boolean> = skewed_star_instance(3, 8);
+        let plan = plan_query(&q, false, &PlannerConfig::structural()).unwrap();
+        let g = Topology::line(4);
+        let n_nodes = plan.ghd.node_ids().map(|n| n.index()).max().unwrap() + 1;
+        // Give every non-root node one shard at player 0 with heavy
+        // mass: the chooser must go to the holder, not the output.
+        let mut shards = vec![Vec::new(); n_nodes];
+        for n in plan.ghd.node_ids() {
+            if n != plan.ghd.root() {
+                shards[n.index()].push((Player(0), 1_000u64));
+            }
+        }
+        let agg = choose_aggregation_players(&g, &plan.ghd, Player(3), &shards);
+        assert_eq!(agg[plan.ghd.root().index()], Player(3), "root at output");
+        for n in plan.ghd.node_ids() {
+            if n != plan.ghd.root() {
+                assert_eq!(agg[n.index()], Player(0), "mass wins over output");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unplaceable_free_vars_like_the_engine() {
+        let h = path_query(5);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 2,
+                domain: 2,
+                seed: 1,
+            },
+            vec![Var(0), Var(5)],
+            |_| Count(1),
+        );
+        for cfg in [PlannerConfig::stats(), PlannerConfig::structural()] {
+            assert!(matches!(
+                plan_query(&q, false, &cfg),
+                Err(EngineError::FreeVarsOutsideCore(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn candidate_table_is_explainable() {
+        let q = skewed_star_instance(4, 8);
+        let plan = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        assert_eq!(plan.candidates[0].label, "structural default");
+        assert_eq!(
+            plan.candidates.iter().filter(|c| c.chosen).count(),
+            1,
+            "exactly one winner"
+        );
+        for c in &plan.candidates {
+            assert!(c.y >= 1);
+            assert!(c.cost.cpu > 0, "{}: simulated work is non-trivial", c.label);
+        }
+    }
+}

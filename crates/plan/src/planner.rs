@@ -1,0 +1,421 @@
+//! The planner proper: free-variable re-rooting, the structural default
+//! GHD, candidate enumeration, join orders, cost-based selection, and
+//! the placement-aware aggregation-player choice.
+
+use crate::cost::{CostModel, PlanCost, UNREACHABLE_HOPS};
+use crate::error::EngineError;
+use crate::stats::QueryStats;
+use crate::validate::{check_elimination_order, check_product_aggregates};
+use faqs_hypergraph::{
+    candidate_decompositions, internal_node_width, Decomposition, EdgeId, Ghd, Hypergraph, Var,
+};
+use faqs_network::{Player, Topology};
+use faqs_relation::FaqQuery;
+use faqs_semiring::{Aggregate, Semiring};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Planner knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerConfig {
+    /// Whether to gather per-factor statistics and score re-rooted GHD
+    /// candidates against the structural default. `false` reproduces
+    /// the pre-planner behaviour exactly: the width-minimising GYO-GHD
+    /// and smallest-first join orders, no data inspection beyond factor
+    /// listing sizes.
+    pub use_stats: bool,
+}
+
+impl PlannerConfig {
+    /// Statistics-driven planning (the default unless the environment
+    /// disables it).
+    pub fn stats() -> Self {
+        PlannerConfig { use_stats: true }
+    }
+
+    /// Pure-structural planning — the escape hatch the
+    /// `FAQS_PLAN_DISABLE_STATS=1` environment variable selects.
+    pub fn structural() -> Self {
+        PlannerConfig { use_stats: false }
+    }
+
+    /// Reads `FAQS_PLAN_DISABLE_STATS` (set to `1` to force structural
+    /// planning; CI runs the whole matrix once that way). The variable
+    /// is read once per process — `solve_faq` constructs a default
+    /// config per call, and an env lookup (a lock plus an allocation on
+    /// most platforms) has no place on that path.
+    pub fn from_env() -> Self {
+        static DISABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let disabled = *DISABLED
+            .get_or_init(|| matches!(std::env::var("FAQS_PLAN_DISABLE_STATS"), Ok(v) if v == "1"));
+        if disabled {
+            Self::structural()
+        } else {
+            Self::stats()
+        }
+    }
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Where the input shards live — everything the planner needs to
+/// predict shipped bits without depending on the protocol layer's
+/// placement type (`DistributedFaqRun` lowers its `InputPlacement` to
+/// this).
+#[derive(Clone, Debug)]
+pub struct PlacementContext<'a> {
+    /// The (capacity-scaled) topology the run will execute on.
+    pub topology: &'a Topology,
+    /// `holders[e]` = the players holding factor `e`'s shards.
+    pub holders: Vec<Vec<Player>>,
+    /// The player that must learn the answer (the root's aggregation
+    /// player is pinned here).
+    pub output: Player,
+}
+
+/// One scored candidate — the row of the `plan-explain` table.
+#[derive(Clone, Debug)]
+pub struct CandidateReport {
+    /// Human-readable provenance (`"structural default"` or the forest
+    /// roots of the re-rooted decomposition).
+    pub label: String,
+    /// The candidate's internal-node count `y(T)`.
+    pub y: usize,
+    /// Predicted cost under the instance's statistics.
+    pub cost: PlanCost,
+    /// Whether this candidate won.
+    pub chosen: bool,
+}
+
+/// The planner's output: one validated GHD plus the per-node factor
+/// join order, consumed by `faqs-core`'s upward pass, the `faqs-exec`
+/// executor, and the distributed runtime — the single place plan shape
+/// is decided.
+#[derive(Clone, Debug)]
+pub struct ChosenPlan {
+    /// The GHD the upward pass runs on (hoisted, re-rooted so that
+    /// `F ⊆ χ(root)`, validated for push-down legality).
+    pub ghd: Ghd,
+    /// Factor join order per node (dense by `NodeId` index): the order
+    /// the node's λ factors are absorbed. There is exactly one
+    /// implementation of this ordering — here — and every consumer
+    /// (engine, executor, distributed runtime) replays it.
+    pub join_order: Vec<Vec<EdgeId>>,
+    /// Predicted cost of the chosen candidate (zero in structural mode,
+    /// which predicts nothing).
+    pub cost: PlanCost,
+    /// Whether statistics were consulted.
+    pub stats_aware: bool,
+    /// The full scored candidate table (one entry, the default, in
+    /// structural mode).
+    pub candidates: Vec<CandidateReport>,
+}
+
+impl ChosenPlan {
+    /// Whether the cost model kept the structural default.
+    pub fn chose_default(&self) -> bool {
+        self.candidates.first().map(|c| c.chosen).unwrap_or(true)
+    }
+}
+
+/// Finds a core/forest decomposition whose core vertex set contains all
+/// `free` variables, re-rooting removed join trees when needed.
+///
+/// Strategy: start from the canonical decomposition; every free variable
+/// already in `V(C(H))` is fine; otherwise consider every forest edge
+/// containing a missing free variable as a candidate new root for its
+/// join tree. Each candidate is evaluated on a *cloned* decomposition
+/// (re-rooting evicts the old root's vertices from the core, so the net
+/// coverage change depends on the whole tree, not on the candidate edge
+/// alone) and we commit to the candidate that strictly grows the number
+/// of covered free variables, preferring the largest gain. Fails only
+/// when no candidate re-rooting makes progress — e.g. two free variables
+/// demand conflicting roots of the same tree and no single edge contains
+/// both. Terminates because coverage strictly increases every round.
+pub fn decomposition_for_free_vars(
+    h: &Hypergraph,
+    free: &[Var],
+) -> Result<Decomposition, EngineError> {
+    decomposition_covering_free_vars(h, Decomposition::of(h), free)
+}
+
+/// [`decomposition_for_free_vars`] from an explicit starting
+/// decomposition (any rooting of `h`'s join forest, e.g. one produced by
+/// [`Decomposition::reroot`] or a width-minimising search). The greedy
+/// ranking bug this fixes is masked from the canonical start — GYO
+/// places every tree root core-adjacent — but bites on re-rooted states.
+pub fn decomposition_covering_free_vars(
+    h: &Hypergraph,
+    base: Decomposition,
+    free: &[Var],
+) -> Result<Decomposition, EngineError> {
+    let mut d = base;
+    loop {
+        let missing: Vec<Var> = free
+            .iter()
+            .copied()
+            .filter(|v| !d.core_vars.contains(v))
+            .collect();
+        if missing.is_empty() {
+            return Ok(d);
+        }
+        let covered_now = free.len() - missing.len();
+        // Trial-run every candidate re-rooting on a clone and keep the
+        // best strict improvement. Ranking candidates by a static proxy
+        // (e.g. how many free variables the edge holds) is wrong: an
+        // edge dense in already-covered free variables can win the
+        // ranking yet evict exactly as many covered variables as it
+        // adds, stalling the loop on an answerable query.
+        let mut best: Option<(usize, Decomposition)> = None;
+        for e in d
+            .forest_edges
+            .iter()
+            .copied()
+            .filter(|e| missing.iter().any(|v| h.edge(*e).contains(v)))
+        {
+            let mut trial = d.clone();
+            trial.reroot(h, e);
+            let covered = free.iter().filter(|v| trial.core_vars.contains(v)).count();
+            if covered > covered_now && best.as_ref().map(|(c, _)| covered > *c).unwrap_or(true) {
+                best = Some((covered, trial));
+            }
+        }
+        match best {
+            Some((_, trial)) => d = trial,
+            None => return Err(EngineError::FreeVarsOutsideCore(missing)),
+        }
+    }
+}
+
+/// The *structural default* GHD: the width-minimising one when its core
+/// already contains `F`, otherwise a re-rooted decomposition. This is
+/// the plan used whenever statistics are disabled, and candidate 0 of
+/// every cost-based search — the cost model must beat it strictly to
+/// deviate.
+pub fn ghd_for_query<S: Semiring>(q: &FaqQuery<S>) -> Result<Ghd, EngineError> {
+    let report = internal_node_width(&q.hypergraph);
+    let covers = q
+        .free_vars
+        .iter()
+        .all(|v| report.decomposition.core_vars.contains(v));
+    if covers {
+        return Ok(report.ghd);
+    }
+    let d = decomposition_for_free_vars(&q.hypergraph, &q.free_vars)?;
+    let mut ghd = Ghd::from_decomposition(&q.hypergraph, &d);
+    ghd.hoist_md();
+    Ok(ghd)
+}
+
+/// Whether `order` is a permutation of `λ(node)` — the contract every
+/// consumer of a [`ChosenPlan`] `debug_assert`s before absorbing a
+/// node's factors. Owned here, next to the order's single producer, so
+/// the engine's and the executor's checks cannot drift apart.
+pub fn join_order_covers_lambda(
+    ghd: &Ghd,
+    node: faqs_hypergraph::NodeId,
+    order: &[EdgeId],
+) -> bool {
+    let mut a = order.to_vec();
+    let mut b = ghd.node(node).lambda.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+/// The per-node factor join order: each node's λ factors smallest-first
+/// by the instance's listing sizes (stable on the λ declaration order).
+/// This is the ONE implementation of the ordering heuristic the engine
+/// and the executor used to derive independently; both now consume the
+/// planner's copy (and `debug_assert` that what they execute is a
+/// permutation of the node's λ).
+pub fn join_order_for_ghd<S: Semiring>(q: &FaqQuery<S>, ghd: &Ghd) -> Vec<Vec<EdgeId>> {
+    let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+    let mut order: Vec<Vec<EdgeId>> = vec![Vec::new(); n_nodes];
+    for node in ghd.node_ids() {
+        let mut factors: Vec<EdgeId> = ghd.node(node).lambda.clone();
+        factors.sort_by_key(|&e| q.factor(e).len());
+        order[node.index()] = factors;
+    }
+    order
+}
+
+/// Plans `q` for local execution: validates the entry point, builds the
+/// structural default, and — with statistics enabled — scores every
+/// re-rooted GYO-GHD candidate, keeping the default unless a candidate
+/// is strictly cheaper. See [`plan_query_placed`] for the
+/// communication-aware variant.
+pub fn plan_query<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    cfg: &PlannerConfig,
+) -> Result<ChosenPlan, EngineError> {
+    plan_query_placed(q, lattice, cfg, None)
+}
+
+/// [`plan_query`] with an optional [`PlacementContext`]: when present,
+/// candidates are compared on predicted shipped bits first (kernel work
+/// breaks ties) — the distributed runtime's entry point.
+pub fn plan_query_placed<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    cfg: &PlannerConfig,
+    placement: Option<&PlacementContext<'_>>,
+) -> Result<ChosenPlan, EngineError> {
+    if !lattice {
+        for v in q.hypergraph.vars() {
+            if !q.is_free(v) && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min) {
+                return Err(EngineError::NeedsLatticeOps(v));
+            }
+        }
+    }
+    check_product_aggregates(q)?;
+    q.validate()
+        .map_err(|e| EngineError::Invalid(e.to_string()))?;
+
+    // Candidate 0: the structural default, validated exactly as the
+    // pre-planner engine validated it. Its failure is the caller's
+    // error — the cost model never papers over an invalid default.
+    let default_ghd = ghd_for_query(q)?;
+    let root_chi = default_ghd.chi(default_ghd.root());
+    if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
+        return Err(EngineError::FreeVarsOutsideCore(vec![*bad]));
+    }
+    check_elimination_order(q, &default_ghd)?;
+    let default_order = join_order_for_ghd(q, &default_ghd);
+
+    if !cfg.use_stats {
+        return Ok(ChosenPlan {
+            candidates: vec![CandidateReport {
+                label: "structural default".into(),
+                y: default_ghd.internal_count(),
+                cost: PlanCost::default(),
+                chosen: true,
+            }],
+            join_order: default_order,
+            cost: PlanCost::default(),
+            stats_aware: false,
+            ghd: default_ghd,
+        });
+    }
+
+    let stats = QueryStats::of(q);
+    let model = CostModel::new(&stats, q.domain, S::value_bits());
+    let placed = placement.is_some();
+    let default_cost = model.simulate(&default_ghd, &default_order, placement);
+    let mut candidates = vec![CandidateReport {
+        label: "structural default".into(),
+        y: default_ghd.internal_count(),
+        cost: default_cost,
+        chosen: true,
+    }];
+    let mut best = (default_ghd, default_order, default_cost, 0usize);
+
+    for d in candidate_decompositions(&q.hypergraph) {
+        // Free variables must end up in the candidate's core; re-root
+        // further if needed, drop the candidate if no rooting works.
+        let covered = q.free_vars.iter().all(|v| d.core_vars.contains(v));
+        let d = if covered {
+            d
+        } else {
+            match decomposition_covering_free_vars(&q.hypergraph, d, &q.free_vars) {
+                Ok(d) => d,
+                Err(_) => continue,
+            }
+        };
+        let label = format!(
+            "reroot [{}]",
+            d.forest_roots
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let mut ghd = Ghd::from_decomposition(&q.hypergraph, &d);
+        ghd.hoist_md();
+        let root_chi = ghd.chi(ghd.root());
+        if q.free_vars.iter().any(|v| !root_chi.contains(v)) {
+            continue;
+        }
+        // A candidate may be push-down-illegal where the default is
+        // legal (different elimination order); skip, never error.
+        if check_elimination_order(q, &ghd).is_err() {
+            continue;
+        }
+        let order = join_order_for_ghd(q, &ghd);
+        let cost = model.simulate(&ghd, &order, placement);
+        candidates.push(CandidateReport {
+            label,
+            y: ghd.internal_count(),
+            cost,
+            chosen: false,
+        });
+        // Strict improvement only: ties (including the canonical base,
+        // which re-enumerates as a candidate) keep the default, so
+        // uniform instances plan exactly as the structural planner did.
+        if cost.key(placed) < best.2.key(placed) {
+            best = (ghd, order, cost, candidates.len() - 1);
+        }
+    }
+
+    let chosen_idx = best.3;
+    for (i, c) in candidates.iter_mut().enumerate() {
+        c.chosen = i == chosen_idx;
+    }
+    Ok(ChosenPlan {
+        ghd: best.0,
+        join_order: best.1,
+        cost: best.2,
+        stats_aware: true,
+        candidates,
+    })
+}
+
+/// Chooses each GHD node's aggregation player given the shard masses of
+/// its factors: the root aggregates at `output` (it must learn the
+/// answer); every other node picks, among its shard holders and the
+/// output, the player minimising `Σ bits · live-distance` (ties to the
+/// lowest player id). Shared by the cost model's predictions and by
+/// `DistributedFaqRun`'s actual routing, so predicted and executed
+/// placements agree by construction.
+pub fn choose_aggregation_players(
+    g: &Topology,
+    ghd: &Ghd,
+    output: Player,
+    node_shards: &[Vec<(Player, u64)>],
+) -> Vec<Player> {
+    let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+    let mut agg = vec![output; n_nodes];
+    // One BFS per distinct candidate across all nodes (the output is a
+    // candidate for every node; shard holders repeat too).
+    let mut dist_cache: BTreeMap<Player, Vec<u32>> = BTreeMap::new();
+    for node in ghd.node_ids() {
+        if node == ghd.root() {
+            continue; // output player, fixed above
+        }
+        let mass = &node_shards[node.index()];
+        let mut candidates: BTreeSet<Player> = BTreeSet::from([output]);
+        for &(p, _) in mass {
+            candidates.insert(p);
+        }
+        let mut best: Option<(u64, Player)> = None;
+        for &c in &candidates {
+            // Live distances: a down link must not make a candidate
+            // look closer than its actual detour.
+            let dist = dist_cache.entry(c).or_insert_with(|| g.live_distances(c));
+            let cost: u64 = mass
+                .iter()
+                .map(|&(p, bits)| bits.saturating_mul(dist[p.index()].min(UNREACHABLE_HOPS) as u64))
+                .sum();
+            // Strict `<` keeps the first (lowest-id) minimiser.
+            if best.map(|(b, _)| cost < b).unwrap_or(true) {
+                best = Some((cost, c));
+            }
+        }
+        agg[node.index()] = best.expect("at least one candidate").1;
+    }
+    agg
+}

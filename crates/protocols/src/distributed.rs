@@ -33,6 +33,7 @@ use crate::outcome::ProtocolError;
 use faqs_exec::QueryPlan;
 use faqs_hypergraph::{EdgeId, NodeId, Var};
 use faqs_network::{best_delta, Assignment, NetRun, Player, RunStats, Topology};
+use faqs_plan::{PlacementContext, PlannerConfig};
 use faqs_relation::{FaqQuery, Relation};
 use faqs_semiring::{Aggregate, Semiring};
 use std::collections::BTreeSet;
@@ -184,7 +185,9 @@ pub struct DistributedFaqRun<'a, S: Semiring> {
 
 impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
     /// Prepares a run: validates the query and placement, builds (and
-    /// validates) the [`QueryPlan`], and scales every link to carry
+    /// validates) the [`QueryPlan`] — placement-aware, so `faqs-plan`
+    /// scores GHD candidates on the bits they would ship across the
+    /// scaled topology — and scales every link to carry
     /// `capacity_tuples` tuples (`r·⌈log₂ D⌉` bits plus annotation) per
     /// round — `1` is the paper's Model 2.1 allowance; pass `0` to keep
     /// `g`'s own (possibly heterogeneous or down) capacities.
@@ -194,16 +197,35 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
         placement: InputPlacement,
         capacity_tuples: u64,
     ) -> Result<Self, ProtocolError> {
+        Self::new_with(q, g, placement, capacity_tuples, &PlannerConfig::default())
+    }
+
+    /// [`DistributedFaqRun::new`] with explicit planner knobs — the
+    /// planner regressions pin structural vs stats-aware runs with it,
+    /// independent of the `FAQS_PLAN_DISABLE_STATS` environment.
+    pub fn new_with(
+        q: &'a FaqQuery<S>,
+        g: &Topology,
+        placement: InputPlacement,
+        capacity_tuples: u64,
+        planner: &PlannerConfig,
+    ) -> Result<Self, ProtocolError> {
         q.validate()
             .map_err(|e| ProtocolError::Invalid(e.to_string()))?;
         placement.validate(q, g)?;
-        let plan = QueryPlan::build(q, false).map_err(|e| ProtocolError::Engine(e.to_string()))?;
         let scaled = if capacity_tuples == 0 {
             g.clone()
         } else {
             g.clone()
                 .with_uniform_capacity(capacity_tuples * model_capacity_bits(q))
         };
+        let ctx = PlacementContext {
+            topology: &scaled,
+            holders: placement.shards.clone(),
+            output: placement.output(),
+        };
+        let plan = QueryPlan::build_with(q, false, planner, Some(&ctx))
+            .map_err(|e| ProtocolError::Engine(e.to_string()))?;
         let all_links_live = scaled.links().all(|l| scaled.capacity(l) > 0);
         Ok(DistributedFaqRun {
             q,
@@ -325,10 +347,14 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             .collect()
     }
 
-    /// Chooses each GHD node's aggregation player: the root aggregates
+    /// Chooses each GHD node's aggregation player through the planner's
+    /// shared `argmin Σ bits·live-distance` rule
+    /// ([`faqs_plan::choose_aggregation_players`]): the root aggregates
     /// at the output; every other node picks, among its factors' shard
     /// holders and the output, the player minimising the bit-distance
-    /// mass of its shards (ties to the lowest player id).
+    /// mass of its *actual* shards (ties to the lowest player id). The
+    /// cost model ran the identical rule over estimated masses when the
+    /// plan was chosen, so predicted and executed placements agree.
     fn node_players(&self, shards: &[Vec<(Player, Relation<S>)>]) -> Vec<Player> {
         let n_nodes = self
             .plan
@@ -338,42 +364,20 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             .max()
             .unwrap_or(0)
             + 1;
-        let mut agg = vec![self.placement.output(); n_nodes];
-        // One BFS per distinct candidate across all nodes (the output is
-        // a candidate for every node; shard holders repeat too).
-        let mut dist_cache: std::collections::BTreeMap<Player, Vec<u32>> =
-            std::collections::BTreeMap::new();
+        let mut node_shards: Vec<Vec<(Player, u64)>> = vec![Vec::new(); n_nodes];
         for node in self.plan.ghd.node_ids() {
-            if node == self.plan.root() {
-                continue; // output player, fixed above
-            }
-            let mut candidates: BTreeSet<Player> = BTreeSet::from([self.placement.output()]);
-            let mut mass: Vec<(Player, u64)> = Vec::new();
             for step in self.plan.joins(node) {
                 for (p, rel) in &shards[step.edge.index()] {
-                    candidates.insert(*p);
-                    mass.push((*p, rel.bits(self.q.domain)));
+                    node_shards[node.index()].push((*p, rel.bits(self.q.domain)));
                 }
             }
-            let mut best: Option<(u64, Player)> = None;
-            for &c in &candidates {
-                // Live distances: a down link must not make a candidate
-                // look closer than its actual detour.
-                let dist = dist_cache
-                    .entry(c)
-                    .or_insert_with(|| self.scaled.live_distances(c));
-                let cost: u64 = mass
-                    .iter()
-                    .map(|&(p, bits)| bits.saturating_mul(dist[p.index()].min(1 << 20) as u64))
-                    .sum();
-                // Strict `<` keeps the first (lowest-id) minimiser.
-                if best.map(|(b, _)| cost < b).unwrap_or(true) {
-                    best = Some((cost, c));
-                }
-            }
-            agg[node.index()] = best.expect("at least one candidate").1;
         }
-        agg
+        faqs_plan::choose_aggregation_players(
+            &self.scaled,
+            &self.plan.ghd,
+            self.placement.output(),
+            &node_shards,
+        )
     }
 
     /// Evaluates one subtree: children first (their messages routed to

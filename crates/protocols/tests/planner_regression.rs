@@ -1,0 +1,126 @@
+//! Planner regressions for the distributed runtime: on the pinned
+//! skewed-star instance (one `n²`-row leaf, `faqs_relation::
+//! skewed_star_instance`) the statistics-aware, placement-aware plan
+//! must ship strictly fewer bits than the structural default while
+//! remaining inside the `ConformanceReport` upper envelope — the
+//! acceptance bar of the `faqs-plan` extraction — and the planner's
+//! *predicted* bits must themselves respect the paper's envelope.
+
+use faqs_network::{Player, RunStats, Topology};
+use faqs_plan::{plan_query_placed, PlacementContext, PlannerConfig};
+use faqs_protocols::{model_capacity_bits, ConformanceReport, DistributedFaqRun, InputPlacement};
+use faqs_relation::skewed_star_instance;
+
+/// The shared fixture: a 3-leaf star over domain 16 whose first factor
+/// is the full 256-row cross product, each factor held by its own
+/// player on a line, with the output at the far end — so a plan rooted
+/// at the huge factor must drag all 256 rows across three hops.
+///
+/// The huge leaf's variable carries a `Product` aggregate (legal on the
+/// Boolean semiring — `∧` is idempotent): a plain `Sum` would let the
+/// runtime's shard-level Corollary G.2 pre-aggregation collapse the
+/// 256 rows to 16 *at the holder*, rescuing even the structural plan
+/// before anything ships. `Product` is exactly the guard's refusal
+/// case, so the factor really travels whole when the plan roots there.
+fn fixture() -> (
+    faqs_relation::FaqQuery<faqs_semiring::Boolean>,
+    Topology,
+    InputPlacement,
+) {
+    let q = skewed_star_instance(3, 16)
+        .with_aggregate(faqs_hypergraph::Var(1), faqs_semiring::Aggregate::Product);
+    let g = Topology::line(4);
+    let placement = InputPlacement::new(
+        vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+        Player(3),
+    );
+    (q, g, placement)
+}
+
+#[test]
+fn stats_aware_plan_ships_strictly_fewer_bits() {
+    let (q, g, placement) = fixture();
+    let run_with = |planner: &PlannerConfig| {
+        let run = DistributedFaqRun::new_with(&q, &g, placement.clone(), 1, planner).unwrap();
+        let out = run.execute().unwrap();
+        let report = run.conformance(out.stats);
+        (out, report)
+    };
+
+    let (structural_out, structural_report) = run_with(&PlannerConfig::structural());
+    let (stats_out, stats_report) = run_with(&PlannerConfig::stats());
+
+    assert_eq!(
+        stats_out.result, structural_out.result,
+        "planning never changes the answer"
+    );
+    assert!(
+        stats_out.stats.total_bits < structural_out.stats.total_bits,
+        "stats-aware plan must be strictly cheaper: {} !< {}",
+        stats_out.stats.total_bits,
+        structural_out.stats.total_bits,
+    );
+    // Both runs stay inside the paper's upper envelope; the stats win
+    // is an optimisation *within* it, not a model escape.
+    assert!(structural_report.within_upper());
+    assert!(stats_report.within_upper());
+}
+
+#[test]
+fn predicted_bits_respect_the_paper_envelope() {
+    let (q, g, placement) = fixture();
+    // The same capacity scaling DistributedFaqRun applies for
+    // capacity_tuples = 1.
+    let scaled = g.clone().with_uniform_capacity(model_capacity_bits(&q));
+    let ctx = PlacementContext {
+        topology: &scaled,
+        holders: (0..q.k())
+            .map(|e| {
+                placement
+                    .shard_holders(faqs_hypergraph::EdgeId(e as u32))
+                    .to_vec()
+            })
+            .collect(),
+        output: placement.output(),
+    };
+    let plan = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx)).unwrap();
+    let envelope =
+        ConformanceReport::evaluate(&q, &scaled, &placement.players(), RunStats::default());
+    assert!(plan.cost.net_bits > 0, "remote shards must cost something");
+    assert!(
+        plan.cost.net_bits <= envelope.upper_bits,
+        "predicted {} bits escape the {}-bit upper envelope",
+        plan.cost.net_bits,
+        envelope.upper_bits,
+    );
+    // And the prediction ranks candidates the way the measurements do:
+    // the default (huge-root) candidate predicts strictly more bits.
+    assert!(
+        !plan.chose_default() && plan.cost.net_bits < plan.candidates[0].cost.net_bits,
+        "prediction must rank the thin root above the huge root"
+    );
+}
+
+#[test]
+fn uniform_star_keeps_the_pinned_structural_schedule() {
+    // The flip side of the regression: on the *uniform* hard star the
+    // cost model must keep the structural default (all candidates tie;
+    // strict improvement is required to deviate), so the conformance
+    // suite's pinned Theorem 3.1 RunStats hold under stats planning.
+    let q = faqs_relation::irreducible_star_instance(4, 64);
+    let g = Topology::line(4);
+    let players: Vec<Player> = g.players().collect();
+    let placement = InputPlacement::hash_split(q.k(), &players, Player(3));
+    let run_bits = |planner: &PlannerConfig| {
+        DistributedFaqRun::new_with(&q, &g, placement.clone(), 1, planner)
+            .unwrap()
+            .execute()
+            .unwrap()
+            .stats
+    };
+    assert_eq!(
+        run_bits(&PlannerConfig::stats()),
+        run_bits(&PlannerConfig::structural()),
+        "symmetric instances must plan identically under both modes"
+    );
+}

@@ -96,6 +96,27 @@ pub fn irreducible_star_instance(k: usize, n: u32) -> FaqQuery<Boolean> {
     b.finish()
 }
 
+/// The *skewed* star BCQ with `k` leaves over domain `n`: leaf 1's
+/// relation is the full `n × n` cross product while every other leaf
+/// lists the `n` thin `(x, x mod 5)` pairs. The canonical GYO run roots
+/// the star's join tree at the huge first edge, so a purely structural
+/// planner seeds the upward pass with the `n²`-row factor and probes it
+/// on every message fold — the adversarial instance the stats-aware
+/// planner of `faqs-plan` must re-root away from. Shared by the planner
+/// regression tests, the `plan-explain` harness table (E16), and the
+/// planner bench, which pin the same instance.
+pub fn skewed_star_instance(k: usize, n: u32) -> FaqQuery<Boolean> {
+    assert!(k >= 2, "need a thin edge to re-root onto");
+    assert!(n >= 5, "need the (x, x mod 5) witness pairs in-domain");
+    let h = faqs_hypergraph::star_query(k);
+    let mut b = crate::builder::BcqBuilder::new(&h, n as usize);
+    b.relation_from_pairs(0, (0..n * n).map(|i| (i / n, i % n)));
+    for e in 1..k {
+        b.relation_from_pairs(e, (0..n).map(|x| (x, x % 5)));
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

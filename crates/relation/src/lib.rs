@@ -26,12 +26,15 @@ mod generators;
 pub mod kernel;
 mod query;
 mod relation;
+mod stats;
 
 pub use builder::BcqBuilder;
 pub use faqs_semiring::Aggregate;
 pub use generators::{
-    irreducible_star_instance, random_boolean_instance, random_instance, RandomInstanceConfig,
+    irreducible_star_instance, random_boolean_instance, random_instance, skewed_star_instance,
+    RandomInstanceConfig,
 };
 pub use kernel::JoinIndex;
 pub use query::{FaqQuery, QueryError};
 pub use relation::{Relation, Tuple};
+pub use stats::RelationStats;

@@ -1,0 +1,175 @@
+//! One-pass relation statistics for the cost-based planner.
+//!
+//! The planner (`faqs-plan`) estimates join and message cardinalities
+//! from three per-relation quantities: the listing size, the number of
+//! distinct values per column, and the number of distinct *key
+//! prefixes* (the selectivity of the prefix-keyed [`JoinIndex`]
+//! fast path). All three are gathered in a single pass over the
+//! canonical sorted arena: prefix counts fall out of comparing each row
+//! with its predecessor (equal prefixes are contiguous in a
+//! lexicographically sorted arena), and per-column distinct counts come
+//! from one small value-set per column filled during the same sweep.
+//!
+//! [`JoinIndex`]: crate::kernel::JoinIndex
+
+use crate::relation::Relation;
+use faqs_hypergraph::Var;
+use faqs_semiring::Semiring;
+use std::collections::HashSet;
+
+/// Per-relation statistics in the planner's vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationStats {
+    /// The schema the statistics describe, in tuple order.
+    pub schema: Vec<Var>,
+    /// Listing size `|R_e|` (the paper's per-factor `N`).
+    pub rows: usize,
+    /// Distinct values per column, parallel to `schema`.
+    pub distinct: Vec<usize>,
+    /// Distinct projections onto the schema prefix of length `i + 1` —
+    /// `prefix_distinct[0] == distinct[0]`, and the last entry equals
+    /// `rows` (rows are duplicate-free).
+    pub prefix_distinct: Vec<usize>,
+}
+
+impl RelationStats {
+    /// The distinct count of variable `v`, if it is in the schema.
+    pub fn distinct_of(&self, v: Var) -> Option<usize> {
+        self.schema
+            .iter()
+            .position(|w| *w == v)
+            .map(|i| self.distinct[i])
+    }
+
+    /// Average rows per distinct key of the schema prefix of length
+    /// `len` (clamped to the arity) — the expected group size a
+    /// prefix-keyed join probe hits.
+    pub fn prefix_selectivity(&self, len: usize) -> f64 {
+        let len = len.min(self.prefix_distinct.len());
+        if len == 0 || self.rows == 0 {
+            return self.rows as f64;
+        }
+        let groups = self.prefix_distinct[len - 1].max(1);
+        self.rows as f64 / groups as f64
+    }
+
+    /// The heaviest per-column skew: `rows / min_v distinct(v)` — `1.0`
+    /// for key-like columns, large when one column concentrates on few
+    /// values (the adversarial instances the stats digest must tell
+    /// apart from uniform ones).
+    pub fn max_skew(&self) -> f64 {
+        if self.rows == 0 || self.distinct.is_empty() {
+            return 1.0;
+        }
+        let min = self.distinct.iter().copied().min().unwrap_or(1).max(1);
+        self.rows as f64 / min as f64
+    }
+}
+
+impl<S: Semiring> Relation<S> {
+    /// Gathers [`RelationStats`] in one pass over the sorted arena.
+    /// Column 0's distinct count falls out of the prefix counter for
+    /// free (the arena is sorted on it); only columns `1..` pay a
+    /// value-set each.
+    pub fn stats(&self) -> RelationStats {
+        let arity = self.schema().len();
+        let mut prefix_distinct = vec![0usize; arity];
+        let mut seen: Vec<HashSet<u32>> = vec![HashSet::new(); arity.saturating_sub(1)];
+        let mut prev: Option<&[u32]> = None;
+        for t in self.tuples() {
+            // First column where this row departs from its predecessor:
+            // every prefix from there on starts a new group.
+            let diverge = match prev {
+                None => 0,
+                Some(p) => t
+                    .iter()
+                    .zip(p)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(arity.saturating_sub(1)),
+            };
+            for counter in prefix_distinct.iter_mut().skip(diverge) {
+                *counter += 1;
+            }
+            for (set, &x) in seen.iter_mut().zip(t.iter().skip(1)) {
+                set.insert(x);
+            }
+            prev = Some(t);
+        }
+        let mut distinct = Vec::with_capacity(arity);
+        if arity > 0 {
+            distinct.push(prefix_distinct[0]);
+            distinct.extend(seen.iter().map(HashSet::len));
+        }
+        RelationStats {
+            schema: self.schema().to_vec(),
+            rows: self.len(),
+            distinct,
+            prefix_distinct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_semiring::Count;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn rel(rows: &[[u32; 2]]) -> Relation<Count> {
+        Relation::from_pairs(
+            vec![v(0), v(1)],
+            rows.iter().map(|t| (t.to_vec(), Count(1))),
+        )
+    }
+
+    #[test]
+    fn counts_rows_distinct_and_prefixes() {
+        let r = rel(&[[1, 5], [1, 7], [2, 5], [2, 5], [3, 9]]);
+        let s = r.stats();
+        assert_eq!(s.rows, 4, "duplicate row collapses");
+        assert_eq!(s.distinct, vec![3, 3], "values {{1,2,3}} and {{5,7,9}}");
+        assert_eq!(s.prefix_distinct, vec![3, 4]);
+        assert_eq!(s.distinct_of(v(1)), Some(3));
+        assert_eq!(s.distinct_of(v(9)), None);
+    }
+
+    #[test]
+    fn skew_and_selectivity() {
+        // One hot key: 4 rows share x0 = 1.
+        let r = rel(&[[1, 0], [1, 1], [1, 2], [1, 3]]);
+        let s = r.stats();
+        assert_eq!(s.max_skew(), 4.0);
+        assert_eq!(s.prefix_selectivity(1), 4.0, "one group of four rows");
+        assert_eq!(s.prefix_selectivity(2), 1.0, "full rows are unique");
+
+        let uniform = rel(&[[0, 0], [1, 1], [2, 2], [3, 3]]);
+        assert_eq!(uniform.stats().max_skew(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_relations() {
+        let empty: Relation<Count> = Relation::new([v(0)]);
+        let s = empty.stats();
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.distinct, vec![0]);
+        assert_eq!(s.max_skew(), 1.0);
+
+        let unit: Relation<Count> = Relation::unit();
+        let s = unit.stats();
+        assert_eq!(s.rows, 1);
+        assert!(s.distinct.is_empty());
+        assert_eq!(s.prefix_selectivity(0), 1.0);
+        // Regression: asking for a longer prefix than the arity must
+        // clamp, not underflow (nullary relations have no prefixes).
+        assert_eq!(s.prefix_selectivity(1), 1.0);
+        let single = rel(&[[1, 2], [1, 3]]);
+        assert_eq!(
+            single.stats().prefix_selectivity(7),
+            1.0,
+            "clamped to arity"
+        );
+    }
+}

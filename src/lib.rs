@@ -17,6 +17,9 @@
 //! * [`network`] — communication topologies, min-cuts, Steiner-tree
 //!   packings, multicommodity-flow routing, the synchronous round
 //!   simulator of Model 2.1.
+//! * [`plan`] — the statistics-driven cost-based planner: per-factor
+//!   stats, GHD candidate enumeration, join orders, placement-aware
+//!   communication costs; one `ChosenPlan` feeds every consumer below.
 //! * [`engine`] — the centralized FAQ engine (ground truth).
 //! * [`exec`] — the plan-cached, multi-threaded executor: the front
 //!   door for repeated query traffic (`Executor::solve` with a
@@ -62,6 +65,7 @@ pub use faqs_hypergraph as hypergraph;
 pub use faqs_lowerbounds as lowerbounds;
 pub use faqs_mcm as mcm;
 pub use faqs_network as network;
+pub use faqs_plan as plan;
 pub use faqs_protocols as protocols;
 pub use faqs_relation as relation;
 pub use faqs_semiring as semiring;
@@ -73,6 +77,7 @@ pub mod prelude {
     pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
     pub use faqs_network::{Assignment, Topology};
+    pub use faqs_plan::{plan_query, ChosenPlan, PlanCost, PlannerConfig, QueryStats};
     pub use faqs_protocols::{
         run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice, ConformanceReport,
         DistributedFaqRun, InputPlacement,
