@@ -1,0 +1,124 @@
+//! Criterion bench for the incremental executor (`faqs-exec`): the cost
+//! of serving *mutations* through a live [`IncrementalFaq`] session
+//! versus re-solving from scratch on every change. Recorded in CI as
+//! `BENCH_incremental.json` — the update-path perf trajectory next to
+//! the kernel, executor, distributed and planner rows.
+//!
+//! Two traffic shapes:
+//!
+//! * **update-heavy** — every iteration is one insert + one delete of
+//!   the same tuple (state returns to the fixture, so timings are
+//!   stationary). The delta path does two single-tuple propagations;
+//!   the baseline mutates a factor and re-solves through the warm plan
+//!   cache.
+//! * **read-heavy** — one insert/delete pair amortised over eight
+//!   answer reads. The session's maintained answer makes reads free;
+//!   the baseline pays a full solve per read.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_exec::{Executor, ExecutorConfig, IncrementalFaq};
+use faqs_hypergraph::{path_query, EdgeId};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::Count;
+use std::hint::black_box;
+
+/// The shared fixture: a two-factor path with dense factors, large
+/// enough that a full upward pass visibly dwarfs a delta propagation.
+fn fixture() -> FaqQuery<Count> {
+    let h = path_query(2);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: 20_000,
+        domain: 256,
+        seed: 0xE17,
+    };
+    random_instance(&h, &cfg, vec![], |_| Count(1))
+}
+
+/// A tuple guaranteed absent from the fixture (domain values collide
+/// heavily, so pick after inspection rather than by construction).
+fn probe_tuple(q: &FaqQuery<Count>) -> Vec<u32> {
+    let f = q.factor(EdgeId(0));
+    for a in 0..q.domain {
+        for b in 0..q.domain {
+            if f.get(&[a, b]).is_none() {
+                return vec![a, b];
+            }
+        }
+    }
+    unreachable!("fixture factor cannot be the full cross product");
+}
+
+fn bench_update_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_update");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    let q = fixture();
+    let t = probe_tuple(&q);
+    let e = EdgeId(0);
+
+    let mut inc = IncrementalFaq::new(q.clone()).expect("session");
+    group.bench_function(BenchmarkId::from_parameter("delta_maintained"), |b| {
+        b.iter(|| {
+            inc.insert(e, black_box(&t), Count(1)).unwrap();
+            inc.delete(e, black_box(&t)).unwrap();
+            black_box(inc.answer().total())
+        })
+    });
+
+    let ex = Executor::new(ExecutorConfig::with_threads(1));
+    let mut base = q.clone();
+    group.bench_function(BenchmarkId::from_parameter("full_resolve"), |b| {
+        b.iter(|| {
+            base.factors[e.index()].insert(black_box(t.clone()), Count(1));
+            let mid = ex.solve(&base).unwrap().total();
+            base.factors[e.index()].delete(black_box(&t));
+            black_box((mid, ex.solve(&base).unwrap().total()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_read_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_serving");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    const READS_PER_UPDATE: usize = 8;
+    let q = fixture();
+    let t = probe_tuple(&q);
+    let e = EdgeId(0);
+
+    let mut inc = IncrementalFaq::new(q.clone()).expect("session");
+    group.bench_function(BenchmarkId::from_parameter("delta_maintained"), |b| {
+        b.iter(|| {
+            inc.insert(e, black_box(&t), Count(1)).unwrap();
+            inc.delete(e, black_box(&t)).unwrap();
+            let mut acc = 0u64;
+            for _ in 0..READS_PER_UPDATE {
+                acc = acc.wrapping_add(black_box(inc.answer().total()).0);
+            }
+            black_box(acc)
+        })
+    });
+
+    let ex = Executor::new(ExecutorConfig::with_threads(1));
+    let mut base = q.clone();
+    group.bench_function(BenchmarkId::from_parameter("full_resolve"), |b| {
+        b.iter(|| {
+            base.factors[e.index()].insert(black_box(t.clone()), Count(1));
+            base.factors[e.index()].delete(black_box(&t));
+            let mut acc = 0u64;
+            for _ in 0..READS_PER_UPDATE {
+                acc = acc.wrapping_add(black_box(ex.solve(&base).unwrap().total()).0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_heavy, bench_read_heavy);
+criterion_main!(benches);

@@ -944,6 +944,95 @@ pub fn e16_plan_explain(n: usize) {
     print_plan("skewed_star (placement-aware, line4, output P3)", &plan);
 }
 
+/// **E17 — incremental serving.** A live [`faqs_exec::IncrementalFaq`]
+/// session absorbing single-tuple inserts/deletes against re-solving
+/// from scratch per change: per-update latency for the delta path vs
+/// the warm-plan full pass, plus the session's work counters proving
+/// the delta path did no full stats re-scan and no full upward pass.
+/// Not a paper artifact — the update-path row behind the ROADMAP's
+/// serving north star; CI records the companion bench as
+/// `BENCH_incremental.json`.
+pub fn e17_incremental(n: usize) {
+    use faqs_exec::{Executor, ExecutorConfig, IncrementalFaq};
+    use std::time::Instant;
+
+    banner("E17 · Incremental serving — delta maintenance vs full re-solve");
+    header(&["strategy", "N/factor", "µs/update", "speedup"]);
+
+    let h = faqs_hypergraph::path_query(2);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: n,
+        domain: (n as u32 / 4).max(16),
+        seed: 0xE17,
+    };
+    let q: FaqQuery<Count> = random_instance(&h, &cfg, vec![], |_| Count(1));
+    // A tuple absent from the fixture, so insert/delete round-trips
+    // restore the exact starting state.
+    let t: Vec<u32> = (0..q.domain)
+        .flat_map(|a| (0..q.domain).map(move |b| vec![a, b]))
+        .find(|t| q.factor(EdgeId(0)).get(t).is_none())
+        .expect("factor is not the full cross product");
+
+    let reps = 32;
+    let mut inc = IncrementalFaq::new(q.clone()).expect("session");
+    let before = inc.counters();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        inc.insert(EdgeId(0), &t, Count(1)).unwrap();
+        inc.delete(EdgeId(0), &t).unwrap();
+    }
+    let inc_us = t0.elapsed().as_secs_f64() * 1e6 / (2 * reps) as f64;
+    let after = inc.counters();
+    // The acceptance property, live: the whole update storm did zero
+    // full stats re-scans and zero full upward passes. (Skipped under
+    // the FAQS_EXEC_DISABLE_DELTA=1 escape hatch, where every update
+    // deliberately re-solves.)
+    if inc.mode() != faqs_exec::MaintenanceMode::FullResolve {
+        assert_eq!(after.full_stats_scans, before.full_stats_scans);
+        assert_eq!(after.full_upward_passes, before.full_upward_passes);
+    }
+
+    let ex = Executor::new(ExecutorConfig::with_threads(1));
+    let mut base = q.clone();
+    let expected = ex.solve(&base).unwrap().total();
+    assert_eq!(inc.answer().total(), expected, "maintained answer agrees");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        base.factors[0].insert(t.clone(), Count(1));
+        std::hint::black_box(ex.solve(&base).unwrap().total());
+        base.factors[0].delete(&t);
+        std::hint::black_box(ex.solve(&base).unwrap().total());
+    }
+    let full_us = t0.elapsed().as_secs_f64() * 1e6 / (2 * reps) as f64;
+
+    row(&[
+        "delta-maintained session".to_string(),
+        n.to_string(),
+        format!("{inc_us:.1}"),
+        format!("{:.0}×", full_us / inc_us.max(1e-9)),
+    ]);
+    row(&[
+        "full re-solve (warm plan)".to_string(),
+        n.to_string(),
+        format!("{full_us:.1}"),
+        "1.0×".into(),
+    ]);
+
+    println!();
+    header(&["counter", "value"]);
+    for (name, v) in [
+        ("delta applies", after.delta_applies),
+        ("delta stats merges", after.delta_stats_merges),
+        ("full stats scans", after.full_stats_scans),
+        ("full upward passes", after.full_upward_passes),
+        ("node recomputes", after.node_recomputes),
+        ("plan rebuilds", after.plan_rebuilds),
+        ("cancellation fallbacks", after.cancellation_fallbacks),
+    ] {
+        row(&[name.to_string(), v.to_string()]);
+    }
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -998,6 +1087,7 @@ mod tests {
         e13_kernel(256);
         e14_executor(512);
         e16_plan_explain(16);
+        e17_incremental(512);
         ablation_width();
     }
 

@@ -8,8 +8,8 @@
 //!
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
-//! `kernel`, `executor`, `distributed`, `plan-explain`, `ablation`,
-//! `all` (default).
+//! `kernel`, `executor`, `distributed`, `plan-explain`, `incremental`,
+//! `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -44,13 +44,14 @@ fn main() {
     run("executor", &|| exp::e14_executor(32 * n));
     run("distributed", &|| exp::e15_distributed(n.min(128)));
     run("plan-explain", &|| exp::e16_plan_explain(n.min(64)));
+    run("incremental", &|| exp::e17_incremental(32 * n));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             distributed plan-explain ablation all"
+             distributed plan-explain incremental ablation all"
         );
         std::process::exit(2);
     }

@@ -35,6 +35,17 @@ pub fn solve_faq_lattice<S: LatticeOps>(q: &FaqQuery<S>) -> Result<Relation<S>, 
     solve_faq_with_plan(q, &plan, |rel, var, op| rel.aggregate_out_lattice(var, op))
 }
 
+/// A deterministic full re-solve for differential testing: always
+/// re-plans *structurally* (no statistics, no environment sensitivity),
+/// so equal data always takes the identical plan and produces the
+/// bit-identical answer — the oracle the incremental engine's
+/// maintained answers are raced against, immune to
+/// `FAQS_PLAN_DISABLE_STATS` and to digest drift.
+pub fn solve_faq_reference<S: Semiring>(q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
+    let plan = faqs_plan::plan_query(q, false, &PlannerConfig::structural())?;
+    solve_faq_with_plan(q, &plan, |rel, var, op| rel.aggregate_out(var, op))
+}
+
 /// The upward pass on an explicit [`ChosenPlan`] — the engine-side
 /// entry point for callers that already planned (the executor replays
 /// cached plans through its own scheduler; tests compare structural and

@@ -13,6 +13,9 @@
 //!   semiring);
 //! * [`solve_faq_brute_force`] — a direct evaluation of Equation (4) by
 //!   nested-loop aggregation, used as the oracle in tests;
+//! * [`solve_faq_reference`] — a deterministic structural-plan re-solve,
+//!   the oracle the incremental executor's maintained answers are raced
+//!   against;
 //! * [`yannakakis_reduce`] / [`natural_join`] — the classic semijoin
 //!   full reducer and join materialisation for acyclic queries;
 //! * [`pgm`] — probabilistic-graphical-model conveniences (variable and
@@ -36,6 +39,6 @@ pub use brute::{solve_faq_brute_force, solve_faq_brute_force_lattice};
 pub use engine::{
     check_push_down, decomposition_covering_free_vars, decomposition_for_free_vars, finish_root,
     ghd_for_query, push_down_message, solve_bcq, solve_faq, solve_faq_lattice, solve_faq_on_ghd,
-    solve_faq_with_plan, EngineError,
+    solve_faq_reference, solve_faq_with_plan, EngineError,
 };
 pub use yannakakis::{natural_join, yannakakis_reduce};

@@ -10,17 +10,25 @@
 //! once and replayed for any digest, so repeated traffic on a bad shape
 //! costs one hash lookup instead of one GHD construction.
 //!
+//! The digest tier is *bounded*: digest-diverse traffic (one entry per
+//! [`StatsDigest`] per shape, e.g. a long-lived service whose maintained
+//! stats drift across bucket boundaries) evicts least-recently-used
+//! entries past [`PlanCache::with_capacity`]'s bound. Structural
+//! negative entries are pinned — they are one-per-shape (not
+//! per-digest), and losing one turns a cheap replayed error back into a
+//! full failed plan construction.
+//!
 //! [`StatsDigest`]: faqs_plan::StatsDigest
 
 use crate::fingerprint::PlanKey;
 use crate::plan::QueryPlan;
 use faqs_core::EngineError;
-use faqs_plan::{PlannerConfig, QueryStats};
+use faqs_plan::{PlannerConfig, QueryStats, StatsDigest};
 use faqs_relation::FaqQuery;
 use faqs_semiring::Semiring;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Point-in-time cache counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,18 +53,77 @@ impl CacheStats {
     }
 }
 
+/// Default bound on evictable (digest-tier / positive) entries.
+const DEFAULT_CAPACITY: usize = 128;
+
+struct Entry {
+    plan: Arc<Result<QueryPlan, EngineError>>,
+    /// Logical last-touch time for LRU eviction.
+    tick: u64,
+}
+
+impl Entry {
+    /// Structural negative entries are pinned: never evicted.
+    fn pinned(key: &PlanKey, plan: &Result<QueryPlan, EngineError>) -> bool {
+        !key.has_digest() && plan.is_err()
+    }
+}
+
 /// A thread-safe map from query shape to validated plan.
-#[derive(Default)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<Result<QueryPlan, EngineError>>>>,
+    map: Mutex<HashMap<PlanKey, Entry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    clock: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` evictable entries
+    /// (digest-keyed plans and structural positives). Pinned structural
+    /// *negative* entries do not count against the bound. `capacity`
+    /// must be at least 1.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "plan cache capacity must be >= 1");
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Locks the map, recovering from a poisoned mutex: a thread that
+    /// panicked while holding the guard may have left a half-applied
+    /// insert behind, so the (rebuildable) contents are dropped once and
+    /// the cache serves on — one panicking caller must not turn every
+    /// subsequent query in the process into a panic.
+    fn lock(&self) -> MutexGuard<'_, HashMap<PlanKey, Entry>> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.map.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The cached plan for `q`, building (and validating) it on first
@@ -64,19 +131,9 @@ impl PlanCache {
     /// one plan without copying the GHD.
     ///
     /// With `planner.use_stats`, the lookup key includes the instance's
-    /// statistics digest; on a digest miss the structural tier is
-    /// probed for a cached *negative* result before building. Plans
-    /// that fail to build with a *shape-level* error (illegal aggregate
-    /// exchange, unplaceable free variables, …) are inserted under the
-    /// structural key so every digest shares the one negative entry;
-    /// [`EngineError::Invalid`] wraps instance validation (out-of-domain
-    /// values, mismatched factor schemas) and is data-dependent, so it
-    /// is never cached — the next instance of the shape may be valid.
-    ///
-    /// The build runs *outside* the lock: a cold, expensive shape must
-    /// not stall concurrent hits on hot shapes. Two threads racing the
-    /// same cold shape may both build; the first insert wins and the
-    /// loser adopts it, so all callers still share one plan.
+    /// statistics digest (one `O(data)` gathering pass); callers that
+    /// already maintain statistics incrementally should use
+    /// [`PlanCache::get_or_build_with`] instead.
     pub fn get_or_build<S: Semiring>(
         &self,
         q: &FaqQuery<S>,
@@ -88,39 +145,112 @@ impl PlanCache {
         } else {
             None
         };
+        self.get_or_build_with(q, lattice, digest, || {
+            QueryPlan::build_with(q, lattice, planner, None)
+        })
+    }
+
+    /// [`PlanCache::get_or_build`] with the digest supplied by the
+    /// caller (e.g. recomputed in `O(factors)` from maintained stats)
+    /// and the plan construction abstracted into `build` — no hidden
+    /// full scan of the data on either the hit or the miss path.
+    ///
+    /// On a digest miss the structural tier is probed for a cached
+    /// *negative* result before building. Plans that fail to build with
+    /// a *shape-level* error (illegal aggregate exchange, unplaceable
+    /// free variables, …) are inserted under the structural key so every
+    /// digest shares the one negative entry; [`EngineError::Invalid`]
+    /// wraps instance validation (out-of-domain values, mismatched
+    /// factor schemas) and is data-dependent, so it is never cached —
+    /// the next instance of the shape may be valid.
+    ///
+    /// The build runs *outside* the lock: a cold, expensive shape must
+    /// not stall concurrent hits on hot shapes. Two threads racing the
+    /// same cold shape may both build; the first insert wins and the
+    /// loser adopts it, so all callers still share one plan.
+    pub fn get_or_build_with<S: Semiring>(
+        &self,
+        q: &FaqQuery<S>,
+        lattice: bool,
+        digest: Option<StatsDigest>,
+        build: impl FnOnce() -> Result<QueryPlan, EngineError>,
+    ) -> Arc<Result<QueryPlan, EngineError>> {
         let key = PlanKey::with_digest(q, lattice, digest);
         {
-            let map = self.map.lock().expect("plan cache poisoned");
-            if let Some(plan) = map.get(&key) {
+            let mut map = self.lock();
+            let tick = self.tick();
+            if let Some(entry) = map.get_mut(&key) {
+                entry.tick = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(plan);
+                return Arc::clone(&entry.plan);
             }
             if key.has_digest() {
-                if let Some(plan) = map.get(&key.structural()) {
-                    if plan.is_err() {
+                if let Some(entry) = map.get_mut(&key.structural()) {
+                    if entry.plan.is_err() {
                         // Structural-tier negative entry: the shape is
                         // invalid for any data, digest notwithstanding.
+                        entry.tick = tick;
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Arc::clone(plan);
+                        return Arc::clone(&entry.plan);
                     }
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(QueryPlan::build_with(q, lattice, planner, None));
+        let plan = Arc::new(build());
         match plan.as_ref() {
             // Instance-dependent failure: do not cache (a later, valid
             // instance of this shape must not inherit the error).
             Err(EngineError::Invalid(_)) => plan,
             // Shape-level failure: one negative entry serves all
             // digests.
-            Err(_) => {
-                let mut map = self.map.lock().expect("plan cache poisoned");
-                Arc::clone(map.entry(key.structural()).or_insert(plan))
+            Err(_) => self.insert(key.structural(), plan),
+            Ok(_) => self.insert(key, plan),
+        }
+    }
+
+    /// Inserts (first writer wins), touches, and evicts past capacity.
+    fn insert(
+        &self,
+        key: PlanKey,
+        plan: Arc<Result<QueryPlan, EngineError>>,
+    ) -> Arc<Result<QueryPlan, EngineError>> {
+        let mut map = self.lock();
+        let tick = self.tick();
+        let shared = match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().tick = tick;
+                Arc::clone(&o.get().plan)
             }
-            Ok(_) => {
-                let mut map = self.map.lock().expect("plan cache poisoned");
-                Arc::clone(map.entry(key).or_insert(plan))
+            std::collections::hash_map::Entry::Vacant(v) => {
+                Arc::clone(&v.insert(Entry { plan, tick }).plan)
+            }
+        };
+        self.evict_over_capacity(&mut map);
+        shared
+    }
+
+    /// Evicts least-recently-used evictable entries until at most
+    /// `capacity` remain. Pinned structural negatives are skipped.
+    fn evict_over_capacity(&self, map: &mut HashMap<PlanKey, Entry>) {
+        loop {
+            let evictable = map
+                .iter()
+                .filter(|(k, e)| !Entry::pinned(k, &e.plan))
+                .count();
+            if evictable <= self.capacity {
+                return;
+            }
+            let victim = map
+                .iter()
+                .filter(|(k, e)| !Entry::pinned(k, &e.plan))
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                }
+                None => return,
             }
         }
     }
@@ -130,14 +260,14 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().expect("plan cache poisoned").len(),
+            entries: self.lock().len(),
         }
     }
 
     /// Drops every cached plan (counters survive — they describe
     /// traffic, not contents).
     pub fn clear(&self) {
-        self.map.lock().expect("plan cache poisoned").clear();
+        self.lock().clear();
     }
 }
 
@@ -265,5 +395,94 @@ mod tests {
         );
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn survives_a_panicking_builder_and_a_poisoned_lock() {
+        let planner = PlannerConfig::stats();
+        let cache = Arc::new(PlanCache::new());
+
+        // A builder that panics mid-build (outside the lock) must not
+        // wedge the cache for later callers.
+        let q = inst(1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build_with(&q, false, None, || panic!("builder exploded"))
+        }));
+        assert!(panicked.is_err());
+
+        // Poison the mutex itself: a thread dies while holding the
+        // guard (as a panicking in-lock mutation would).
+        let c2 = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.map.lock().unwrap();
+            panic!("die holding the plan cache lock");
+        })
+        .join();
+        assert!(cache.map.is_poisoned(), "precondition: lock is poisoned");
+
+        // The next call must recover (clear once, serve fresh) instead
+        // of propagating the poison panic to every future query.
+        let plan = cache.get_or_build(&inst(1), false, &planner);
+        assert!(plan.is_ok());
+        assert!(!cache.map.is_poisoned(), "poison cleared");
+        assert_eq!(cache.stats().entries, 1);
+        let _ = cache.get_or_build(&inst(2), false, &planner);
+        assert!(cache.stats().hits >= 1, "cache serves hits again");
+    }
+
+    #[test]
+    fn capacity_holds_under_digest_churn_without_losing_pinned_negatives() {
+        use faqs_semiring::Aggregate;
+        let planner = PlannerConfig::stats();
+        let cache = PlanCache::with_capacity(4);
+
+        // Pin one structural negative entry first.
+        let bad = inst(1).with_aggregate(faqs_hypergraph::Var(1), Aggregate::Max);
+        assert!(cache.get_or_build(&bad, false, &planner).is_err());
+
+        // Churn: many distinct shapes (star arity varies), each a fresh
+        // positive entry. The map must stay at capacity + the pin.
+        for k in 2..20u32 {
+            let q: FaqQuery<Count> = random_instance(
+                &star_query(k as usize),
+                &RandomInstanceConfig {
+                    tuples_per_factor: 2,
+                    domain: 2,
+                    seed: u64::from(k),
+                },
+                vec![],
+                |_| Count(1),
+            );
+            assert!(cache.get_or_build(&q, false, &planner).is_ok());
+            assert!(
+                cache.stats().entries <= 4 + 1,
+                "cap exceeded: {} entries",
+                cache.stats().entries
+            );
+        }
+
+        // The pinned negative survived all the churn and still replays.
+        let misses_before = cache.stats().misses;
+        assert!(cache.get_or_build(&bad, false, &planner).is_err());
+        assert_eq!(
+            cache.stats().misses,
+            misses_before,
+            "negative entry still served from cache after churn"
+        );
+
+        // LRU, not random: the most recently used positive survives.
+        let hot: FaqQuery<Count> = random_instance(
+            &star_query(19),
+            &RandomInstanceConfig {
+                tuples_per_factor: 2,
+                domain: 2,
+                seed: 19,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let misses_before = cache.stats().misses;
+        assert!(cache.get_or_build(&hot, false, &planner).is_ok());
+        assert_eq!(cache.stats().misses, misses_before, "hot entry retained");
     }
 }

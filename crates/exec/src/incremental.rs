@@ -1,0 +1,867 @@
+//! Incremental FAQ serving: mutable factors with delta-maintained
+//! answers.
+//!
+//! [`IncrementalFaq`] owns one FAQ instance and keeps its answer (plus
+//! every intermediate GHD relation of the upward pass) up to date under
+//! batched factor mutations ([`faqs_relation::RelationDelta`]), instead
+//! of re-running `solve_faq` from scratch per update:
+//!
+//! * **Inverse mode** — when the semiring has (partial) additive
+//!   inverses (`Semiring::HAS_ADDITIVE_INVERSE`: Count, GF(2), Prob)
+//!   and every bound variable is `Sum`-aggregated, the answer is
+//!   multilinear in each factor, so a factor delta propagates directly:
+//!   `Δ(f ⋈ rest) = Δf ⋈ rest`. The touched tuples' new and old
+//!   annotations become two small delta relations `Δ⁺`/`Δ⁻` that join
+//!   with the *stored* sibling factors and child messages, push down
+//!   through each ancestor bag, and land on every stored relation via
+//!   the signed merge `base ⊕ Δ⁺ ⊖ Δ⁻`
+//!   ([`faqs_relation::Relation::signed_apply`]). Clean subtrees are
+//!   never revisited.
+//! * **Dirty-subtree mode** — semirings without inverses (Min-Plus,
+//!   Boolean, Max-Prod) or non-`Sum` bound aggregates recompute from
+//!   the lowest GHD node whose factor changed, walking only the path to
+//!   the root and reusing every clean sibling's stored message.
+//! * **Full-resolve mode** — the `FAQS_EXEC_DISABLE_DELTA=1` escape
+//!   hatch (mirroring `FAQS_PLAN_DISABLE_STATS`) re-runs the whole
+//!   upward pass per update; CI runs the test matrix once this way.
+//!
+//! Factor statistics are maintained incrementally too
+//! ([`faqs_relation::MaintainedStats`] — no full re-scan per update),
+//! and the session re-plans through the shared [`PlanCache`] only when
+//! the maintained statistics cross a [`StatsDigest`] bucket boundary.
+//! [`IncrementalStats`] counts exactly which of these events happened;
+//! the tests pin the serving invariants (one single-tuple insert on a
+//! 100k-tuple instance: no stats re-scan, no full upward pass).
+
+use crate::cache::PlanCache;
+use crate::plan::QueryPlan;
+use faqs_core::{finish_root, push_down_message, EngineError};
+use faqs_hypergraph::{EdgeId, NodeId};
+use faqs_plan::{PlannerConfig, QueryStats, StatsDigest};
+use faqs_relation::{AppliedDelta, FaqQuery, MaintainedStats, Relation, RelationDelta};
+use faqs_semiring::{Aggregate, Semiring};
+use std::sync::{Arc, OnceLock};
+
+/// Whether `FAQS_EXEC_DISABLE_DELTA=1` forces full re-solves. Read once
+/// per process, like the planner's stats hatch.
+fn delta_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| matches!(std::env::var("FAQS_EXEC_DISABLE_DELTA"), Ok(v) if v == "1"))
+}
+
+/// How an [`IncrementalFaq`] session maintains its answer under factor
+/// mutations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MaintenanceMode {
+    /// Semiring deltas propagate up the GHD via signed merges; clean
+    /// subtrees are untouched.
+    Inverse,
+    /// Recompute from the lowest dirty node along the root path,
+    /// reusing clean siblings' stored messages.
+    DirtySubtree,
+    /// Re-run the full upward pass per update
+    /// (`FAQS_EXEC_DISABLE_DELTA=1`).
+    FullResolve,
+}
+
+/// Work counters of one [`IncrementalFaq`] session — the observable
+/// evidence that maintenance really is incremental.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Full per-factor statistics scans (construction only, unless a
+    /// factor is replaced wholesale).
+    pub full_stats_scans: u64,
+    /// Incremental statistics merges (one per effective delta).
+    pub delta_stats_merges: u64,
+    /// Factor delta applications.
+    pub delta_applies: u64,
+    /// GHD nodes recombined from stored parts by the dirty-subtree
+    /// path (never incremented by pure inverse propagation).
+    pub node_recomputes: u64,
+    /// Full upward passes (construction, plan rebuilds, and every
+    /// update in full-resolve mode).
+    pub full_upward_passes: u64,
+    /// Re-plans triggered by a statistics-digest bucket crossing.
+    pub plan_rebuilds: u64,
+    /// Inverse propagations that hit an unrepresentable cancellation
+    /// and fell back to the dirty-subtree path. Defensive: the shipped
+    /// inverse-capable semirings never refuse (Count's listing values
+    /// dominate any removable contribution even under saturation; GF(2)
+    /// and Prob always answer), but a future partial inverse may not.
+    pub cancellation_fallbacks: u64,
+}
+
+/// A serving session over one mutable FAQ instance: apply factor
+/// deltas, read the maintained answer.
+///
+/// ```
+/// use faqs_exec::IncrementalFaq;
+/// use faqs_hypergraph::{path_query, EdgeId, Var};
+/// use faqs_relation::{FaqQuery, Relation};
+/// use faqs_semiring::Count;
+///
+/// let q = FaqQuery::new_ss(
+///     path_query(2),
+///     vec![
+///         Relation::from_pairs(vec![Var(0), Var(1)], [(vec![0, 1], Count(1))]),
+///         Relation::from_pairs(vec![Var(1), Var(2)], [(vec![1, 2], Count(1))]),
+///     ],
+///     vec![],
+///     4,
+/// );
+/// let mut faq = IncrementalFaq::new(q).unwrap();
+/// assert_eq!(faq.answer().total(), Count(1));
+/// faq.insert(EdgeId(1), &[1, 3], Count(1)).unwrap(); // second path
+/// assert_eq!(faq.answer().total(), Count(2));
+/// faq.delete(EdgeId(0), &[0, 1]).unwrap(); // no paths left
+/// assert_eq!(faq.answer().total(), Count(0));
+/// ```
+pub struct IncrementalFaq<S: Semiring> {
+    query: FaqQuery<S>,
+    planner: PlannerConfig,
+    cache: Arc<PlanCache>,
+    /// Invariant: `Ok` — construction and re-planning fail fast.
+    plan: Arc<Result<QueryPlan, EngineError>>,
+    digest: Option<StatsDigest>,
+    /// Incrementally maintained per-factor statistics, digest drift's
+    /// input (no full factor re-scan per update).
+    stats: Vec<MaintainedStats>,
+    /// The GHD node whose join pipeline absorbs each edge's factor.
+    edge_node: Vec<NodeId>,
+    /// Per node (dense by `NodeId` index): the ⊗-product of its λ
+    /// factors; `None` for factorless synthetic nodes.
+    local: Vec<Option<Relation<S>>>,
+    /// Per non-root node: the stored upward message to its parent.
+    msg: Vec<Option<Relation<S>>>,
+    answer: Relation<S>,
+    mode: MaintenanceMode,
+    counters: IncrementalStats,
+}
+
+impl<S: Semiring> IncrementalFaq<S> {
+    /// Starts a session with a private plan cache and the environment's
+    /// planner configuration.
+    pub fn new(query: FaqQuery<S>) -> Result<Self, EngineError> {
+        Self::with_cache(query, Arc::new(PlanCache::new()), PlannerConfig::default())
+    }
+
+    /// Starts a session on a shared plan cache with explicit planner
+    /// knobs (drift re-plans go through the same cache, so repeated
+    /// digest traffic across sessions shares plans).
+    pub fn with_cache(
+        query: FaqQuery<S>,
+        cache: Arc<PlanCache>,
+        planner: PlannerConfig,
+    ) -> Result<Self, EngineError> {
+        query
+            .validate()
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+        let stats: Vec<MaintainedStats> = query.factors.iter().map(MaintainedStats::of).collect();
+        let counters = IncrementalStats {
+            full_stats_scans: stats.len() as u64,
+            ..IncrementalStats::default()
+        };
+        let digest = if planner.use_stats {
+            Some(Self::digest_of(&stats))
+        } else {
+            None
+        };
+        let plan = Self::build_plan(&query, &cache, &planner, digest.clone(), &stats);
+        if let Err(e) = plan.as_ref() {
+            return Err(e.clone());
+        }
+        let mode = Self::choose_mode(&query);
+        let answer = Relation::new(query.free_vars.clone());
+        let mut session = IncrementalFaq {
+            query,
+            planner,
+            cache,
+            plan,
+            digest,
+            stats,
+            edge_node: Vec::new(),
+            local: Vec::new(),
+            msg: Vec::new(),
+            answer,
+            mode,
+            counters,
+        };
+        session.index_edges();
+        session.full_recompute();
+        Ok(session)
+    }
+
+    /// The maintained answer relation over the free variables.
+    pub fn answer(&self) -> &Relation<S> {
+        &self.answer
+    }
+
+    /// The current (mutated) instance.
+    pub fn query(&self) -> &FaqQuery<S> {
+        &self.query
+    }
+
+    /// The maintenance strategy this session runs.
+    pub fn mode(&self) -> MaintenanceMode {
+        self.mode
+    }
+
+    /// Work counters since construction.
+    pub fn counters(&self) -> IncrementalStats {
+        self.counters
+    }
+
+    /// Counters of the underlying plan cache.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Applies a batched delta to one factor and brings the answer (and
+    /// every stored intermediate) up to date. The mutation itself is a
+    /// single linear merge over the factor's sorted arena; answer
+    /// maintenance then follows [`IncrementalFaq::mode`].
+    pub fn apply(&mut self, edge: EdgeId, delta: &RelationDelta<S>) -> Result<(), EngineError> {
+        self.check_edge(edge)?;
+        if delta.schema() != self.query.factor(edge).schema() {
+            return Err(EngineError::Invalid(format!(
+                "delta schema {:?} does not match factor e{} schema {:?}",
+                delta.schema(),
+                edge.index(),
+                self.query.factor(edge).schema()
+            )));
+        }
+        if delta
+            .ops()
+            .any(|(t, _)| t.iter().any(|&x| x >= self.query.domain))
+        {
+            return Err(EngineError::Invalid(format!(
+                "delta tuple outside the domain 0..{}",
+                self.query.domain
+            )));
+        }
+        let applied = self.query.factors[edge.index()].apply_delta(delta);
+        self.counters.delta_applies += 1;
+        if applied.is_empty() {
+            return Ok(());
+        }
+        self.stats[edge.index()].apply(&applied);
+        self.counters.delta_stats_merges += 1;
+        if self.replan_if_drifted()? {
+            return Ok(());
+        }
+        match self.mode {
+            MaintenanceMode::FullResolve => self.full_recompute(),
+            MaintenanceMode::DirtySubtree => {
+                let origin = self.edge_node[edge.index()];
+                self.recompute_path(origin);
+            }
+            MaintenanceMode::Inverse => {
+                if self.propagate_inverse(edge, &applied).is_none() {
+                    self.counters.cancellation_fallbacks += 1;
+                    let origin = self.edge_node[edge.index()];
+                    self.recompute_path(origin);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Single-tuple convenience: `⊕`-accumulates `value` onto `tuple`
+    /// in `edge`'s factor (an insert when absent).
+    pub fn insert(&mut self, edge: EdgeId, tuple: &[u32], value: S) -> Result<(), EngineError> {
+        self.check_edge(edge)?;
+        let mut d = RelationDelta::new(self.query.factor(edge).schema().to_vec());
+        d.insert(tuple.to_vec(), value);
+        self.apply(edge, &d)
+    }
+
+    /// Single-tuple convenience: deletes `tuple` from `edge`'s factor
+    /// (a no-op when absent).
+    pub fn delete(&mut self, edge: EdgeId, tuple: &[u32]) -> Result<(), EngineError> {
+        self.check_edge(edge)?;
+        let mut d = RelationDelta::new(self.query.factor(edge).schema().to_vec());
+        d.delete(tuple.to_vec());
+        self.apply(edge, &d)
+    }
+
+    fn check_edge(&self, edge: EdgeId) -> Result<(), EngineError> {
+        if edge.index() >= self.query.factors.len() {
+            return Err(EngineError::Invalid(format!(
+                "no factor for edge e{}",
+                edge.index()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Inverse-mode eligibility: partial additive inverses and a purely
+    /// `Sum`-aggregated bound side (the answer is then multilinear in
+    /// every factor). A `Product` aggregate anywhere breaks linearity,
+    /// so such queries take the dirty-subtree path.
+    fn choose_mode(q: &FaqQuery<S>) -> MaintenanceMode {
+        if delta_disabled() {
+            return MaintenanceMode::FullResolve;
+        }
+        let all_sum = q
+            .hypergraph
+            .vars()
+            .all(|v| q.is_free(v) || matches!(q.aggregates[v.index()], Aggregate::Sum));
+        if S::HAS_ADDITIVE_INVERSE && all_sum {
+            MaintenanceMode::Inverse
+        } else {
+            MaintenanceMode::DirtySubtree
+        }
+    }
+
+    fn digest_of(stats: &[MaintainedStats]) -> StatsDigest {
+        QueryStats::from_factors(stats.iter().map(MaintainedStats::snapshot).collect()).digest()
+    }
+
+    /// Plans through the cache from *maintained* statistics — no
+    /// `QueryStats::of` factor scan on this path.
+    fn build_plan(
+        q: &FaqQuery<S>,
+        cache: &PlanCache,
+        planner: &PlannerConfig,
+        digest: Option<StatsDigest>,
+        stats: &[MaintainedStats],
+    ) -> Arc<Result<QueryPlan, EngineError>> {
+        cache.get_or_build_with(q, false, digest, || {
+            if planner.use_stats {
+                let qs =
+                    QueryStats::from_factors(stats.iter().map(MaintainedStats::snapshot).collect());
+                faqs_plan::plan_query_with_stats(q, false, planner, &qs)
+                    .map(|chosen| QueryPlan::lower(q, chosen))
+            } else {
+                faqs_plan::plan_query(q, false, planner).map(|chosen| QueryPlan::lower(q, chosen))
+            }
+        })
+    }
+
+    /// Re-plans and fully recomputes iff the maintained statistics
+    /// digest left its bucket; returns whether that happened.
+    fn replan_if_drifted(&mut self) -> Result<bool, EngineError> {
+        if !self.planner.use_stats {
+            return Ok(false);
+        }
+        let fresh = Self::digest_of(&self.stats);
+        if self.digest.as_ref() == Some(&fresh) {
+            return Ok(false);
+        }
+        self.counters.plan_rebuilds += 1;
+        let plan = Self::build_plan(
+            &self.query,
+            &self.cache,
+            &self.planner,
+            Some(fresh.clone()),
+            &self.stats,
+        );
+        if let Err(e) = plan.as_ref() {
+            return Err(e.clone());
+        }
+        self.plan = plan;
+        self.digest = Some(fresh);
+        self.index_edges();
+        self.full_recompute();
+        Ok(true)
+    }
+
+    fn plan_arc(&self) -> Arc<Result<QueryPlan, EngineError>> {
+        Arc::clone(&self.plan)
+    }
+
+    fn index_edges(&mut self) {
+        let plan = self.plan_arc();
+        let plan = plan.as_ref().as_ref().expect("session plan is Ok");
+        self.edge_node = vec![plan.root(); self.query.factors.len()];
+        for node in plan.ghd.node_ids() {
+            for step in plan.joins(node) {
+                self.edge_node[step.edge.index()] = node;
+            }
+        }
+    }
+
+    /// The ⊗-product of `node`'s λ factors in the plan's join order
+    /// (the engine's local pipeline, with the plan's cached key
+    /// schemas).
+    fn compute_local(&self, plan: &QueryPlan, node: NodeId) -> Option<Relation<S>> {
+        let mut acc: Option<Relation<S>> = None;
+        for step in plan.joins(node) {
+            let f = self.query.factor(step.edge);
+            acc = Some(match acc {
+                Some(cur) => {
+                    let idx = f.build_index(&step.key);
+                    cur.join_indexed(f, &idx)
+                }
+                None => f.clone(),
+            });
+        }
+        acc
+    }
+
+    /// `node`'s full subtree relation from stored parts: local ⊗ child
+    /// messages. Children fold highest-id first — the engine's
+    /// post-order arrival order — so recomputed relations are
+    /// bit-identical to a fresh `solve_faq` on the same plan, even for
+    /// floating-point semirings.
+    fn subtree(&self, plan: &QueryPlan, node: NodeId) -> Option<Relation<S>> {
+        let mut acc = self.local[node.index()].clone();
+        for &c in plan.children(node).iter().rev() {
+            let m = self.msg[c.index()].as_ref().expect("child message stored");
+            acc = Some(match acc {
+                Some(cur) => cur.join(m),
+                None => m.clone(),
+            });
+        }
+        acc
+    }
+
+    /// Stores `node`'s outgoing relation: the upward message for
+    /// non-root nodes, the finished answer at the root.
+    fn emit(&mut self, plan: &QueryPlan, node: NodeId) {
+        let sub = self.subtree(plan, node);
+        if node == plan.root() {
+            let root_rel = sub.unwrap_or_else(Relation::unit);
+            self.answer = finish_root(&self.query, root_rel, |rel, v, op| rel.aggregate_out(v, op));
+        } else {
+            let parent = plan.ghd.parent(node).expect("non-root has a parent");
+            let m = push_down_message(
+                &self.query,
+                sub.expect("non-root GHD nodes carry a factor"),
+                plan.ghd.chi(parent),
+                |rel, v, op| rel.aggregate_out(v, op),
+            );
+            self.msg[node.index()] = Some(m);
+        }
+    }
+
+    /// The full upward pass, storing every local and message.
+    fn full_recompute(&mut self) {
+        let plan = self.plan_arc();
+        let plan = plan.as_ref().as_ref().expect("session plan is Ok");
+        self.counters.full_upward_passes += 1;
+        let dense = plan.ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+        self.local = vec![None; dense];
+        self.msg = vec![None; dense];
+        for node in plan.ghd.node_ids() {
+            self.local[node.index()] = self.compute_local(plan, node);
+        }
+        for node in plan.ghd.post_order() {
+            self.emit(plan, node);
+        }
+    }
+
+    /// Dirty-subtree maintenance: recompute `origin`'s local, then
+    /// re-emit along the root path only, reusing every clean sibling's
+    /// stored message.
+    fn recompute_path(&mut self, origin: NodeId) {
+        let plan = self.plan_arc();
+        let plan = plan.as_ref().as_ref().expect("session plan is Ok");
+        self.local[origin.index()] = self.compute_local(plan, origin);
+        let mut node = origin;
+        loop {
+            self.counters.node_recomputes += 1;
+            self.emit(plan, node);
+            match plan.ghd.parent(node) {
+                Some(parent) => node = parent,
+                None => break,
+            }
+        }
+    }
+
+    /// Inverse-mode maintenance. Builds `Δ⁺`/`Δ⁻` from the applied
+    /// factor delta, joins them with the stored siblings at each level,
+    /// pushes them down through each ancestor bag, and lands them on
+    /// every stored relation with a signed merge. All updates are
+    /// staged and committed atomically, so a `None` (unrepresentable
+    /// cancellation) leaves the session untouched for the caller's
+    /// fallback.
+    fn propagate_inverse(&mut self, edge: EdgeId, applied: &AppliedDelta<S>) -> Option<()> {
+        let plan = self.plan_arc();
+        let plan = plan.as_ref().as_ref().expect("session plan is Ok");
+        let origin = self.edge_node[edge.index()];
+        let mut plus = applied.inserted();
+        let mut minus = applied.removed();
+
+        // Δ to the origin's local: the same pipeline with the mutated
+        // factor replaced by its delta.
+        for step in plan.joins(origin) {
+            if step.edge == edge {
+                continue;
+            }
+            let f = self.query.factor(step.edge);
+            let idx = f.build_index(&plus.shared_vars(f));
+            plus = plus.join_indexed(f, &idx);
+            minus = minus.join_indexed(f, &idx);
+        }
+        let new_local = self.local[origin.index()]
+            .as_ref()
+            .expect("origin absorbs the mutated factor")
+            .signed_apply(&plus, &minus)?;
+
+        // Δ to the origin's subtree: fold in the (unchanged) child
+        // messages.
+        for &c in plan.children(origin) {
+            let m = self.msg[c.index()].as_ref().expect("child message stored");
+            let idx = m.build_index(&plus.shared_vars(m));
+            plus = plus.join_indexed(m, &idx);
+            minus = minus.join_indexed(m, &idx);
+        }
+
+        let mut staged_msgs: Vec<(usize, Relation<S>)> = Vec::new();
+        let mut node = origin;
+        let new_answer = loop {
+            if plus.is_empty() && minus.is_empty() {
+                // The delta died in a join: everything above is clean.
+                break None;
+            }
+            if node == plan.root() {
+                let agg = |rel: &Relation<S>, v, op| rel.aggregate_out(v, op);
+                let dp = finish_root(&self.query, plus, agg);
+                let dm = finish_root(&self.query, minus, agg);
+                break Some(self.answer.signed_apply(&dp, &dm)?);
+            }
+            let parent = plan.ghd.parent(node).expect("non-root has a parent");
+            let agg = |rel: &Relation<S>, v, op| rel.aggregate_out(v, op);
+            // Sum push-down is an ⊕-homomorphism, so the two sides
+            // push down independently.
+            let dp = push_down_message(&self.query, plus, plan.ghd.chi(parent), agg);
+            let dm = push_down_message(&self.query, minus, plan.ghd.chi(parent), agg);
+            let new_msg = self.msg[node.index()]
+                .as_ref()
+                .expect("non-root message stored")
+                .signed_apply(&dp, &dm)?;
+            staged_msgs.push((node.index(), new_msg));
+            // Lift the message delta into the parent's subtree: ⊗ with
+            // the parent's local and its other children's messages.
+            plus = dp;
+            minus = dm;
+            if let Some(l) = self.local[parent.index()].as_ref() {
+                let idx = l.build_index(&plus.shared_vars(l));
+                plus = plus.join_indexed(l, &idx);
+                minus = minus.join_indexed(l, &idx);
+            }
+            for &c in plan.children(parent) {
+                if c == node {
+                    continue;
+                }
+                let m = self.msg[c.index()]
+                    .as_ref()
+                    .expect("sibling message stored");
+                let idx = m.build_index(&plus.shared_vars(m));
+                plus = plus.join_indexed(m, &idx);
+                minus = minus.join_indexed(m, &idx);
+            }
+            node = parent;
+        };
+
+        // Commit: every signed merge succeeded.
+        self.local[origin.index()] = Some(new_local);
+        for (i, m) in staged_msgs {
+            self.msg[i] = Some(m);
+        }
+        if let Some(a) = new_answer {
+            self.answer = a;
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_core::solve_faq_reference;
+    use faqs_hypergraph::{path_query, star_query, Var};
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::{Boolean, Count, Gf2, MinPlus, Prob};
+
+    /// ~120k tuples across two factors of a length-2 path, every pair
+    /// distinct, domain 1024.
+    fn large_path_instance() -> FaqQuery<Count> {
+        let h = path_query(2);
+        let pairs = |n: u32| {
+            (0..n)
+                .map(|i| (vec![i % 1024, i / 1024], Count(1)))
+                .collect::<Vec<_>>()
+        };
+        FaqQuery::new_ss(
+            h,
+            vec![
+                Relation::from_pairs(vec![Var(0), Var(1)], pairs(60_000)),
+                Relation::from_pairs(vec![Var(1), Var(2)], pairs(60_000)),
+            ],
+            vec![],
+            1024,
+        )
+    }
+
+    #[test]
+    fn single_tuple_update_on_large_instance_avoids_full_work() {
+        let q = large_path_instance();
+        let mut faq = IncrementalFaq::new(q.clone()).unwrap();
+        assert_eq!(faq.answer(), &solve_faq_reference(&q).unwrap());
+        let base = faq.counters();
+        assert_eq!(base.full_stats_scans, 2, "one scan per factor, at build");
+        assert_eq!(base.full_upward_passes, 1, "the initial pass");
+
+        // (5, 59) is absent: i = 59·1024 + 5 ≥ 60000.
+        faq.insert(EdgeId(0), &[5, 59], Count(1)).unwrap();
+        let after = faq.counters();
+        assert_eq!(
+            after.full_stats_scans, base.full_stats_scans,
+            "stats were merged, not re-scanned"
+        );
+        assert_eq!(after.delta_stats_merges, base.delta_stats_merges + 1);
+        assert_eq!(after.plan_rebuilds, 0, "one tuple cannot cross a bucket");
+        if faq.mode() == MaintenanceMode::Inverse {
+            assert_eq!(
+                after.full_upward_passes, base.full_upward_passes,
+                "no full upward pass for a single-tuple insert"
+            );
+            assert_eq!(after.node_recomputes, 0, "clean subtrees untouched");
+            assert_eq!(after.cancellation_fallbacks, 0);
+        }
+        let mut mirror = q;
+        mirror.factors[0].insert(vec![5, 59], Count(1));
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+
+        // And back out again.
+        faq.delete(EdgeId(0), &[5, 59]).unwrap();
+        mirror.factors[0].delete(&[5, 59]);
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+    }
+
+    #[test]
+    fn gf2_cancellation_and_resurrection_match_reference() {
+        let h = star_query(3);
+        let q: FaqQuery<Gf2> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 12,
+                domain: 4,
+                seed: 9,
+            },
+            vec![Var(0)],
+            |_| Gf2(true),
+        );
+        let mut faq = IncrementalFaq::new(q.clone()).unwrap();
+        if !delta_disabled() {
+            assert_eq!(faq.mode(), MaintenanceMode::Inverse);
+        }
+        let mut mirror = q;
+        // Insert a duplicate of an existing tuple: xor cancels the row
+        // out of the factor entirely; then re-insert to resurrect it.
+        let t: Vec<u32> = mirror.factors[1].iter().next().unwrap().0.to_vec();
+        for _ in 0..2 {
+            faq.insert(EdgeId(1), &t, Gf2(true)).unwrap();
+            mirror.factors[1].insert(t.clone(), Gf2(true));
+            assert_eq!(faq.query().factor(EdgeId(1)), mirror.factor(EdgeId(1)));
+            assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+        }
+    }
+
+    #[test]
+    fn minplus_dirty_subtree_recomputes_the_path_only() {
+        let h = path_query(3);
+        let q: FaqQuery<MinPlus> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 16,
+                domain: 6,
+                seed: 4,
+            },
+            vec![],
+            |_| MinPlus(0.1),
+        );
+        // Structural planning on both sides: the reference and the
+        // session share one plan, so float results are bit-identical.
+        let mut faq = IncrementalFaq::with_cache(
+            q.clone(),
+            Arc::new(PlanCache::new()),
+            PlannerConfig::structural(),
+        )
+        .unwrap();
+        if !delta_disabled() {
+            assert_eq!(faq.mode(), MaintenanceMode::DirtySubtree, "no inverse");
+        }
+        let base = faq.counters();
+        let mut mirror = q;
+        faq.insert(EdgeId(2), &[3, 3], MinPlus(0.5)).unwrap();
+        mirror.factors[2].insert(vec![3, 3], MinPlus(0.5));
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+        let after = faq.counters();
+        if faq.mode() == MaintenanceMode::DirtySubtree {
+            assert_eq!(
+                after.full_upward_passes, base.full_upward_passes,
+                "dirty-subtree maintenance never re-runs the full pass"
+            );
+            let touched = after.node_recomputes - base.node_recomputes;
+            assert!(
+                (1..=3).contains(&touched),
+                "a 3-node path query touches at most its root path, got {touched}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_drift_replans_and_recomputes() {
+        let h = star_query(3);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 16,
+                seed: 2,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let mut faq = IncrementalFaq::with_cache(
+            q.clone(),
+            Arc::new(PlanCache::new()),
+            PlannerConfig::stats(),
+        )
+        .unwrap();
+        let mut mirror = q;
+        // Bulk-load one leaf to ~32× its size — comfortably inside the
+        // next relative-size bucket, so the single delete below cannot
+        // hop back across the boundary.
+        let mut d = RelationDelta::new(mirror.factor(EdgeId(0)).schema().to_vec());
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                d.insert(vec![a, b], Count(1));
+                mirror.factors[0].insert(vec![a, b], Count(1));
+            }
+        }
+        faq.apply(EdgeId(0), &d).unwrap();
+        let c = faq.counters();
+        assert_eq!(c.plan_rebuilds, 1, "the skew crossed a digest bucket");
+        assert_eq!(c.full_upward_passes, 2, "initial + post-drift");
+        assert_eq!(
+            c.full_stats_scans, 3,
+            "even the re-plan uses maintained stats, not a re-scan"
+        );
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+        // Follow-up small updates stay incremental under the new plan.
+        faq.delete(EdgeId(0), &[0, 0]).unwrap();
+        mirror.factors[0].delete(&[0, 0]);
+        if faq.mode() == MaintenanceMode::Inverse {
+            assert_eq!(faq.counters().full_upward_passes, 2);
+        }
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+    }
+
+    #[test]
+    fn mode_selection_follows_semiring_and_aggregates() {
+        if delta_disabled() {
+            // The hatch wins over everything; covered by the CI matrix.
+            return;
+        }
+        let h = path_query(2);
+        let mk = |v: bool| {
+            random_instance(
+                &h,
+                &RandomInstanceConfig {
+                    tuples_per_factor: 4,
+                    domain: 4,
+                    seed: 1,
+                },
+                vec![],
+                move |_| Boolean(v),
+            )
+        };
+        let b = IncrementalFaq::new(mk(true)).unwrap();
+        assert_eq!(b.mode(), MaintenanceMode::DirtySubtree, "∨ has no inverse");
+
+        let qc: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 4,
+                domain: 4,
+                seed: 1,
+            },
+            vec![],
+            |_| Count(2),
+        );
+        assert_eq!(
+            IncrementalFaq::new(qc.clone()).unwrap().mode(),
+            MaintenanceMode::Inverse
+        );
+        // A Product aggregate breaks multilinearity even with inverses
+        // (Count's ⊗ is non-idempotent, so the planner may refuse it
+        // outright on co-occurring variables; an accepted plan must
+        // still route to the dirty path).
+        let qp = qc.with_aggregate(Var(1), Aggregate::Product);
+        match IncrementalFaq::new(qp) {
+            Ok(s) => assert_eq!(s.mode(), MaintenanceMode::DirtySubtree),
+            Err(EngineError::NonIdempotentProduct(_)) => {}
+            Err(e) => panic!("unexpected planner error: {e}"),
+        }
+    }
+
+    #[test]
+    fn prob_updates_stay_within_float_tolerance() {
+        let h = star_query(3);
+        let q: FaqQuery<Prob> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 10,
+                domain: 4,
+                seed: 5,
+            },
+            vec![Var(0)],
+            |_| Prob(0.3),
+        );
+        let mut faq = IncrementalFaq::new(q.clone()).unwrap();
+        let mut mirror = q;
+        for step in 0..6u32 {
+            let t = vec![step % 4, (step + 1) % 4];
+            if step % 2 == 0 {
+                faq.insert(EdgeId(step % 3), &t, Prob(0.5)).unwrap();
+                mirror.factors[(step % 3) as usize].insert(t, Prob(0.5));
+            } else {
+                faq.delete(EdgeId(step % 3), &t).unwrap();
+                mirror.factors[(step % 3) as usize].delete(&t);
+            }
+            let want = solve_faq_reference(&mirror).unwrap();
+            assert!(
+                faq.answer().approx_eq(&want),
+                "step {step}: {:?} !~ {want:?}",
+                faq.answer()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected() {
+        let h = path_query(2);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 4,
+                domain: 4,
+                seed: 3,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let mut faq = IncrementalFaq::new(q).unwrap();
+        let before = faq.answer().clone();
+
+        assert!(matches!(
+            faq.insert(EdgeId(7), &[0, 0], Count(1)),
+            Err(EngineError::Invalid(_))
+        ));
+        assert!(matches!(
+            faq.insert(EdgeId(0), &[0, 9], Count(1)),
+            Err(EngineError::Invalid(_)),
+        ));
+        let mut wrong = RelationDelta::new(vec![Var(1), Var(2)]);
+        wrong.insert(vec![0, 0], Count(1));
+        assert!(matches!(
+            faq.apply(EdgeId(0), &wrong),
+            Err(EngineError::Invalid(_))
+        ));
+        assert_eq!(faq.answer(), &before, "rejected deltas change nothing");
+    }
+}

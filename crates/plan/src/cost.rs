@@ -270,5 +270,27 @@ impl<'a> CostModel<'a> {
 }
 
 fn saturating(x: f64) -> u64 {
+    // `f64::max` returns the non-NaN operand, so `x.max(0.0)` would turn
+    // a NaN estimate into 0 — silently scoring a candidate plan as free
+    // and winning the argmin. A poisoned estimate must lose instead.
+    if x.is_nan() {
+        return u64::MAX;
+    }
     x.max(0.0).min(u64::MAX as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::saturating;
+
+    #[test]
+    fn saturating_pins_nan_inf_and_negatives() {
+        assert_eq!(saturating(f64::NAN), u64::MAX, "NaN must not look free");
+        assert_eq!(saturating(f64::INFINITY), u64::MAX);
+        assert_eq!(saturating(f64::NEG_INFINITY), 0);
+        assert_eq!(saturating(-1.0), 0);
+        assert_eq!(saturating(0.0), 0);
+        assert_eq!(saturating(42.9), 42);
+        assert_eq!(saturating(1e300), u64::MAX);
+    }
 }

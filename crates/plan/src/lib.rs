@@ -63,7 +63,7 @@ pub use error::EngineError;
 pub use planner::{
     choose_aggregation_players, decomposition_covering_free_vars, decomposition_for_free_vars,
     ghd_for_query, join_order_covers_lambda, join_order_for_ghd, plan_query, plan_query_placed,
-    CandidateReport, ChosenPlan, PlacementContext, PlannerConfig,
+    plan_query_with_stats, CandidateReport, ChosenPlan, PlacementContext, PlannerConfig,
 };
 pub use stats::{QueryStats, StatsDigest};
 pub use validate::{check_elimination_order, check_product_aggregates, check_push_down};
@@ -205,6 +205,27 @@ mod tests {
                 assert_eq!(agg[n.index()], Player(0), "mass wins over output");
             }
         }
+    }
+
+    #[test]
+    fn precomputed_stats_plan_matches_fresh_scan() {
+        // The incremental engine plans from MaintainedStats snapshots;
+        // the outcome must be indistinguishable from a fresh O(data)
+        // gathering pass, including the cache digest.
+        let q = skewed_star_instance(3, 16);
+        let fresh = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        let stats = QueryStats::from_factors(
+            q.factors
+                .iter()
+                .map(|f| faqs_relation::MaintainedStats::of(f).snapshot())
+                .collect(),
+        );
+        assert_eq!(stats.digest(), QueryStats::of(&q).digest());
+        let pre = plan_query_with_stats(&q, false, &PlannerConfig::stats(), &stats).unwrap();
+        assert_eq!(pre.cost.cpu, fresh.cost.cpu);
+        assert_eq!(pre.cost.net_bits, fresh.cost.net_bits);
+        assert_eq!(pre.candidates.len(), fresh.candidates.len());
+        assert!(!pre.chose_default(), "still reroots away from the skew");
     }
 
     #[test]

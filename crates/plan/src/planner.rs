@@ -265,6 +265,34 @@ pub fn plan_query_placed<S: Semiring>(
     cfg: &PlannerConfig,
     placement: Option<&PlacementContext<'_>>,
 ) -> Result<ChosenPlan, EngineError> {
+    plan_query_impl(q, lattice, cfg, placement, None)
+}
+
+/// [`plan_query`] against *precomputed* per-factor statistics instead
+/// of a fresh `O(data)` gathering pass — the entry point for the
+/// incremental engine, whose maintained stats make re-scanning factors
+/// on every re-plan pointless. `stats.factors` must be in edge order.
+pub fn plan_query_with_stats<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    cfg: &PlannerConfig,
+    stats: &QueryStats,
+) -> Result<ChosenPlan, EngineError> {
+    assert_eq!(
+        stats.factors.len(),
+        q.factors.len(),
+        "one stats entry per factor"
+    );
+    plan_query_impl(q, lattice, cfg, None, Some(stats))
+}
+
+fn plan_query_impl<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    cfg: &PlannerConfig,
+    placement: Option<&PlacementContext<'_>>,
+    precomputed: Option<&QueryStats>,
+) -> Result<ChosenPlan, EngineError> {
     if !lattice {
         for v in q.hypergraph.vars() {
             if !q.is_free(v) && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min) {
@@ -302,8 +330,15 @@ pub fn plan_query_placed<S: Semiring>(
         });
     }
 
-    let stats = QueryStats::of(q);
-    let model = CostModel::new(&stats, q.domain, S::value_bits());
+    let gathered;
+    let stats = match precomputed {
+        Some(s) => s,
+        None => {
+            gathered = QueryStats::of(q);
+            &gathered
+        }
+    };
+    let model = CostModel::new(stats, q.domain, S::value_bits());
     let placed = placement.is_some();
     let default_cost = model.simulate(&default_ghd, &default_order, placement);
     let mut candidates = vec![CandidateReport {

@@ -28,6 +28,15 @@ impl QueryStats {
         }
     }
 
+    /// Bundles precomputed per-factor statistics — the entry point for
+    /// incrementally *maintained* stats (snapshots of
+    /// `faqs_relation::MaintainedStats`), where re-scanning the factors
+    /// via [`QueryStats::of`] would defeat the maintenance. Digest-drift
+    /// detection is then one cheap [`QueryStats::digest`] comparison.
+    pub fn from_factors(factors: Vec<RelationStats>) -> QueryStats {
+        QueryStats { factors }
+    }
+
     /// The paper's `N`: the largest factor listing.
     pub fn n_max(&self) -> usize {
         self.factors.iter().map(|s| s.rows).max().unwrap_or(0)

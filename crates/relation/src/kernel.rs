@@ -618,6 +618,65 @@ pub(crate) fn merge_product<S: Semiring>(a: &Relation<S>, b: &Relation<S>) -> Re
     out
 }
 
+/// Signed three-way merge `base ⊕ plus ⊖ minus` over three same-schema
+/// sorted arenas, in one linear pass. Absent tuples count as zero on
+/// every side (a `minus` hit on an absent tuple asks the semiring to
+/// cancel out of zero — exact in F₂, a refusal in ℕ). Returns the new
+/// canonical arena, or `None` as soon as one [`Semiring::checked_sub`]
+/// cannot represent its cancellation.
+pub(crate) fn merge_signed<S: Semiring>(
+    base: &Relation<S>,
+    plus: &Relation<S>,
+    minus: &Relation<S>,
+) -> Option<(Vec<u32>, Vec<S>)> {
+    debug_assert_eq!(base.schema(), plus.schema());
+    debug_assert_eq!(base.schema(), minus.schema());
+    let (nb, np, nm) = (base.len(), plus.len(), minus.len());
+    let mut data: Vec<u32> = Vec::with_capacity((nb + np) * base.schema().len());
+    let mut values: Vec<S> = Vec::with_capacity(nb + np);
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < nb || j < np || k < nm {
+        // Smallest tuple among the three fronts.
+        let mut t: &[u32] = &[];
+        let mut have = false;
+        if i < nb {
+            t = base.tuple_at(i);
+            have = true;
+        }
+        if j < np {
+            let u = plus.tuple_at(j);
+            if !have || u < t {
+                t = u;
+            }
+            have = true;
+        }
+        if k < nm {
+            let u = minus.tuple_at(k);
+            if !have || u < t {
+                t = u;
+            }
+        }
+        let mut v = S::zero();
+        if i < nb && base.tuple_at(i) == t {
+            v = base.value_at(i).clone();
+            i += 1;
+        }
+        if j < np && plus.tuple_at(j) == t {
+            v.add_assign(plus.value_at(j));
+            j += 1;
+        }
+        if k < nm && minus.tuple_at(k) == t {
+            v = v.checked_sub(minus.value_at(k))?;
+            k += 1;
+        }
+        if !v.is_zero() {
+            data.extend_from_slice(t);
+            values.push(v);
+        }
+    }
+    Some((data, values))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod delta;
 mod generators;
 pub mod kernel;
 mod query;
@@ -29,6 +30,7 @@ mod relation;
 mod stats;
 
 pub use builder::BcqBuilder;
+pub use delta::{AppliedDelta, DeltaOp, RelationDelta};
 pub use faqs_semiring::Aggregate;
 pub use generators::{
     irreducible_star_instance, random_boolean_instance, random_instance, skewed_star_instance,
@@ -37,4 +39,4 @@ pub use generators::{
 pub use kernel::JoinIndex;
 pub use query::{FaqQuery, QueryError};
 pub use relation::{Relation, Tuple};
-pub use stats::RelationStats;
+pub use stats::{MaintainedStats, RelationStats};

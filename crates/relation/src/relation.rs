@@ -206,6 +206,24 @@ impl<S: Semiring> Relation<S> {
         }
     }
 
+    /// Removes one tuple's entry, returning its previous annotation
+    /// (`None` when the tuple was not listed). The single-tuple
+    /// counterpart of [`Relation::insert`]; batched mutations should go
+    /// through [`Relation::apply_delta`] instead.
+    ///
+    /// [`Relation::apply_delta`]: Relation::apply_delta
+    pub fn delete(&mut self, tuple: &[u32]) -> Option<S> {
+        let r = self.schema.len();
+        assert_eq!(tuple.len(), r, "tuple arity mismatch");
+        match self.row_search(tuple) {
+            Ok(i) => {
+                self.data.drain(i * r..(i + 1) * r);
+                Some(self.values.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
     /// The annotation of an exact tuple, if listed.
     pub fn get(&self, tuple: &[u32]) -> Option<&S> {
         self.row_search(tuple).ok().map(|i| &self.values[i])

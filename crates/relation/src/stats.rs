@@ -12,10 +12,11 @@
 //!
 //! [`JoinIndex`]: crate::kernel::JoinIndex
 
+use crate::delta::AppliedDelta;
 use crate::relation::Relation;
 use faqs_hypergraph::Var;
 use faqs_semiring::Semiring;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Per-relation statistics in the planner's vocabulary.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,6 +110,124 @@ impl<S: Semiring> Relation<S> {
     }
 }
 
+/// Incrementally-maintained [`RelationStats`]: one full build pass,
+/// then `O(arity)` updates per changed tuple, so a mutating workload
+/// never re-scans a factor to keep the planner's digest current.
+///
+/// Exactness (not an estimate) comes from multiplicity counting: each
+/// per-column and per-prefix map stores how many listed rows carry that
+/// value/prefix, so deletions know when a distinct count actually drops.
+#[derive(Clone, Debug)]
+pub struct MaintainedStats {
+    schema: Vec<Var>,
+    rows: usize,
+    /// Multiplicity of each value, per column.
+    col_counts: Vec<HashMap<u32, usize>>,
+    /// Multiplicity of each row prefix of length `l`, for the "middle"
+    /// lengths `l ∈ 2..arity` (length 1 is `col_counts[0]`, length
+    /// `arity` is `rows` — rows are duplicate-free).
+    prefix_counts: Vec<HashMap<Vec<u32>, usize>>,
+}
+
+impl MaintainedStats {
+    /// Builds the counters in one pass over the relation — the only
+    /// full scan a maintained factor ever pays.
+    pub fn of<S: Semiring>(rel: &Relation<S>) -> Self {
+        let schema = rel.schema().to_vec();
+        let arity = schema.len();
+        let mut s = MaintainedStats {
+            schema,
+            rows: 0,
+            col_counts: vec![HashMap::new(); arity],
+            prefix_counts: vec![HashMap::new(); arity.saturating_sub(2)],
+        };
+        for t in rel.tuples() {
+            s.add_row(t);
+        }
+        s
+    }
+
+    /// The schema the counters describe.
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// Current listing size.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Folds an applied delta into the counters: `O(arity)` hash
+    /// updates per changed tuple, no scan of the relation.
+    pub fn apply<S: Semiring>(&mut self, applied: &AppliedDelta<S>) {
+        debug_assert_eq!(self.schema.as_slice(), applied.schema());
+        for (t, old, new) in applied.changes() {
+            match (old.is_zero(), new.is_zero()) {
+                (true, false) => self.add_row(t),
+                (false, true) => self.remove_row(t),
+                // Annotation-only change: the listing is unchanged.
+                _ => {}
+            }
+        }
+    }
+
+    /// The counters as a point-in-time [`RelationStats`], identical to
+    /// what [`Relation::stats`] would compute from scratch.
+    pub fn snapshot(&self) -> RelationStats {
+        let arity = self.schema.len();
+        let mut prefix_distinct = Vec::with_capacity(arity);
+        for l in 1..=arity {
+            prefix_distinct.push(if l == arity {
+                self.rows
+            } else if l == 1 {
+                self.col_counts[0].len()
+            } else {
+                self.prefix_counts[l - 2].len()
+            });
+        }
+        RelationStats {
+            schema: self.schema.clone(),
+            rows: self.rows,
+            distinct: self.col_counts.iter().map(HashMap::len).collect(),
+            prefix_distinct,
+        }
+    }
+
+    fn add_row(&mut self, t: &[u32]) {
+        self.rows += 1;
+        for (counts, &x) in self.col_counts.iter_mut().zip(t) {
+            *counts.entry(x).or_insert(0) += 1;
+        }
+        let arity = self.schema.len();
+        for l in 2..arity {
+            *self.prefix_counts[l - 2]
+                .entry(t[..l].to_vec())
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn remove_row(&mut self, t: &[u32]) {
+        self.rows -= 1;
+        for (counts, &x) in self.col_counts.iter_mut().zip(t) {
+            if let Some(c) = counts.get_mut(&x) {
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(&x);
+                }
+            }
+        }
+        let arity = self.schema.len();
+        for l in 2..arity {
+            if let Some(c) = self.prefix_counts[l - 2].get_mut(&t[..l]) {
+                *c -= 1;
+                if *c == 0 {
+                    self.prefix_counts[l - 2].remove(&t[..l]);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +266,44 @@ mod tests {
 
         let uniform = rel(&[[0, 0], [1, 1], [2, 2], [3, 3]]);
         assert_eq!(uniform.stats().max_skew(), 1.0);
+    }
+
+    #[test]
+    fn maintained_stats_track_full_rescan_under_churn() {
+        use crate::delta::RelationDelta;
+        // A ternary relation exercises the middle prefix maps too.
+        let schema = vec![v(0), v(1), v(2)];
+        let mut r: Relation<Count> = Relation::from_pairs(
+            schema.clone(),
+            (0..40u32).map(|i| (vec![i % 5, i % 7, i], Count(1 + u64::from(i) % 3))),
+        );
+        let mut m = MaintainedStats::of(&r);
+        assert_eq!(m.snapshot(), r.stats(), "initial build matches");
+
+        // Deterministic churn: inserts (fresh and accumulating),
+        // deletes (including a last-occurrence delete that drops a
+        // distinct value), overwrites, delete-to-empty of a value class.
+        let mut step = |ops: &mut dyn FnMut(&mut RelationDelta<Count>)| {
+            let mut d = RelationDelta::new(schema.clone());
+            ops(&mut d);
+            let applied = r.apply_delta(&d);
+            m.apply(&applied);
+            assert_eq!(m.snapshot(), r.stats());
+        };
+        step(&mut |d| d.insert(vec![9, 9, 100], Count(4)));
+        step(&mut |d| {
+            d.delete(vec![0, 0, 0]);
+            d.insert(vec![0, 0, 0], Count(2)); // re-insert of a deleted tuple
+        });
+        step(&mut |d| {
+            for i in 0..40u32 {
+                d.delete(vec![i % 5, i % 7, i]); // drain the original rows
+            }
+        });
+        step(&mut |d| d.delete(vec![0, 0, 0]));
+        step(&mut |d| d.delete(vec![9, 9, 100])); // now empty
+        assert_eq!(r.len(), 0);
+        assert_eq!(m.rows(), 0);
     }
 
     #[test]

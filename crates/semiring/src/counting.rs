@@ -28,6 +28,16 @@ impl From<u64> for Count {
 
 impl Semiring for Count {
     const NAME: &'static str = "counting";
+    // ℕ is not a group, but cancellation `a + b - b = a` is exact whenever
+    // no intermediate addition saturated; `checked_sub` refuses to go
+    // negative, so delta maintenance falls back to recompute instead of
+    // producing a wrapped count.
+    const HAS_ADDITIVE_INVERSE: bool = true;
+
+    #[inline]
+    fn checked_sub(&self, other: &Self) -> Option<Self> {
+        self.0.checked_sub(other.0).map(Count)
+    }
 
     #[inline]
     fn zero() -> Self {
@@ -102,6 +112,14 @@ mod tests {
         let big = Count(u64::MAX);
         assert_eq!(big.add(&Count(1)), big);
         assert_eq!(big.mul(&Count(2)), big);
+    }
+
+    #[test]
+    fn checked_sub_cancels_or_refuses() {
+        assert_eq!(Count(7).checked_sub(&Count(4)), Some(Count(3)));
+        assert_eq!(Count(4).checked_sub(&Count(4)), Some(Count::zero()));
+        assert_eq!(Count(3).checked_sub(&Count(4)), None);
+        const { assert!(Count::HAS_ADDITIVE_INVERSE) };
     }
 
     #[test]

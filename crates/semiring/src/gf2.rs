@@ -36,6 +36,13 @@ impl Gf2 {
 impl Semiring for Gf2 {
     const NAME: &'static str = "gf2";
     const IDEMPOTENT_MUL: bool = true;
+    // Characteristic 2: subtraction is addition, always exact.
+    const HAS_ADDITIVE_INVERSE: bool = true;
+
+    #[inline]
+    fn checked_sub(&self, other: &Self) -> Option<Self> {
+        Some(self.add(other))
+    }
 
     #[inline]
     fn zero() -> Self {
@@ -95,6 +102,13 @@ mod tests {
             assert_eq!(v.add(&v.neg()), Gf2::zero());
             assert_eq!(v.sub(&v), Gf2::zero());
         }
+    }
+
+    #[test]
+    fn checked_sub_is_xor() {
+        assert_eq!(Gf2::one().checked_sub(&Gf2::one()), Some(Gf2::zero()));
+        assert_eq!(Gf2::zero().checked_sub(&Gf2::one()), Some(Gf2::one()));
+        const { assert!(Gf2::HAS_ADDITIVE_INVERSE) };
     }
 
     #[test]

@@ -39,6 +39,16 @@ impl From<f64> for Prob {
 
 impl Semiring for Prob {
     const NAME: &'static str = "probability";
+    // ℝ≥0 cancellation is *approximate*: float rounding means
+    // `(a + b) - b` need not be bit-identical to `a`, so delta-maintained
+    // answers over `Prob` are exact only up to `approx_eq`. The result is
+    // clamped at 0 to stay inside the carrier.
+    const HAS_ADDITIVE_INVERSE: bool = true;
+
+    #[inline]
+    fn checked_sub(&self, other: &Self) -> Option<Self> {
+        Some(Prob((self.0 - other.0).max(0.0)))
+    }
 
     #[inline]
     fn zero() -> Self {
@@ -166,6 +176,20 @@ mod tests {
     fn prob_arithmetic() {
         assert!(Prob(0.25).add(&Prob(0.5)).approx_eq(&Prob(0.75)));
         assert!(Prob(0.25).mul(&Prob(0.5)).approx_eq(&Prob(0.125)));
+    }
+
+    #[test]
+    fn prob_checked_sub_clamps_at_zero() {
+        assert!(Prob(0.75)
+            .checked_sub(&Prob(0.5))
+            .unwrap()
+            .approx_eq(&Prob(0.25)));
+        // Over-cancellation (float drift past zero) clamps to the carrier.
+        assert_eq!(Prob(0.25).checked_sub(&Prob(0.5)), Some(Prob::zero()));
+        const { assert!(Prob::HAS_ADDITIVE_INVERSE) };
+        // Max-product has no additive inverse: max is idempotent.
+        const { assert!(!MaxProd::HAS_ADDITIVE_INVERSE) };
+        assert_eq!(MaxProd(0.5).checked_sub(&MaxProd(0.2)), None);
     }
 
     #[test]

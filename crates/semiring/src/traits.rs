@@ -28,6 +28,28 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
     /// push-down rewriting needs; see `faqs-core` for the discussion.
     const IDEMPOTENT_MUL: bool = false;
 
+    /// Whether [`Semiring::checked_sub`] can cancel `⊕`-contributions —
+    /// the capability gate for *delta-maintained* FAQ answers: when it
+    /// holds, a factor mutation propagates up the GHD as a pair of
+    /// small signed delta relations instead of a subtree recompute.
+    ///
+    /// This is deliberately weaker than [`Ring`]: `Count` has no
+    /// additive inverses on ℕ, yet `a ⊕ b ⊖ b = a` holds whenever the
+    /// subtraction stays in the carrier, which is all delta maintenance
+    /// needs (a failed cancellation falls back to recompute).
+    const HAS_ADDITIVE_INVERSE: bool = false;
+
+    /// Partial cancellation `self ⊖ other`: a value `d` with
+    /// `d ⊕ other = self` when the carrier can represent one, `None`
+    /// otherwise (the caller must then recompute from scratch). The
+    /// default refuses always — only semirings declaring
+    /// [`Semiring::HAS_ADDITIVE_INVERSE`] override it.
+    #[must_use]
+    fn checked_sub(&self, other: &Self) -> Option<Self> {
+        let _ = other;
+        None
+    }
+
     /// The additive identity `0` (also the absorbing element of `⊗`).
     fn zero() -> Self;
 

@@ -23,7 +23,9 @@
 //! * [`engine`] — the centralized FAQ engine (ground truth).
 //! * [`exec`] — the plan-cached, multi-threaded executor: the front
 //!   door for repeated query traffic (`Executor::solve` with a
-//!   sequential config reproduces `engine::solve_faq` exactly).
+//!   sequential config reproduces `engine::solve_faq` exactly), plus
+//!   `IncrementalFaq` sessions that absorb relation deltas and keep
+//!   the answer maintained without re-solving.
 //! * [`protocols`] — the paper's distributed protocols (trivial, star,
 //!   forest, d-degenerate, general-FAQ, hash-split).
 //! * [`mcm`] — matrix-chain multiplication over `F₂` on a line, plus the
@@ -73,7 +75,7 @@ pub use faqs_semiring as semiring;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use faqs_core::{solve_bcq, solve_faq, solve_faq_brute_force};
-    pub use faqs_exec::{Executor, ExecutorConfig};
+    pub use faqs_exec::{Executor, ExecutorConfig, IncrementalFaq};
     pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
     pub use faqs_network::{Assignment, Topology};
@@ -82,6 +84,6 @@ pub mod prelude {
         run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice, ConformanceReport,
         DistributedFaqRun, InputPlacement,
     };
-    pub use faqs_relation::{BcqBuilder, FaqQuery, Relation};
+    pub use faqs_relation::{BcqBuilder, FaqQuery, Relation, RelationDelta};
     pub use faqs_semiring::{Aggregate, Boolean, Count, Gf2, Prob, Semiring};
 }
