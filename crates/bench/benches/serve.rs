@@ -1,0 +1,95 @@
+//! Criterion bench for the serving front-end's cross-query batching
+//! (`faqs-exec::Executor::solve_batch`, the engine under `faqs-serve`'s
+//! batcher). Recorded in CI as `BENCH_serve.json`.
+//!
+//! One Zipfian mix of 8 parameter bindings (heavy head, long tail —
+//! duplicates are deduplicated by the batcher) is answered two ways
+//! over the same warm plan cache:
+//!
+//! * **batched_w8** — one merged upward pass: restrict the
+//!   parameter-carrying factors to the binding set once, run the pass
+//!   once, slice per binding.
+//! * **one_at_a_time** — eight width-1 passes, i.e. exactly what
+//!   `FAQS_SERVE_DISABLE_BATCH=1` degrades the server to.
+//!
+//! The acceptance line for the serving PR is batched ≥ 2× at width 8;
+//! in practice the merged pass amortises the per-query index builds
+//! and statistics scans nearly linearly in the width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_exec::{Executor, ExecutorConfig};
+use faqs_hypergraph::{star_query, Var};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::Count;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const DOMAIN: u32 = 256;
+
+/// The shared fixture: a parameterised star whose factors are dense
+/// enough that per-query index builds dominate per-query dispatch.
+fn fixture() -> FaqQuery<Count> {
+    random_instance(
+        &star_query(3),
+        &RandomInstanceConfig {
+            tuples_per_factor: 20_000,
+            domain: DOMAIN,
+            seed: 0xE18,
+        },
+        vec![Var(0)],
+        |_| Count(1),
+    )
+}
+
+/// Zipf(s≈1.1) samples over `0..domain` — quantised cumulative weights
+/// plus binary search (the vendored rand stand-in has no Zipf).
+fn zipf_bindings(domain: u32, count: usize, seed: u64) -> Vec<u32> {
+    let mut cum: Vec<u64> = Vec::with_capacity(domain as usize);
+    let mut total = 0u64;
+    for rank in 1..=domain as u64 {
+        total += (1e9 / (rank as f64).powf(1.1)) as u64 + 1;
+        cum.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let x = rng.random_range(0..total);
+            cum.partition_point(|&c| c <= x) as u32
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batch");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    let q = fixture();
+    let ex = Executor::new(ExecutorConfig::sequential());
+    let bindings = zipf_bindings(DOMAIN, 8, 0xE18);
+
+    // Warm the plan cache (and check the two paths agree) outside the
+    // timed region.
+    let batched = ex.solve_batch(&q, Var(0), &bindings).unwrap();
+    for (b, want) in bindings.iter().zip(&batched) {
+        let solo = ex.solve_batch(&q, Var(0), &[*b]).unwrap();
+        assert_eq!(&solo[0], want, "binding {b}: slices must be identical");
+    }
+
+    group.bench_function(BenchmarkId::from_parameter("batched_w8"), |b| {
+        b.iter(|| black_box(ex.solve_batch(&q, Var(0), &bindings).unwrap()));
+    });
+    group.bench_function(BenchmarkId::from_parameter("one_at_a_time"), |b| {
+        b.iter(|| {
+            for &v in &bindings {
+                black_box(ex.solve_batch(&q, Var(0), &[v]).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use faqs_core::{solve_bcq, solve_faq};
 use faqs_hypergraph::{
     clique_query, exact_internal_node_width, example_h0, example_h1, example_h2,
     internal_node_width, random_degenerate_query, random_uniform_hypergraph, star_query,
-    tree_query, EdgeId, Ghd, Hypergraph,
+    tree_query, EdgeId, Ghd, Hypergraph, Var,
 };
 use faqs_lowerbounds::{
     bcq_lower_bound, embed_core, embed_forest, embed_hypergraph, faq_lower_bound, forest_capacity,
@@ -1033,6 +1033,127 @@ pub fn e17_incremental(n: usize) {
     }
 }
 
+/// Zipf(s≈1.1) samples over `0..domain`: quantised cumulative weights
+/// plus binary search — a heavy-head binding mix for the serving
+/// experiments (the vendored rand stand-in has no Zipf distribution).
+fn zipf_bindings(domain: u32, count: usize, seed: u64) -> Vec<u32> {
+    let mut cum: Vec<u64> = Vec::with_capacity(domain as usize);
+    let mut total = 0u64;
+    for rank in 1..=domain as u64 {
+        total += (1e9 / (rank as f64).powf(1.1)) as u64 + 1;
+        cum.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let x = rng.random_range(0..total);
+            cum.partition_point(|&c| c <= x) as u32
+        })
+        .collect()
+}
+
+/// **E18 — concurrent serving.** The batched serving path against
+/// one-at-a-time dispatch: a Zipfian mix of point queries over one
+/// query shape, answered (a) in merged batches of 8 through
+/// [`faqs_exec::Executor::solve_batch`] and (b) as width-1 passes —
+/// exactly what the `FAQS_SERVE_DISABLE_BATCH=1` escape hatch degrades
+/// the server to. Every batched slice is asserted bit-identical to its
+/// one-at-a-time answer. A second section drives the full
+/// [`faqs_serve::FaqServer`] (registry → admission → batcher → pool)
+/// and prints its counters. Not a paper artifact — the serving row
+/// behind the ROADMAP's north star; CI records the companion bench as
+/// `BENCH_serve.json`.
+pub fn e18_serve(n: usize) {
+    use faqs_exec::{Executor, ExecutorConfig};
+    use faqs_serve::{FaqServer, ServeConfig};
+    use std::time::Instant;
+
+    banner("E18 · Concurrent serving — cross-query batching vs one-at-a-time");
+    header(&["strategy", "N/factor", "queries", "µs/query", "speedup"]);
+
+    const WIDTH: usize = 8;
+    let h = star_query(3);
+    let domain = (n as u32 / 4).max(64);
+    let cfg = RandomInstanceConfig {
+        tuples_per_factor: n,
+        domain,
+        seed: 0xE18,
+    };
+    let q: FaqQuery<Count> = random_instance(&h, &cfg, vec![Var(0)], |_| Count(1));
+    let queries = 8 * WIDTH;
+    let bindings = zipf_bindings(domain, queries, 0xE18);
+
+    let ex = Executor::new(ExecutorConfig::sequential());
+    // Warm the plan cache so both strategies measure steady-state serving.
+    std::hint::black_box(ex.solve_batch(&q, Var(0), &bindings[..WIDTH]).unwrap());
+
+    let t0 = Instant::now();
+    let batched: Vec<_> = bindings
+        .chunks(WIDTH)
+        .flat_map(|chunk| ex.solve_batch(&q, Var(0), chunk).unwrap())
+        .collect();
+    let batched_us = t0.elapsed().as_secs_f64() * 1e6 / queries as f64;
+
+    let t0 = Instant::now();
+    let single: Vec<_> = bindings
+        .iter()
+        .map(|&b| {
+            let mut one = ex.solve_batch(&q, Var(0), &[b]).unwrap();
+            one.pop().unwrap()
+        })
+        .collect();
+    let single_us = t0.elapsed().as_secs_f64() * 1e6 / queries as f64;
+
+    // The acceptance property, live: merging a batch changes latency,
+    // never answers.
+    assert_eq!(batched, single, "batched slices are bit-identical");
+
+    row(&[
+        format!("batched (width {WIDTH})"),
+        n.to_string(),
+        queries.to_string(),
+        format!("{batched_us:.1}"),
+        format!("{:.1}×", single_us / batched_us.max(1e-9)),
+    ]);
+    row(&[
+        "one-at-a-time".to_string(),
+        n.to_string(),
+        queries.to_string(),
+        format!("{single_us:.1}"),
+        "1.0×".into(),
+    ]);
+
+    // The full front-end: flood the queue, then read the counters.
+    let server = FaqServer::new(ServeConfig {
+        workers: 2,
+        max_batch: WIDTH,
+        ..ServeConfig::default()
+    });
+    let shape = server.register(q, Var(0)).expect("register");
+    let tickets: Vec<_> = bindings
+        .iter()
+        .map(|&b| server.submit(shape, b).expect("submit"))
+        .collect();
+    for ((b, t), want) in bindings.iter().zip(tickets).zip(&batched) {
+        let answer = t.wait().expect("serve");
+        assert_eq!(&answer.relation, want, "served answer for binding {b}");
+    }
+    let stats = server.stats();
+
+    println!();
+    header(&["server counter", "value"]);
+    for (name, v) in [
+        ("submitted", stats.submitted),
+        ("inline fast-path", stats.inline),
+        ("rejected (budget)", stats.rejected),
+        ("batches", stats.batches),
+        ("batched requests", stats.batched),
+        ("max batch width", stats.max_width),
+    ] {
+        row(&[name.to_string(), v.to_string()]);
+    }
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -1088,6 +1209,7 @@ mod tests {
         e14_executor(512);
         e16_plan_explain(16);
         e17_incremental(512);
+        e18_serve(512);
         ablation_width();
     }
 

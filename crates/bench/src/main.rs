@@ -9,7 +9,7 @@
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
 //! `kernel`, `executor`, `distributed`, `plan-explain`, `incremental`,
-//! `ablation`, `all` (default).
+//! `serve`, `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -45,13 +45,14 @@ fn main() {
     run("distributed", &|| exp::e15_distributed(n.min(128)));
     run("plan-explain", &|| exp::e16_plan_explain(n.min(64)));
     run("incremental", &|| exp::e17_incremental(32 * n));
+    run("serve", &|| exp::e18_serve(8 * n));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             distributed plan-explain incremental ablation all"
+             distributed plan-explain incremental serve ablation all"
         );
         std::process::exit(2);
     }

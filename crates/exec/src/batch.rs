@@ -1,0 +1,247 @@
+//! Cross-query batching: one upward pass answers many bindings.
+//!
+//! A serving workload is rarely distinct shapes — it is one shape
+//! probed at many *parameter bindings* ("friends of user 17", "… of
+//! user 23", …). Answering each binding independently repeats the
+//! whole Theorem G.3 upward pass per call, even though every call
+//! shares the plan, the non-parameter factors, and almost all of the
+//! join work. [`Executor::solve_batch`] merges such a batch into a
+//! single pass:
+//!
+//! 1. the distinct bindings are sorted and deduplicated;
+//! 2. every factor whose schema contains the parameter is restricted to
+//!    the binding set in one galloping sweep
+//!    ([`Relation::restrict_in`] over [`JoinIndex::lookup_many`]);
+//! 3. the restricted query runs through the ordinary plan-cached
+//!    executor *once* — same shape, so the plan is shared with
+//!    single-binding traffic;
+//! 4. the combined answer is sliced back per binding through one index
+//!    on the parameter column, again in a single sorted sweep.
+//!
+//! Correctness: the parameter must be a **free** variable. Then the
+//! FAQ semantics (Equation (4) of the paper) fix the parameter in every
+//! output tuple — it is never aggregated over — so restricting the
+//! parameter-carrying factors to any superset of `{b}` leaves the
+//! answer rows at `param = b` untouched, and slicing the batched answer
+//! at `b` yields exactly the single-binding answer. On exact carriers
+//! the per-binding slices are bit-identical to independent
+//! [`Executor::solve`] calls (the differential suite checks this
+//! property); inexact carriers such as `Prob` agree up to the usual
+//! floating-point reassociation.
+//!
+//! [`JoinIndex::lookup_many`]: faqs_relation::JoinIndex::lookup_many
+//! [`Relation::restrict_in`]: faqs_relation::Relation::restrict_in
+
+use crate::executor::Executor;
+use faqs_core::EngineError;
+use faqs_hypergraph::Var;
+use faqs_relation::{FaqQuery, Relation};
+use faqs_semiring::{LatticeOps, Semiring};
+
+impl Executor {
+    /// Answers one query shape at many bindings of the free variable
+    /// `param` in a single upward pass. `out[i]` equals (bit-for-bit on
+    /// exact semirings) the answer of `q` with every `param`-carrying
+    /// factor restricted to `param = bindings[i]` — i.e. what `i`
+    /// independent [`Executor::solve`] calls on the restricted queries
+    /// would return — in the full free-variable schema of `q`.
+    ///
+    /// Duplicate bindings are answered from the one shared slice;
+    /// bindings matching no data get the empty relation. Errors
+    /// (invalid shape, worker panic, `param` not free) fail the whole
+    /// batch, mirroring the single pass they share.
+    pub fn solve_batch<S: Semiring>(
+        &self,
+        q: &FaqQuery<S>,
+        param: Var,
+        bindings: &[u32],
+    ) -> Result<Vec<Relation<S>>, EngineError> {
+        batched(q, param, bindings, |restricted| self.solve(restricted))
+    }
+
+    /// [`Executor::solve_batch`] for lattice-capable semirings
+    /// (`Max`/`Min` aggregates), backed by [`Executor::solve_lattice`].
+    pub fn solve_batch_lattice<S: LatticeOps>(
+        &self,
+        q: &FaqQuery<S>,
+        param: Var,
+        bindings: &[u32],
+    ) -> Result<Vec<Relation<S>>, EngineError> {
+        batched(q, param, bindings, |restricted| {
+            self.solve_lattice(restricted)
+        })
+    }
+}
+
+/// The shared restrict → one solve → slice pipeline.
+fn batched<S: Semiring>(
+    q: &FaqQuery<S>,
+    param: Var,
+    bindings: &[u32],
+    solve: impl FnOnce(&FaqQuery<S>) -> Result<Relation<S>, EngineError>,
+) -> Result<Vec<Relation<S>>, EngineError> {
+    if param.index() >= q.hypergraph.num_vars() || !q.is_free(param) {
+        return Err(EngineError::Invalid(format!(
+            "batch parameter {param} must be a free variable of the query"
+        )));
+    }
+    if bindings.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut distinct = bindings.to_vec();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    // Restrict every param-carrying factor to the merged binding set;
+    // the rest of the instance is shared untouched.
+    let factors = q
+        .hypergraph
+        .edges()
+        .zip(&q.factors)
+        .map(|((_, edge), f)| {
+            if edge.contains(&param) {
+                f.restrict_in(param, &distinct)
+            } else {
+                f.clone()
+            }
+        })
+        .collect();
+    let merged = FaqQuery {
+        hypergraph: q.hypergraph.clone(),
+        factors,
+        free_vars: q.free_vars.clone(),
+        aggregates: q.aggregates.clone(),
+        domain: q.domain,
+    };
+
+    // One plan-cached pass for the whole batch (same shape as the
+    // single-binding traffic, so they share the cached plan).
+    let answer = solve(&merged)?;
+
+    // Slice the combined answer back per distinct binding in one sorted
+    // sweep, then fan duplicates out as cheap clones.
+    let schema = answer.schema().to_vec();
+    let mut slices: Vec<Relation<S>> = distinct
+        .iter()
+        .map(|_| Relation::new(schema.clone()))
+        .collect();
+    let idx = answer.build_index(&[param]);
+    idx.lookup_many(&distinct, |p, rows| {
+        slices[p] = Relation::from_pairs(
+            schema.clone(),
+            rows.iter().map(|&r| {
+                (
+                    answer.tuple_at(r as usize).to_vec(),
+                    answer.value_at(r as usize).clone(),
+                )
+            }),
+        );
+    });
+    Ok(bindings
+        .iter()
+        .map(|b| {
+            let p = distinct.binary_search(b).expect("binding in distinct set");
+            slices[p].clone()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faqs_hypergraph::example_h2;
+    use faqs_relation::{random_instance, RandomInstanceConfig};
+    use faqs_semiring::{Aggregate, Count};
+
+    fn inst(free: Vec<Var>, seed: u64) -> FaqQuery<Count> {
+        random_instance(
+            &example_h2(),
+            &RandomInstanceConfig {
+                tuples_per_factor: 24,
+                domain: 6,
+                seed,
+            },
+            free,
+            |_| Count(2),
+        )
+    }
+
+    /// Restricts the param-carrying factors of `q` to one binding.
+    fn restricted<S: Semiring>(q: &FaqQuery<S>, param: Var, b: u32) -> FaqQuery<S> {
+        let factors = q
+            .hypergraph
+            .edges()
+            .zip(&q.factors)
+            .map(|((_, e), f)| {
+                if e.contains(&param) {
+                    f.restrict_in(param, &[b])
+                } else {
+                    f.clone()
+                }
+            })
+            .collect();
+        FaqQuery {
+            hypergraph: q.hypergraph.clone(),
+            factors,
+            free_vars: q.free_vars.clone(),
+            aggregates: q.aggregates.clone(),
+            domain: q.domain,
+        }
+    }
+
+    #[test]
+    fn batch_matches_independent_solves() {
+        // Structural planning pins one shared cache entry for the batch
+        // and all the solo oracles (stats digests may differ between a
+        // merged restriction and a single-binding one).
+        let ex = Executor::with_planner(
+            crate::ExecutorConfig::default(),
+            faqs_plan::PlannerConfig::structural(),
+        );
+        let param = Var(0);
+        let q = inst(vec![param, Var(1)], 7);
+        // Duplicates, misses (domain is 6 so 5 may be sparse) and
+        // unsorted order all in one batch.
+        let bindings = [3u32, 0, 3, 5, 1, 0];
+        let batch = ex.solve_batch(&q, param, &bindings).unwrap();
+        assert_eq!(batch.len(), bindings.len());
+        for (b, got) in bindings.iter().zip(&batch) {
+            let solo = ex.solve(&restricted(&q, param, *b)).unwrap();
+            assert_eq!(*got, solo, "binding {b}");
+        }
+        // The batched pass and the solo oracles share one plan shape.
+        assert_eq!(ex.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn batch_handles_edges_and_rejects_bound_params() {
+        let ex = Executor::default();
+        let q = inst(vec![Var(0)], 1);
+        assert!(ex.solve_batch(&q, Var(0), &[]).unwrap().is_empty());
+        // A binding outside every factor's data: empty answer slice.
+        let miss = ex.solve_batch(&q, Var(0), &[4711]).unwrap();
+        assert_eq!(miss.len(), 1);
+        assert!(miss[0].is_empty());
+        // Bound variables are aggregated over — batching on them would
+        // silently change semantics, so it is a hard error.
+        assert!(matches!(
+            ex.solve_batch(&q, Var(2), &[1]),
+            Err(EngineError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn lattice_batch_matches_independent_solves() {
+        let param = Var(0);
+        let base = inst(vec![param], 11).with_aggregate(Var(1), Aggregate::Max);
+        let ex = Executor::with_planner(
+            crate::ExecutorConfig::default(),
+            faqs_plan::PlannerConfig::structural(),
+        );
+        let batch = ex.solve_batch_lattice(&base, param, &[0, 2, 4]).unwrap();
+        for (b, got) in [0u32, 2, 4].iter().zip(&batch) {
+            let one = restricted(&base, param, *b);
+            assert_eq!(*got, ex.solve_lattice(&one).unwrap(), "binding {b}");
+        }
+    }
+}

@@ -39,6 +39,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct shapes currently cached (including negative entries).
     pub entries: usize,
+    /// The subset of `entries` keyed in the digest tier — one plan per
+    /// `(shape, StatsDigest)` bucket. `entries - digest_entries` is the
+    /// structural-tier occupancy (digest-free plans plus pinned
+    /// negative results).
+    pub digest_entries: usize,
 }
 
 impl CacheStats {
@@ -257,10 +262,12 @@ impl PlanCache {
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let map = self.lock();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.lock().len(),
+            entries: map.len(),
+            digest_entries: map.keys().filter(|k| k.has_digest()).count(),
         }
     }
 
@@ -336,12 +343,24 @@ mod tests {
             "skewed traffic must not adopt the uniform plan"
         );
         assert_eq!(cache.stats().entries, 2);
+        assert_eq!(
+            cache.stats().digest_entries,
+            2,
+            "both live in the digest tier"
+        );
         // Structural planning collapses both onto one key.
         let structural = PlannerConfig::structural();
         let _ = cache.get_or_build(&uniform, false, &structural);
         let _ = cache.get_or_build(&skewed, false, &structural);
         assert_eq!(cache.stats().misses, 3, "one structural-tier build");
         assert_eq!(cache.stats().hits, 1, "second structural call hits");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(
+            stats.digest_entries, 2,
+            "the structural plan is digest-free"
+        );
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

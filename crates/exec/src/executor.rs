@@ -54,19 +54,47 @@ impl ExecutorConfig {
             parallel_join_threshold: 8192,
         }
     }
+
+    /// Resolves a raw `FAQS_EXEC_THREADS` value into a configuration.
+    ///
+    /// `None`, `"0"` and `"1"` select the sequential configuration;
+    /// larger counts select [`ExecutorConfig::with_threads`]. An
+    /// unparseable value *also* pins the sequential fallback, but
+    /// returns the reason so [`ExecutorConfig::default`] can report a
+    /// typo'd override instead of silently ignoring it. Pure (no
+    /// environment reads), so the fallback contract is unit-testable
+    /// without racing on process-global state.
+    pub fn from_env_value(raw: Option<&str>) -> (Self, Option<String>) {
+        let Some(raw) = raw else {
+            return (ExecutorConfig::sequential(), None);
+        };
+        match raw.trim().parse::<usize>() {
+            Ok(t) if t > 1 => (ExecutorConfig::with_threads(t), None),
+            Ok(_) => (ExecutorConfig::sequential(), None),
+            Err(e) => (
+                ExecutorConfig::sequential(),
+                Some(format!(
+                    "FAQS_EXEC_THREADS={raw:?} is not a thread count ({e}); \
+                     falling back to the sequential configuration"
+                )),
+            ),
+        }
+    }
 }
 
 impl Default for ExecutorConfig {
     /// Reads `FAQS_EXEC_THREADS` (used by CI to run the suite in both
     /// sequential and parallel configurations); defaults to sequential.
+    /// An invalid override still falls back to sequential, but is
+    /// reported once on stderr rather than silently swallowed.
     fn default() -> Self {
-        match std::env::var("FAQS_EXEC_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-        {
-            Some(t) if t > 1 => ExecutorConfig::with_threads(t),
-            _ => ExecutorConfig::sequential(),
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        let raw = std::env::var("FAQS_EXEC_THREADS").ok();
+        let (cfg, warning) = ExecutorConfig::from_env_value(raw.as_deref());
+        if let Some(msg) = warning {
+            WARN_ONCE.call_once(|| eprintln!("faqs-exec: {msg}"));
         }
+        cfg
     }
 }
 
@@ -128,9 +156,9 @@ impl Executor {
             .map_err(|e| EngineError::Invalid(e.to_string()))?;
         let plan = self.cache.get_or_build(q, false, &self.planner);
         let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
-        Ok(eval(q, plan, &self.cfg, &|rel, var, op| {
+        eval(q, plan, &self.cfg, &|rel, var, op| {
             rel.aggregate_out(var, op)
-        }))
+        })
     }
 
     /// [`Executor::solve`] for lattice-capable semirings: additionally
@@ -143,9 +171,20 @@ impl Executor {
             .map_err(|e| EngineError::Invalid(e.to_string()))?;
         let plan = self.cache.get_or_build(q, true, &self.planner);
         let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
-        Ok(eval(q, plan, &self.cfg, &|rel, var, op| {
+        eval(q, plan, &self.cfg, &|rel, var, op| {
             rel.aggregate_out_lattice(var, op)
-        }))
+        })
+    }
+}
+
+/// Renders a caught panic payload for [`EngineError::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -165,25 +204,42 @@ fn acquire_up_to(budget: &AtomicUsize, want: usize) -> usize {
     got
 }
 
-/// Runs the upward pass on a prebuilt plan.
-fn eval<S, F>(q: &FaqQuery<S>, plan: &QueryPlan, cfg: &ExecutorConfig, agg: &F) -> Relation<S>
+/// Runs the upward pass on a prebuilt plan. Panics anywhere in the
+/// pass — a semiring operation on a poisoned value, an aggregation
+/// overflow, whether on the calling thread or a scoped worker — surface
+/// as [`EngineError::WorkerPanic`] to *this* query's caller, so one
+/// poisoned query cannot unwind through a serving pool's worker thread
+/// and take the pool down with it.
+fn eval<S, F>(
+    q: &FaqQuery<S>,
+    plan: &QueryPlan,
+    cfg: &ExecutorConfig,
+    agg: &F,
+) -> Result<Relation<S>, EngineError>
 where
     S: Semiring,
     F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
 {
     let budget = AtomicUsize::new(cfg.threads.saturating_sub(1));
-    let result =
-        eval_subtree(q, plan, plan.root(), cfg, &budget, agg).unwrap_or_else(Relation::unit);
-    // Root: the engine's shared epilogue (aggregate the remaining bound
-    // variables innermost-first, reorder onto the free-variable schema).
-    faqs_core::finish_root(q, result, |rel, v, op| agg(rel, v, op))
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let result =
+            eval_subtree(q, plan, plan.root(), cfg, &budget, agg)?.unwrap_or_else(Relation::unit);
+        // Root: the engine's shared epilogue (aggregate the remaining
+        // bound variables innermost-first, reorder onto the free-variable
+        // schema).
+        Ok(faqs_core::finish_root(q, result, |rel, v, op| {
+            agg(rel, v, op)
+        }))
+    }))
+    .unwrap_or_else(|payload| Err(EngineError::WorkerPanic(panic_message(payload.as_ref()))))
 }
 
 /// The full (un-aggregated) relation of `node`'s subtree: its λ factors
 /// joined smallest-first per the plan, then each child's message folded
 /// in, in deterministic child order. Children evaluate concurrently when
-/// the budget allows. `None` only for a factorless, childless synthetic
-/// root (the `⊗`-identity).
+/// the budget allows. `Ok(None)` only for a factorless, childless
+/// synthetic root (the `⊗`-identity); a panicked worker thread becomes
+/// [`EngineError::WorkerPanic`] rather than re-raising on the caller.
 fn eval_subtree<S, F>(
     q: &FaqQuery<S>,
     plan: &QueryPlan,
@@ -191,7 +247,7 @@ fn eval_subtree<S, F>(
     cfg: &ExecutorConfig,
     budget: &AtomicUsize,
     agg: &F,
-) -> Option<Relation<S>>
+) -> Result<Option<Relation<S>>, EngineError>
 where
     S: Semiring,
     F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
@@ -201,12 +257,13 @@ where
         children
             .iter()
             .map(|&c| subtree_message(q, plan, c, node, cfg, budget, agg))
-            .collect()
+            .collect::<Result<_, _>>()?
     } else {
         std::thread::scope(|s| {
             // Offer all but the last child to the budget; stragglers run
             // inline below while the workers make progress.
-            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, Relation<S>>>> =
+            type Outcome<S> = Result<Relation<S>, EngineError>;
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, Outcome<S>>>> =
                 Vec::with_capacity(children.len());
             for (i, &c) in children.iter().enumerate() {
                 if i + 1 < children.len() && try_acquire(budget) {
@@ -219,15 +276,21 @@ where
                     handles.push(None);
                 }
             }
-            children
+            // Join *every* handle before surfacing any error: an
+            // unjoined panicked worker would re-raise its panic when
+            // the scope closes, defeating the conversion below.
+            let outcomes: Vec<Outcome<S>> = children
                 .iter()
                 .zip(handles)
                 .map(|(&c, h)| match h {
-                    Some(h) => h.join().expect("executor worker panicked"),
+                    Some(h) => h
+                        .join()
+                        .unwrap_or_else(|p| Err(EngineError::WorkerPanic(panic_message(&*p)))),
                     None => subtree_message(q, plan, c, node, cfg, budget, agg),
                 })
-                .collect()
-        })
+                .collect();
+            outcomes.into_iter().collect::<Result<_, _>>()
+        })?
     };
 
     // Own factors, smallest-first with the plan's cached key schemas.
@@ -255,7 +318,7 @@ where
             None => message,
         });
     }
-    acc
+    Ok(acc)
 }
 
 /// A child's upward message: its subtree relation with every variable
@@ -269,16 +332,19 @@ fn subtree_message<S, F>(
     cfg: &ExecutorConfig,
     budget: &AtomicUsize,
     agg: &F,
-) -> Relation<S>
+) -> Result<Relation<S>, EngineError>
 where
     S: Semiring,
     F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
 {
     let message =
-        eval_subtree(q, plan, child, cfg, budget, agg).expect("non-root GHD nodes carry a factor");
-    faqs_core::push_down_message(q, message, plan.ghd.chi(parent), |rel, v, op| {
-        agg(rel, v, op)
-    })
+        eval_subtree(q, plan, child, cfg, budget, agg)?.expect("non-root GHD nodes carry a factor");
+    Ok(faqs_core::push_down_message(
+        q,
+        message,
+        plan.ghd.chi(parent),
+        |rel, v, op| agg(rel, v, op),
+    ))
 }
 
 /// Indexed join that splits the probe side across idle workers when it
@@ -389,5 +455,87 @@ mod tests {
         );
         let seq = solve_faq(&q).unwrap();
         assert_eq!(Executor::with_threads(4).solve(&q).unwrap(), seq);
+    }
+
+    #[test]
+    fn thread_override_parsing_is_pinned() {
+        // Unset and explicit sequential values: no warning.
+        for raw in [None, Some("1"), Some("0")] {
+            let (cfg, warn) = ExecutorConfig::from_env_value(raw);
+            assert_eq!(cfg.threads, 1, "{raw:?} is sequential");
+            assert!(warn.is_none());
+        }
+        let (cfg, warn) = ExecutorConfig::from_env_value(Some(" 8 "));
+        assert_eq!(cfg.threads, 8, "whitespace-tolerant parse");
+        assert!(warn.is_none());
+        // Typos pin the sequential fallback *and say so*.
+        for raw in ["four", "", "-2", "3.5", "2 threads"] {
+            let (cfg, warn) = ExecutorConfig::from_env_value(Some(raw));
+            assert_eq!(cfg.threads, 1, "{raw:?} pins the sequential fallback");
+            let msg = warn.unwrap_or_else(|| panic!("{raw:?} must warn"));
+            assert!(msg.contains("FAQS_EXEC_THREADS"), "names the variable");
+        }
+    }
+
+    /// A counting semiring whose `⊕` detonates on a sentinel value —
+    /// the injection vector for the worker-panic tests.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Fused(u64);
+
+    const FUSE: u64 = u64::MAX;
+
+    impl Semiring for Fused {
+        const NAME: &'static str = "fused";
+        fn zero() -> Self {
+            Fused(0)
+        }
+        fn one() -> Self {
+            Fused(1)
+        }
+        fn add(&self, other: &Self) -> Self {
+            assert!(self.0 != FUSE && other.0 != FUSE, "fuse blown in ⊕");
+            Fused(self.0 + other.0)
+        }
+        fn mul(&self, other: &Self) -> Self {
+            assert!(self.0 != FUSE && other.0 != FUSE, "fuse blown in ⊗");
+            Fused(self.0 * other.0)
+        }
+    }
+
+    /// A wide star over `Fused`; every leaf carries two rows that the
+    /// push-down must `⊕`-merge, and `poisoned` plants the fuse in all
+    /// of them — so the panic fires in whichever child subtrees landed
+    /// on worker threads *and* the ones that ran inline.
+    fn fused_star(k: usize, poisoned: bool) -> FaqQuery<Fused> {
+        let h = star_query(k);
+        let factors = (1..=k)
+            .map(|i| {
+                let v = if poisoned { FUSE } else { 1 };
+                faqs_relation::Relation::from_pairs(
+                    vec![faqs_hypergraph::Var(0), faqs_hypergraph::Var(i as u32)],
+                    [(vec![0, 0], Fused(1)), (vec![0, 1], Fused(v))],
+                )
+            })
+            .collect();
+        FaqQuery::new_ss(h, factors, vec![], 2)
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_a_crash() {
+        for threads in [1usize, 4] {
+            let ex = Executor::with_threads(threads);
+            match ex.solve(&fused_star(8, true)) {
+                Err(EngineError::WorkerPanic(msg)) => {
+                    assert!(msg.contains("fuse blown"), "payload captured: {msg}")
+                }
+                other => panic!("threads {threads}: expected WorkerPanic, got {other:?}"),
+            }
+            // The executor (and its cached plan) survives the poisoned
+            // query: the same shape with clean data answers normally.
+            let clean = fused_star(8, false);
+            let ok = ex.solve(&clean).unwrap();
+            assert_eq!(ok.total(), solve_faq(&clean).unwrap().total());
+            assert_eq!(ex.cache_stats().hits, 1, "plan reused after the panic");
+        }
     }
 }

@@ -24,6 +24,13 @@
 //!   side by key range ([`faqs_relation::Relation::join_indexed_par`]).
 //!   The sequential configuration reproduces `solve_faq` exactly, and
 //!   parallel runs are deterministic (fixed fold order).
+//! * **Cross-query batching** ([`Executor::solve_batch`]): many
+//!   bindings of one free parameter variable merge into a single
+//!   upward pass — the parameter-carrying factors are restricted to the
+//!   merged binding set in one galloping sweep, the pass runs once, and
+//!   the combined answer is sliced back per binding; bit-identical to
+//!   independent `solve` calls on exact semirings. This is the engine
+//!   under `faqs-serve`'s batcher.
 //!
 //! ```
 //! use faqs_exec::{Executor, ExecutorConfig};
@@ -47,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod executor;
 mod fingerprint;

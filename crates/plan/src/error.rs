@@ -32,6 +32,11 @@ pub enum EngineError {
     IncompatibleAggregateOrder(Var, Var),
     /// The query failed validation.
     Invalid(String),
+    /// A worker thread panicked mid-evaluation. The panic payload is
+    /// captured so the *caller* of that one query sees an error instead
+    /// of the panic unwinding through whatever pool thread happened to
+    /// run the pass — one poisoned query must not take down a server.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -59,6 +64,7 @@ impl std::fmt::Display for EngineError {
                 )
             }
             EngineError::Invalid(e) => write!(f, "invalid query: {e}"),
+            EngineError::WorkerPanic(p) => write!(f, "executor worker panicked: {p}"),
         }
     }
 }

@@ -61,9 +61,10 @@ mod validate;
 pub use cost::PlanCost;
 pub use error::EngineError;
 pub use planner::{
-    choose_aggregation_players, decomposition_covering_free_vars, decomposition_for_free_vars,
-    ghd_for_query, join_order_covers_lambda, join_order_for_ghd, plan_query, plan_query_placed,
-    plan_query_with_stats, CandidateReport, ChosenPlan, PlacementContext, PlannerConfig,
+    choose_aggregation_players, cost_quote, decomposition_covering_free_vars,
+    decomposition_for_free_vars, ghd_for_query, join_order_covers_lambda, join_order_for_ghd,
+    plan_query, plan_query_placed, plan_query_with_stats, CandidateReport, ChosenPlan,
+    PlacementContext, PlannerConfig,
 };
 pub use stats::{QueryStats, StatsDigest};
 pub use validate::{check_elimination_order, check_product_aggregates, check_push_down};
@@ -226,6 +227,26 @@ mod tests {
         assert_eq!(pre.cost.net_bits, fresh.cost.net_bits);
         assert_eq!(pre.candidates.len(), fresh.candidates.len());
         assert!(!pre.chose_default(), "still reroots away from the skew");
+    }
+
+    #[test]
+    fn cost_quote_prices_the_structural_default() {
+        // The quote is the default candidate's simulated cost — an
+        // upper estimate for whatever the full search ends up choosing.
+        let q = skewed_star_instance(3, 16);
+        let quote = cost_quote(&q, false).unwrap();
+        assert!(quote.cpu > 0, "a non-trivial instance costs something");
+        let plan = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        assert_eq!(quote, plan.candidates[0].cost, "quote = default's cost");
+        assert!(plan.cost.cpu <= quote.cpu, "chosen plan never costs more");
+        // Shape-level rejection matches the planner's.
+        let bad =
+            count_instance(&star_query(3), 1).with_aggregate(Var(1), faqs_semiring::Aggregate::Max);
+        assert!(matches!(
+            cost_quote(&bad, false),
+            Err(EngineError::NeedsLatticeOps(_))
+        ));
+        assert!(cost_quote(&bad, true).is_ok());
     }
 
     #[test]

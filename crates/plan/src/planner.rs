@@ -268,6 +268,41 @@ pub fn plan_query_placed<S: Semiring>(
     plan_query_impl(q, lattice, cfg, placement, None)
 }
 
+/// A per-query admission-control quote: the predicted kernel work of
+/// serving `q` with the *structural default* plan, without the full
+/// candidate search of [`plan_query`].
+///
+/// One statistics gathering pass plus one cost-model dry run — cheap
+/// enough to price every request at a serving front door, and an upper
+/// estimate for the plan the executor will actually run (cost-based
+/// selection only ever picks a candidate predicted strictly cheaper
+/// than this default). Unlike `plan_query`, the quote simulates
+/// regardless of [`PlannerConfig`]: admission control needs a number
+/// even under `FAQS_PLAN_DISABLE_STATS=1` — the escape hatch changes
+/// which plan runs, not what the front door knows.
+pub fn cost_quote<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> Result<PlanCost, EngineError> {
+    if !lattice {
+        for v in q.hypergraph.vars() {
+            if !q.is_free(v) && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min) {
+                return Err(EngineError::NeedsLatticeOps(v));
+            }
+        }
+    }
+    check_product_aggregates(q)?;
+    q.validate()
+        .map_err(|e| EngineError::Invalid(e.to_string()))?;
+    let ghd = ghd_for_query(q)?;
+    let root_chi = ghd.chi(ghd.root());
+    if let Some(bad) = q.free_vars.iter().find(|v| !root_chi.contains(v)) {
+        return Err(EngineError::FreeVarsOutsideCore(vec![*bad]));
+    }
+    check_elimination_order(q, &ghd)?;
+    let order = join_order_for_ghd(q, &ghd);
+    let stats = QueryStats::of(q);
+    let model = CostModel::new(&stats, q.domain, S::value_bits());
+    Ok(model.simulate(&ghd, &order, None))
+}
+
 /// [`plan_query`] against *precomputed* per-factor statistics instead
 /// of a fresh `O(data)` gathering pass — the entry point for the
 /// incremental engine, whose maintained stats make re-scanning factors

@@ -280,6 +280,70 @@ impl JoinIndex {
     pub fn contains(&self, key: &[u32]) -> bool {
         self.group_of(key).is_some()
     }
+
+    /// Probes the index with *many* keys in one galloping sweep.
+    ///
+    /// `probes` is a flat `key_arity`-strided arena of probe keys that
+    /// must be sorted ascending (duplicates allowed). Because both the
+    /// probe run and the group keys are sorted, a single merge with
+    /// exponential (galloping) advance visits each side once:
+    /// `O(k·log(g/k))` comparisons for `k` probes against `g` groups,
+    /// instead of `k` independent `O(log g)` binary searches — the batch
+    /// analogue of [`JoinIndex::lookup`] that cross-query batching uses
+    /// to probe one factor for every binding of a batch at once.
+    ///
+    /// Calls `on_hit(probe_index, rows)` for every probe key present in
+    /// the index, in ascending probe order; `rows` are the matching row
+    /// ids, ascending (canonical relation order within the group).
+    pub fn lookup_many(&self, probes: &[u32], mut on_hit: impl FnMut(usize, &[u32])) {
+        let ka = self.key_arity;
+        assert!(
+            ka > 0 && probes.len().is_multiple_of(ka),
+            "probe arena must be non-empty-keyed and {ka}-strided"
+        );
+        let n_probes = probes.len() / ka;
+        debug_assert!(
+            (1..n_probes).all(|i| probes[(i - 1) * ka..i * ka] <= probes[i * ka..(i + 1) * ka]),
+            "probe keys must be sorted ascending"
+        );
+        let n_groups = self.num_groups();
+        let mut g = 0usize;
+        for p in 0..n_probes {
+            let key = &probes[p * ka..(p + 1) * ka];
+            g = gallop_rows(&self.keys, ka, g, n_groups, key);
+            if g == n_groups {
+                return;
+            }
+            if &self.keys[g * ka..(g + 1) * ka] == key {
+                on_hit(p, self.group_rows(g));
+            }
+        }
+    }
+}
+
+/// Galloping (exponential + binary) search over a flat `arity`-strided
+/// sorted arena: the least `i ≥ lo` with `row(i) ≥ target`, or `n`.
+fn gallop_rows(data: &[u32], arity: usize, mut lo: usize, n: usize, target: &[u32]) -> usize {
+    if lo >= n || row(data, arity, lo) >= target {
+        return lo;
+    }
+    let mut step = 1usize;
+    let mut hi = lo + 1;
+    while hi < n && row(data, arity, hi) < target {
+        lo = hi;
+        step <<= 1;
+        hi = (lo + step).min(n);
+    }
+    // Invariant: row(lo) < target ≤ row(hi) (or hi == n).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if row(data, arity, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
 }
 
 /// Natural join against a prebuilt index of `other` (keyed on exactly
@@ -759,6 +823,49 @@ mod tests {
         );
         assert!(d.is_empty());
         assert_eq!(vals, vec![Count(6)]);
+    }
+
+    #[test]
+    fn lookup_many_matches_per_key_lookup() {
+        let r = rel(
+            &[0, 1],
+            &[
+                (&[1, 5], 1),
+                (&[2, 3], 1),
+                (&[2, 7], 1),
+                (&[4, 0], 1),
+                (&[9, 9], 1),
+            ],
+        );
+        let idx = JoinIndex::build(&r, &[v(0)]);
+        // Sorted probes with a duplicate, a miss below, between, above.
+        let probes = [0u32, 2, 2, 3, 4, 11];
+        let mut hits: Vec<(usize, Vec<u32>)> = Vec::new();
+        idx.lookup_many(&probes, |p, rows| hits.push((p, rows.to_vec())));
+        let mut expect: Vec<(usize, Vec<u32>)> = Vec::new();
+        for (p, key) in probes.iter().enumerate() {
+            if let Some(rows) = idx.lookup(&[*key]) {
+                expect.push((p, rows.to_vec()));
+            }
+        }
+        assert_eq!(hits, expect);
+    }
+
+    #[test]
+    fn lookup_many_on_multi_column_keys() {
+        let r = rel(
+            &[0, 1, 2],
+            &[(&[1, 1, 0], 1), (&[1, 2, 5], 1), (&[2, 1, 3], 1)],
+        );
+        let idx = JoinIndex::build(&r, &[v(0), v(1)]);
+        let probes = [1u32, 1, 1, 2, 2, 1, 3, 3];
+        let mut hits = Vec::new();
+        idx.lookup_many(&probes, |p, rows| hits.push((p, rows.to_vec())));
+        assert_eq!(hits, vec![(0, vec![0]), (1, vec![1]), (2, vec![2])]);
+        // Empty index: no hits, no panic.
+        let empty = rel(&[0, 1, 2], &[]);
+        let idx = JoinIndex::build(&empty, &[v(0), v(1)]);
+        idx.lookup_many(&probes, |_, _| panic!("no rows to hit"));
     }
 
     #[test]

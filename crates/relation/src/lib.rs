@@ -27,6 +27,7 @@ mod generators;
 pub mod kernel;
 mod query;
 mod relation;
+mod snapshot;
 mod stats;
 
 pub use builder::BcqBuilder;
@@ -39,4 +40,5 @@ pub use generators::{
 pub use kernel::JoinIndex;
 pub use query::{FaqQuery, QueryError};
 pub use relation::{Relation, Tuple};
+pub use snapshot::{Snapshot, SnapshotCell};
 pub use stats::{MaintainedStats, RelationStats};

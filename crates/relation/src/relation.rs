@@ -275,6 +275,29 @@ impl<S: Semiring> Relation<S> {
         JoinIndex::build(self, vars)
     }
 
+    /// The rows whose value at `var` appears in `values` (which must be
+    /// sorted ascending; duplicates are tolerated) — batched point
+    /// selection `σ_{var ∈ values}`. One index build plus one galloping
+    /// sweep ([`JoinIndex::lookup_many`]) serves every selection value
+    /// at once, which is how cross-query batching restricts a shared
+    /// factor to a whole batch of bindings in a single pass.
+    pub fn restrict_in(&self, var: Var, values: &[u32]) -> Relation<S> {
+        let idx = self.build_index(&[var]);
+        let mut keep: Vec<u32> = Vec::new();
+        idx.lookup_many(values, |_, rows| keep.extend_from_slice(rows));
+        // Duplicate selection values hit their group once each; rows
+        // re-sort to canonical (ascending row id) order either way.
+        keep.sort_unstable();
+        keep.dedup();
+        let mut out = Relation::new(self.schema.clone());
+        let (out_data, out_values) = out.parts_mut();
+        for &i in &keep {
+            out_data.extend_from_slice(self.tuple_at(i as usize));
+            out_values.push(self.value_at(i as usize).clone());
+        }
+        out
+    }
+
     /// Projection `π_vars` with `⊕`-aggregation of collapsed tuples: the
     /// FAQ-SS marginalisation of every variable outside `vars`.
     pub fn project(&self, vars: &[Var]) -> Relation<S> {
@@ -523,6 +546,27 @@ mod tests {
             schema.iter().map(|i| v(*i)).collect(),
             rows.iter().map(|(t, c)| (t.to_vec(), Count(*c))),
         )
+    }
+
+    #[test]
+    fn restrict_in_selects_and_stays_canonical() {
+        let r = count_rel(
+            &[0, 1],
+            &[(&[1, 5], 1), (&[2, 3], 2), (&[2, 7], 3), (&[4, 0], 4)],
+        );
+        // Select on the leading column, with a duplicate and misses.
+        let got = r.restrict_in(v(0), &[0, 2, 2, 4, 9]);
+        assert_eq!(
+            got,
+            count_rel(&[0, 1], &[(&[2, 3], 2), (&[2, 7], 3), (&[4, 0], 4)])
+        );
+        // Select on a non-leading column: row order re-canonicalises.
+        let got = r.restrict_in(v(1), &[0, 5]);
+        assert_eq!(got, count_rel(&[0, 1], &[(&[1, 5], 1), (&[4, 0], 4)]));
+        // Empty selection, empty relation.
+        assert_eq!(r.restrict_in(v(0), &[]).len(), 0);
+        let empty: Relation<Count> = Relation::new([v(0), v(1)]);
+        assert_eq!(empty.restrict_in(v(0), &[1]).len(), 0);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! The epoch/arc-swap factor registry: mutable relations behind
+//! snapshot-consistent read handles.
+//!
+//! Each registered query shape lives in a
+//! [`SnapshotCell`]`<`[`FaqQuery`]`>`: readers (the batcher's workers,
+//! the admission controller, external observers) pin an epoch-stamped
+//! [`Snapshot`] with a lock held only for an `Arc` clone, while
+//! [`RelationDelta`] writers prepare the next version copy-on-write
+//! *outside* any lock the readers touch and swap it in. A writer
+//! therefore never blocks a reader, and every query in a batch is
+//! answered against one consistent epoch.
+//!
+//! The registry also memoises the planner's cost quote per epoch —
+//! admission control runs on every submit, so it must not pay a
+//! planning pass per request.
+
+use crate::error::ServeError;
+use faqs_core::EngineError;
+use faqs_hypergraph::{EdgeId, Var};
+use faqs_plan::{cost_quote, PlanCost};
+use faqs_relation::{FaqQuery, RelationDelta, Snapshot, SnapshotCell};
+use faqs_semiring::Semiring;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Handle to a registered query shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeId(pub usize);
+
+/// One registered shape: the versioned template, its batching
+/// parameter, the writer serialisation lock and the per-epoch quote.
+pub(crate) struct ShapeEntry<S: Semiring> {
+    pub(crate) cell: SnapshotCell<FaqQuery<S>>,
+    pub(crate) param: Var,
+    /// Serialises read-modify-write delta application; readers never
+    /// take this lock.
+    write_lock: Mutex<()>,
+    /// `(epoch, quote)` of the most recently priced version.
+    quote: Mutex<Option<(u64, PlanCost)>>,
+}
+
+impl<S: Semiring> ShapeEntry<S> {
+    /// The planner's cost quote for the *current* snapshot, recomputed
+    /// only when a delta has landed since the last quote.
+    pub(crate) fn quote(&self) -> Result<PlanCost, EngineError> {
+        let snap = self.cell.load();
+        let mut cached = recover(self.quote.lock());
+        if let Some((epoch, cost)) = *cached {
+            if epoch == snap.epoch() {
+                return Ok(cost);
+            }
+        }
+        let cost = cost_quote(snap.value(), false)?;
+        *cached = Some((snap.epoch(), cost));
+        Ok(cost)
+    }
+
+    /// Applies a delta to one factor copy-on-write and publishes the
+    /// next version; returns its epoch. Readers holding snapshots are
+    /// untouched; concurrent writers serialise on `write_lock` so no
+    /// read-modify-write update is lost.
+    pub(crate) fn apply(&self, edge: EdgeId, delta: &RelationDelta<S>) -> Result<u64, ServeError> {
+        let _w = recover(self.write_lock.lock());
+        let cur = self.cell.load();
+        let mut next: FaqQuery<S> = cur.value().clone();
+        let factor = next
+            .factors
+            .get_mut(edge.index())
+            .ok_or(ServeError::UnknownEdge(edge.index()))?;
+        if factor.schema() != delta.schema() {
+            return Err(ServeError::SchemaMismatch);
+        }
+        factor.apply_delta(delta);
+        Ok(self.cell.store(next))
+    }
+}
+
+/// The set of registered shapes. Registration is append-only;
+/// `ShapeId`s are dense indices.
+pub(crate) struct Registry<S: Semiring> {
+    shapes: RwLock<Vec<Arc<ShapeEntry<S>>>>,
+}
+
+impl<S: Semiring> Registry<S> {
+    pub(crate) fn new() -> Self {
+        Registry {
+            shapes: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a template; `param` must be free (slicing the answer
+    /// on a bound variable would change semantics). The template is
+    /// priced once up front, so shapes the planner rejects outright
+    /// fail at registration, not per query.
+    pub(crate) fn register(
+        &self,
+        template: FaqQuery<S>,
+        param: Var,
+    ) -> Result<ShapeId, ServeError> {
+        if param.index() >= template.hypergraph.num_vars() || !template.is_free(param) {
+            return Err(ServeError::ParamNotFree(param));
+        }
+        let quote = cost_quote(&template, false)?;
+        let entry = Arc::new(ShapeEntry {
+            cell: SnapshotCell::new(template),
+            param,
+            write_lock: Mutex::new(()),
+            quote: Mutex::new(Some((0, quote))),
+        });
+        let mut shapes = match self.shapes.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        shapes.push(entry);
+        Ok(ShapeId(shapes.len() - 1))
+    }
+
+    pub(crate) fn get(&self, id: ShapeId) -> Result<Arc<ShapeEntry<S>>, ServeError> {
+        let shapes = match self.shapes.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        shapes
+            .get(id.0)
+            .cloned()
+            .ok_or(ServeError::UnknownShape(id.0))
+    }
+
+    /// An epoch-pinned snapshot of the shape's current version.
+    pub(crate) fn snapshot(&self, id: ShapeId) -> Result<Snapshot<FaqQuery<S>>, ServeError> {
+        Ok(self.get(id)?.cell.load())
+    }
+}
+
+/// Unwraps a mutex guard, adopting the state left by a panicked holder
+/// (both guarded values are small and always consistent).
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    match r {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end serving-layer tests: batched answers vs the executor
+//! oracle, cost-based admission, and snapshot isolation under
+//! concurrent writers.
+
+use faqs_exec::Executor;
+use faqs_hypergraph::{star_query, EdgeId, Var};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig, Relation, RelationDelta};
+use faqs_semiring::Count;
+use faqs_serve::{FaqServer, ServeConfig, ServeError};
+
+fn template(seed: u64) -> FaqQuery<Count> {
+    random_instance(
+        &star_query(3),
+        &RandomInstanceConfig {
+            tuples_per_factor: 48,
+            domain: 8,
+            seed,
+        },
+        vec![Var(0)],
+        |_| Count(1),
+    )
+}
+
+/// The oracle: the template with every param-carrying factor restricted
+/// to one binding, solved by a fresh executor.
+fn solo(q: &FaqQuery<Count>, param: Var, b: u32) -> Relation<Count> {
+    let factors = q
+        .hypergraph
+        .edges()
+        .zip(&q.factors)
+        .map(|((_, e), f)| {
+            if e.contains(&param) {
+                f.restrict_in(param, &[b])
+            } else {
+                f.clone()
+            }
+        })
+        .collect();
+    let one = FaqQuery {
+        hypergraph: q.hypergraph.clone(),
+        factors,
+        free_vars: q.free_vars.clone(),
+        aggregates: q.aggregates.clone(),
+        domain: q.domain,
+    };
+    Executor::default().solve(&one).unwrap()
+}
+
+#[test]
+fn served_answers_match_the_executor_oracle() {
+    let server = FaqServer::new(ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        ..ServeConfig::default()
+    });
+    let q = template(3);
+    let shape = server.register(q.clone(), Var(0)).unwrap();
+
+    // Flood the queue so the batcher has merging opportunities, then
+    // check every slice against the solo oracle.
+    let bindings: Vec<u32> = (0..32).map(|i| i % 8).collect();
+    let tickets: Vec<_> = bindings
+        .iter()
+        .map(|&b| server.submit(shape, b).unwrap())
+        .collect();
+    for (b, t) in bindings.iter().zip(tickets) {
+        let answer = t.wait().unwrap();
+        assert_eq!(answer.epoch, 0, "no writers, initial version");
+        assert_eq!(answer.relation, solo(&q, Var(0), *b), "binding {b}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 32);
+    assert_eq!(stats.inline + stats.batched, 32, "every request answered");
+    assert!(stats.max_width as usize <= server.batch_width());
+}
+
+#[test]
+fn registration_rejects_bound_params_and_bad_shapes() {
+    let server: FaqServer<Count> = FaqServer::new(ServeConfig::default());
+    let q = template(1);
+    // Var(1) is aggregated over — batching on it would change semantics.
+    assert!(matches!(
+        server.register(q.clone(), Var(1)),
+        Err(ServeError::ParamNotFree(_))
+    ));
+    // A shape the planner rejects fails at registration, not per query.
+    let bad = q.with_aggregate(Var(2), faqs_semiring::Aggregate::Max);
+    assert!(matches!(
+        server.register(bad, Var(0)),
+        Err(ServeError::Engine(_))
+    ));
+    // Unknown handles are reported, not panicked on.
+    assert!(matches!(
+        server.query(faqs_serve::ShapeId(42), 0),
+        Err(ServeError::UnknownShape(42))
+    ));
+}
+
+#[test]
+fn admission_fast_path_and_budget() {
+    // Everything is cheap: the queue is never touched.
+    let inline = FaqServer::new(ServeConfig {
+        cheap_cpu: u64::MAX,
+        ..ServeConfig::default()
+    });
+    let q = template(5);
+    let shape = inline.register(q.clone(), Var(0)).unwrap();
+    for b in 0..4 {
+        assert_eq!(
+            inline.query(shape, b).unwrap().relation,
+            solo(&q, Var(0), b)
+        );
+    }
+    let stats = inline.stats();
+    assert_eq!(stats.inline, 4, "all served on the submitting thread");
+    assert_eq!(stats.batches, 0, "the pool never woke up");
+
+    // Nothing fits the budget: admission rejects before any join work.
+    let strict = FaqServer::new(ServeConfig {
+        cost_budget: 0,
+        ..ServeConfig::default()
+    });
+    let shape = strict.register(q, Var(0)).unwrap();
+    match strict.submit(shape, 1) {
+        Err(ServeError::TooExpensive { quoted, budget }) => {
+            assert!(quoted > budget);
+        }
+        other => panic!("expected TooExpensive, got {other:?}"),
+    }
+    assert_eq!(strict.stats().rejected, 1);
+    assert_eq!(strict.stats().submitted, 0);
+}
+
+/// A tiny one-edge marginal shape whose per-version answers are easy to
+/// precompute: answer(a) = Σ_b R(a, b).
+fn marginal_template() -> FaqQuery<Count> {
+    let r = Relation::from_pairs(
+        vec![Var(0), Var(1)],
+        (0..8u32).flat_map(|a| (0..4u32).map(move |b| (vec![a, b], Count(1)))),
+    );
+    FaqQuery::new_ss(star_query(1), vec![r], vec![Var(0)], 256)
+}
+
+#[test]
+fn snapshot_isolation_pins_the_readers_epoch() {
+    let server = FaqServer::new(ServeConfig::default());
+    let shape = server.register(marginal_template(), Var(0)).unwrap();
+
+    let before = server.query(shape, 2).unwrap();
+    assert_eq!(before.epoch, 0);
+    assert_eq!(before.relation.total(), Count(4));
+
+    // Pin the initial version, then land two deltas.
+    let pinned = server.snapshot(shape).unwrap();
+    let mut delta = RelationDelta::new([Var(0), Var(1)]);
+    delta.insert(vec![2, 40], Count(10));
+    assert_eq!(server.apply_delta(shape, EdgeId(0), &delta).unwrap(), 1);
+    let mut delta2 = RelationDelta::new([Var(0), Var(1)]);
+    delta2.delete(vec![2, 0]);
+    assert_eq!(server.apply_delta(shape, EdgeId(0), &delta2).unwrap(), 2);
+
+    // The pinned handle still observes epoch 0's data, bit for bit.
+    assert_eq!(pinned.epoch(), 0);
+    assert_eq!(
+        Executor::default().solve(pinned.value()).unwrap(),
+        Executor::default().solve(&marginal_template()).unwrap(),
+        "the reader's epoch pins the factor state across writes"
+    );
+
+    // New queries see the latest version: 4 + 10 - 1 rows' worth.
+    let after = server.query(shape, 2).unwrap();
+    assert_eq!(after.epoch, 2);
+    assert_eq!(after.relation.total(), Count(13));
+
+    // Writer-side validation.
+    assert!(matches!(
+        server.apply_delta(shape, EdgeId(9), &delta),
+        Err(ServeError::UnknownEdge(9))
+    ));
+    let mismatched = RelationDelta::<Count>::new([Var(0), Var(2)]);
+    assert!(matches!(
+        server.apply_delta(shape, EdgeId(0), &mismatched),
+        Err(ServeError::SchemaMismatch)
+    ));
+}
+
+#[test]
+fn concurrent_writers_never_tear_reader_batches() {
+    // A writer lands 16 deltas while readers hammer the server; every
+    // answer must match the *exact* version its epoch names — no torn
+    // reads, no half-applied deltas.
+    const DELTAS: u64 = 16;
+    let base = marginal_template();
+
+    // Precompute the expected answer of every version.
+    let mut versions: Vec<FaqQuery<Count>> = vec![base.clone()];
+    for k in 0..DELTAS {
+        let mut next = versions.last().unwrap().clone();
+        let mut delta = RelationDelta::new([Var(0), Var(1)]);
+        delta.insert(vec![(k % 8) as u32, 100 + k as u32], Count(1));
+        next.factors[0].apply_delta(&delta);
+        versions.push(next);
+    }
+    let oracle = Executor::default();
+    let expected: Vec<Vec<Relation<Count>>> = versions
+        .iter()
+        .map(|v| {
+            (0..8)
+                .map(|b| {
+                    let mut q = v.clone();
+                    q.factors[0] = q.factors[0].restrict_in(Var(0), &[b]);
+                    oracle.solve(&q).unwrap()
+                })
+                .collect()
+        })
+        .collect();
+
+    let server = FaqServer::new(ServeConfig {
+        workers: 3,
+        max_batch: 8,
+        ..ServeConfig::default()
+    });
+    let shape = server.register(base, Var(0)).unwrap();
+
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for k in 0..DELTAS {
+                let mut delta = RelationDelta::new([Var(0), Var(1)]);
+                delta.insert(vec![(k % 8) as u32, 100 + k as u32], Count(1));
+                server.apply_delta(shape, EdgeId(0), &delta).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        for reader in 0..4u32 {
+            let expected = &expected;
+            let server = &server;
+            s.spawn(move || {
+                for i in 0..24u32 {
+                    let b = (reader + i) % 8;
+                    let answer = server.query(shape, b).unwrap();
+                    let e = answer.epoch as usize;
+                    assert!(e < expected.len(), "epoch {e} out of range");
+                    assert_eq!(
+                        answer.relation, expected[e][b as usize],
+                        "reader {reader} binding {b} epoch {e}"
+                    );
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(server.snapshot(shape).unwrap().epoch(), DELTAS);
+}

@@ -26,6 +26,10 @@
 //!   sequential config reproduces `engine::solve_faq` exactly), plus
 //!   `IncrementalFaq` sessions that absorb relation deltas and keep
 //!   the answer maintained without re-solving.
+//! * [`serve`] — the concurrent serving front-end over [`exec`]:
+//!   snapshot-consistent reads over mutable relations (epoch/arc-swap
+//!   registry), cost-quoted admission control, and cross-query
+//!   batching of same-shape requests into single upward passes.
 //! * [`protocols`] — the paper's distributed protocols (trivial, star,
 //!   forest, d-degenerate, general-FAQ, hash-split).
 //! * [`mcm`] — matrix-chain multiplication over `F₂` on a line, plus the
@@ -71,6 +75,7 @@ pub use faqs_plan as plan;
 pub use faqs_protocols as protocols;
 pub use faqs_relation as relation;
 pub use faqs_semiring as semiring;
+pub use faqs_serve as serve;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
@@ -84,6 +89,9 @@ pub mod prelude {
         run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice, ConformanceReport,
         DistributedFaqRun, InputPlacement,
     };
-    pub use faqs_relation::{BcqBuilder, FaqQuery, Relation, RelationDelta};
+    pub use faqs_relation::{
+        BcqBuilder, FaqQuery, Relation, RelationDelta, Snapshot, SnapshotCell,
+    };
     pub use faqs_semiring::{Aggregate, Boolean, Count, Gf2, Prob, Semiring};
+    pub use faqs_serve::{FaqServer, ServeConfig, ServeError, ShapeId};
 }
