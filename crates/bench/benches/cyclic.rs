@@ -1,0 +1,84 @@
+//! Criterion bench for the cyclic path (`faqs-plan` + the generic-join
+//! kernel): the worst-case-optimal generic join vs the pinned binary
+//! cascade on a growing triangle core, both running the same
+//! merged-core GHD. Recorded in CI as `BENCH_cyclic.json` — the cyclic
+//! row next to the planner (`BENCH_plan.json`) and executor
+//! (`BENCH_engine.json`) trajectories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_core::solve_faq_with_plan;
+use faqs_hypergraph::{cycle_query, Var};
+use faqs_plan::{plan_query, ChosenPlan, PlannerConfig};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::Count;
+use std::hint::black_box;
+
+fn triangle(tuples: usize) -> FaqQuery<Count> {
+    // Domain ~ N^(2/3) keeps the output near-linear in N (see E19), so
+    // the bench scales the *join* work, not output materialisation.
+    let domain = ((tuples as f64).powf(2.0 / 3.0).ceil() as u32).max(8);
+    random_instance(
+        &cycle_query(3),
+        &RandomInstanceConfig {
+            tuples_per_factor: tuples,
+            domain,
+            seed: 0x19,
+        },
+        vec![],
+        |_| Count(1),
+    )
+}
+
+fn plans(q: &FaqQuery<Count>) -> (ChosenPlan, ChosenPlan) {
+    let genjoin = plan_query(
+        q,
+        false,
+        &PlannerConfig {
+            use_stats: true,
+            use_wcoj: true,
+        },
+    )
+    .unwrap();
+    let cascade = plan_query(
+        q,
+        false,
+        &PlannerConfig {
+            use_stats: true,
+            use_wcoj: false,
+        },
+    )
+    .unwrap();
+    assert!(!cascade.uses_generic_join(), "baseline must stay a cascade");
+    (genjoin, cascade)
+}
+
+fn bench_triangle_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclic_triangle");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    let agg = |rel: &faqs_relation::Relation<Count>, v: Var, op| rel.aggregate_out(v, op);
+    for tuples in [2_000usize, 8_000, 20_000] {
+        let q = triangle(tuples);
+        let (genjoin, cascade) = plans(&q);
+        let expected = solve_faq_with_plan(&q, &cascade, agg).unwrap();
+        for (mode, plan) in [("generic_join", &genjoin), ("cascade", &cascade)] {
+            group.bench_with_input(BenchmarkId::new(mode, tuples), plan, |b, plan| {
+                b.iter(|| {
+                    let out = solve_faq_with_plan(black_box(&q), plan, agg).unwrap();
+                    black_box(out.total())
+                })
+            });
+        }
+        // Keep the race honest outside the timing loop: same answer.
+        assert_eq!(
+            solve_faq_with_plan(&q, &genjoin, agg).unwrap(),
+            expected,
+            "operator choice never changes the count"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangle_core);
+criterion_main!(benches);

@@ -1154,6 +1154,86 @@ pub fn e18_serve(n: usize) {
     }
 }
 
+/// E19: cyclic queries end-to-end — the worst-case-optimal generic
+/// join vs the pinned binary cascade on a growing triangle core. Both
+/// lowerings run the *same* merged-core GHD; only the per-bag operator
+/// differs (`FAQS_PLAN_DISABLE_WCOJ=1` semantics for the baseline).
+/// Every pair of totals is asserted equal, so the speedup column is a
+/// measurement of identical answers. CI records the companion bench as
+/// `BENCH_cyclic.json`.
+pub fn e19_cyclic(n: usize) {
+    use faqs_core::solve_faq_with_plan;
+    use faqs_plan::{plan_query, PlannerConfig};
+    use std::time::Instant;
+
+    banner("E19 · Cyclic queries — generic join vs binary cascade on the triangle");
+    header(&[
+        "N/factor",
+        "domain",
+        "triangles",
+        "cascade ms",
+        "genjoin ms",
+        "speedup",
+    ]);
+
+    let wcoj = PlannerConfig {
+        use_stats: true,
+        use_wcoj: true,
+    };
+    let cascade = PlannerConfig {
+        use_stats: true,
+        use_wcoj: false,
+    };
+    let agg = |rel: &faqs_relation::Relation<Count>, v: Var, op| rel.aggregate_out(v, op);
+    for scale in [1usize, 2, 4] {
+        let tuples = n * scale;
+        // Keep the expected output near-linear in N: E[triangles] =
+        // d³·(N/d²)³ = N³/d³, so d ~ N/∛N keeps the core selective.
+        let domain = ((tuples as f64).powf(2.0 / 3.0).ceil() as u32).max(8);
+        let q: FaqQuery<Count> = random_instance(
+            &faqs_hypergraph::cycle_query(3),
+            &RandomInstanceConfig {
+                tuples_per_factor: tuples,
+                domain,
+                seed: 0xE19,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let gj_plan = plan_query(&q, false, &wcoj).unwrap();
+        let cas_plan = plan_query(&q, false, &cascade).unwrap();
+        assert!(
+            !cas_plan.uses_generic_join(),
+            "baseline must stay a cascade"
+        );
+
+        let t0 = Instant::now();
+        let via_cas = solve_faq_with_plan(&q, &cas_plan, agg).unwrap();
+        let cas_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let via_gj = solve_faq_with_plan(&q, &gj_plan, agg).unwrap();
+        let gj_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(via_gj, via_cas, "operator choice never changes the count");
+
+        row(&[
+            tuples.to_string(),
+            domain.to_string(),
+            format!(
+                "{}{}",
+                via_gj.total().0,
+                if gj_plan.uses_generic_join() {
+                    ""
+                } else {
+                    " (cascade both)"
+                }
+            ),
+            format!("{cas_ms:.2}"),
+            format!("{gj_ms:.2}"),
+            format!("{:.1}×", cas_ms / gj_ms.max(1e-9)),
+        ]);
+    }
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -1210,6 +1290,7 @@ mod tests {
         e16_plan_explain(16);
         e17_incremental(512);
         e18_serve(512);
+        e19_cyclic(256);
         ablation_width();
     }
 

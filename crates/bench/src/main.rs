@@ -46,13 +46,14 @@ fn main() {
     run("plan-explain", &|| exp::e16_plan_explain(n.min(64)));
     run("incremental", &|| exp::e17_incremental(32 * n));
     run("serve", &|| exp::e18_serve(8 * n));
+    run("cyclic", &|| exp::e19_cyclic(16 * n));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             distributed plan-explain incremental serve ablation all"
+             distributed plan-explain incremental serve cyclic ablation all"
         );
         std::process::exit(2);
     }

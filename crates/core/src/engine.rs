@@ -7,8 +7,8 @@
 //! re-exported below under their old names.
 
 use faqs_hypergraph::{EdgeId, Ghd, Var};
-use faqs_plan::{ChosenPlan, PlannerConfig};
-use faqs_relation::{FaqQuery, Relation};
+use faqs_plan::{BagOp, ChosenPlan, PlannerConfig};
+use faqs_relation::{generic_join, FaqQuery, Relation};
 use faqs_semiring::{Aggregate, Boolean, LatticeOps, Semiring};
 
 pub use faqs_plan::{
@@ -63,7 +63,7 @@ pub fn solve_faq_with_plan<S: Semiring>(
     plan: &ChosenPlan,
     agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
 ) -> Result<Relation<S>, EngineError> {
-    upward_pass(q, &plan.ghd, &plan.join_order, agg)
+    upward_pass(q, &plan.ghd, &plan.join_order, &plan.bag_ops, agg)
 }
 
 /// The upward pass itself, on a caller-supplied GHD (exposed so the
@@ -84,7 +84,9 @@ pub fn solve_faq_on_ghd<S: Semiring>(
     q.validate()
         .map_err(|e| EngineError::Invalid(e.to_string()))?;
     faqs_plan::check_elimination_order(q, ghd)?;
-    upward_pass(q, ghd, &faqs_plan::join_order_for_ghd(q, ghd), agg)
+    // Caller-supplied GHDs carry no operator choices: all-cascade, the
+    // always-correct lowering.
+    upward_pass(q, ghd, &faqs_plan::join_order_for_ghd(q, ghd), &[], agg)
 }
 
 /// Executes Theorem G.3's upward pass over `ghd` with the planner's
@@ -96,6 +98,7 @@ fn upward_pass<S: Semiring>(
     q: &FaqQuery<S>,
     ghd: &Ghd,
     join_order: &[Vec<EdgeId>],
+    bag_ops: &[BagOp],
     agg: impl Fn(&Relation<S>, Var, Aggregate) -> Relation<S>,
 ) -> Result<Relation<S>, EngineError> {
     let root = ghd.root();
@@ -119,6 +122,17 @@ fn upward_pass<S: Semiring>(
             faqs_plan::join_order_covers_lambda(ghd, node, order),
             "join order must be the planner's permutation of λ(node)"
         );
+        // Multi-factor bags the planner marked worst-case-optimal are
+        // materialised in one generic-join pass instead of the cascade;
+        // both lowerings fold annotations in the same association
+        // order, so answers are bit-identical either way.
+        if order.len() >= 2 {
+            if let Some(BagOp::GenericJoin { var_order }) = bag_ops.get(node.index()) {
+                let factors: Vec<&Relation<S>> = order.iter().map(|&e| q.factor(e)).collect();
+                rel[node.index()] = Some(generic_join(&factors, var_order));
+                continue;
+            }
+        }
         let mut acc: Option<Relation<S>> = None;
         for &e in order {
             let f = q.factor(e);

@@ -22,8 +22,8 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::plan::QueryPlan;
 use faqs_core::EngineError;
 use faqs_hypergraph::{NodeId, Var};
-use faqs_plan::PlannerConfig;
-use faqs_relation::{FaqQuery, Relation};
+use faqs_plan::{BagOp, PlannerConfig};
+use faqs_relation::{generic_join, FaqQuery, Relation};
 use faqs_semiring::{Aggregate, LatticeOps, Semiring};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -293,17 +293,26 @@ where
         })?
     };
 
-    // Own factors, smallest-first with the plan's cached key schemas.
+    // Own factors: one worst-case-optimal pass when the planner marked
+    // the bag generic-join, otherwise the cascade with the plan's
+    // cached key schemas. Both fold annotations in the same association
+    // order, so the bag relation is identical either way.
     let mut acc: Option<Relation<S>> = None;
-    for step in plan.joins(node) {
-        let f = q.factor(step.edge);
-        acc = Some(match acc {
-            Some(cur) => {
-                let idx = f.build_index(&step.key);
-                join_adaptive(&cur, f, &idx, cfg, budget)
-            }
-            None => f.clone(),
-        });
+    let steps = plan.joins(node);
+    if let (true, BagOp::GenericJoin { var_order }) = (steps.len() >= 2, plan.bag_op(node)) {
+        let factors: Vec<&Relation<S>> = steps.iter().map(|s| q.factor(s.edge)).collect();
+        acc = Some(generic_join(&factors, var_order));
+    } else {
+        for step in steps {
+            let f = q.factor(step.edge);
+            acc = Some(match acc {
+                Some(cur) => {
+                    let idx = f.build_index(&step.key);
+                    join_adaptive(&cur, f, &idx, cfg, budget)
+                }
+                None => f.clone(),
+            });
+        }
     }
 
     // Fold child messages in node order (determinism) — the `⊗` on the

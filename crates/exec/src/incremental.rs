@@ -37,8 +37,10 @@ use crate::cache::PlanCache;
 use crate::plan::QueryPlan;
 use faqs_core::{finish_root, push_down_message, EngineError};
 use faqs_hypergraph::{EdgeId, NodeId};
-use faqs_plan::{PlannerConfig, QueryStats, StatsDigest};
-use faqs_relation::{AppliedDelta, FaqQuery, MaintainedStats, Relation, RelationDelta};
+use faqs_plan::{BagOp, PlannerConfig, QueryStats, StatsDigest};
+use faqs_relation::{
+    generic_join, AppliedDelta, FaqQuery, MaintainedStats, Relation, RelationDelta,
+};
 use faqs_semiring::{Aggregate, Semiring};
 use std::sync::{Arc, OnceLock};
 
@@ -383,10 +385,18 @@ impl<S: Semiring> IncrementalFaq<S> {
 
     /// The ⊗-product of `node`'s λ factors in the plan's join order
     /// (the engine's local pipeline, with the plan's cached key
-    /// schemas).
+    /// schemas), or one generic-join pass when the plan marked the bag
+    /// worst-case-optimal — both produce the identical relation, so
+    /// stored locals stay bit-compatible with either lowering.
     fn compute_local(&self, plan: &QueryPlan, node: NodeId) -> Option<Relation<S>> {
+        let steps = plan.joins(node);
+        if let (true, BagOp::GenericJoin { var_order }) = (steps.len() >= 2, plan.bag_op(node)) {
+            let factors: Vec<&Relation<S>> =
+                steps.iter().map(|s| self.query.factor(s.edge)).collect();
+            return Some(generic_join(&factors, var_order));
+        }
         let mut acc: Option<Relation<S>> = None;
-        for step in plan.joins(node) {
+        for step in steps {
             let f = self.query.factor(step.edge);
             acc = Some(match acc {
                 Some(cur) => {

@@ -13,7 +13,7 @@
 
 use faqs_core::EngineError;
 use faqs_hypergraph::{EdgeId, Ghd, NodeId, Var};
-use faqs_plan::{ChosenPlan, PlacementContext, PlanCost, PlannerConfig};
+use faqs_plan::{BagOp, ChosenPlan, PlacementContext, PlanCost, PlannerConfig};
 use faqs_relation::FaqQuery;
 use faqs_semiring::{LatticeOps, Semiring};
 
@@ -48,6 +48,9 @@ pub struct QueryPlan {
     /// planner's join order; on a cache hit with different data the
     /// order is merely a heuristic, never a correctness concern.
     joins: Vec<Vec<JoinStep>>,
+    /// Per-node operator choice (dense by `NodeId` index): cascade the
+    /// join steps, or materialise the bag in one generic-join pass.
+    bag_ops: Vec<BagOp>,
 }
 
 impl QueryPlan {
@@ -81,11 +84,14 @@ impl QueryPlan {
         let ChosenPlan {
             ghd,
             join_order,
+            bag_ops,
             cost,
             stats_aware,
             ..
         } = chosen;
         let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
+        let mut bag_ops = bag_ops;
+        bag_ops.resize(n_nodes, BagOp::Cascade);
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n_nodes];
         let mut joins: Vec<Vec<JoinStep>> = vec![Vec::new(); n_nodes];
         for node in ghd.node_ids() {
@@ -124,6 +130,7 @@ impl QueryPlan {
             stats_aware,
             children,
             joins,
+            bag_ops,
         }
     }
 
@@ -149,6 +156,17 @@ impl QueryPlan {
     #[inline]
     pub fn joins(&self, node: NodeId) -> &[JoinStep] {
         &self.joins[node.index()]
+    }
+
+    /// How `node`'s bag materialises from its λ factors.
+    #[inline]
+    pub fn bag_op(&self, node: NodeId) -> &BagOp {
+        &self.bag_ops[node.index()]
+    }
+
+    /// Whether any bag lowers to the generic join.
+    pub fn uses_generic_join(&self) -> bool {
+        self.bag_ops.iter().any(BagOp::is_generic_join)
     }
 
     /// Total number of live GHD nodes (sizing hint for schedulers).

@@ -1,0 +1,232 @@
+//! Cyclic differential suite: on triangle, 4-cycle and `K4` queries the
+//! generic-join lowering, the pinned binary-cascade lowering, and the
+//! structural default must all produce *bit-identical* relations, with
+//! the brute-force oracle as ground truth — across semirings, free-var
+//! choices, and thread counts.
+//!
+//! Plus the issue's pinned regression: on a ≥ 50k-tuple triangle the
+//! stats planner must choose a generic-join bag, and the measured solve
+//! must beat the cascade-only baseline on the same instance.
+
+use faqs_core::{solve_faq_brute_force, solve_faq_with_plan};
+use faqs_exec::{Executor, ExecutorConfig};
+use faqs_hypergraph::{clique_query, cycle_query, Hypergraph, Var};
+use faqs_plan::{plan_query, PlannerConfig};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::{Boolean, Count, MinPlus, Semiring};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// The three cyclic cores the issue names, with a free-var choice the
+/// engine can place (free vars live in the merged-core root bag, so any
+/// subset of the core's vertices is fair game).
+fn shape(which: usize, free_sel: usize) -> (Hypergraph, Vec<Var>) {
+    match which % 3 {
+        0 => (
+            cycle_query(3),
+            if free_sel == 0 { vec![] } else { vec![Var(0)] },
+        ),
+        1 => (
+            cycle_query(4),
+            if free_sel == 0 {
+                vec![]
+            } else {
+                vec![Var(1), Var(3)]
+            },
+        ),
+        _ => (
+            clique_query(4),
+            if free_sel == 0 {
+                vec![]
+            } else {
+                vec![Var(0), Var(2)]
+            },
+        ),
+    }
+}
+
+/// Both stats-planner legs (WCOJ on / pinned cascade) plus the
+/// structural default — the full planner matrix the CI escape hatch
+/// `FAQS_PLAN_DISABLE_WCOJ=1` toggles between.
+fn planner_matrix() -> [(&'static str, PlannerConfig); 3] {
+    [
+        (
+            "stats+wcoj",
+            PlannerConfig {
+                use_stats: true,
+                use_wcoj: true,
+            },
+        ),
+        (
+            "stats-cascade",
+            PlannerConfig {
+                use_stats: true,
+                use_wcoj: false,
+            },
+        ),
+        ("structural", PlannerConfig::structural()),
+    ]
+}
+
+/// The core differential assertion: every planner config × thread count
+/// agrees with brute force as a full relation.
+fn assert_cyclic_agree<S: Semiring>(q: &FaqQuery<S>, label: &str) {
+    let oracle = solve_faq_brute_force(q);
+    for (name, cfg) in planner_matrix() {
+        let plan = plan_query(q, false, &cfg)
+            .unwrap_or_else(|e| panic!("{label}/{name}: planner rejected cyclic query: {e}"));
+        plan.ghd
+            .validate(&q.hypergraph)
+            .unwrap_or_else(|e| panic!("{label}/{name}: invalid GHD: {e}"));
+        if !cfg.use_wcoj {
+            assert!(
+                !plan.uses_generic_join(),
+                "{label}/{name}: WCOJ disabled but a generic-join bag was chosen"
+            );
+        }
+        let direct = solve_faq_with_plan(q, &plan, |rel, v, op| rel.aggregate_out(v, op))
+            .unwrap_or_else(|e| panic!("{label}/{name}: plan rejected: {e}"));
+        assert_eq!(direct, oracle, "{label}/{name}: direct solve vs oracle");
+        for threads in [1usize, 4] {
+            let ex = Executor::with_planner(ExecutorConfig::with_threads(threads), cfg);
+            let got = ex
+                .solve(q)
+                .unwrap_or_else(|e| panic!("{label}/{name}/t{threads}: rejected: {e}"));
+            assert_eq!(got, oracle, "{label}/{name}/t{threads}: executor vs oracle");
+        }
+    }
+}
+
+fn cyclic_instance<S: Semiring>(
+    which: usize,
+    free_sel: usize,
+    seed: u64,
+    tuples: usize,
+    value_of: impl FnMut(&mut rand::rngs::StdRng) -> S,
+) -> FaqQuery<S> {
+    let (h, free) = shape(which, free_sel);
+    random_instance(
+        &h,
+        &RandomInstanceConfig {
+            tuples_per_factor: tuples,
+            domain: 6,
+            seed,
+        },
+        free,
+        value_of,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn count_cyclic_agree(
+        which in 0usize..3,
+        free_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+        tuples in 4usize..24,
+    ) {
+        let q = cyclic_instance::<Count>(which, free_sel, seed, tuples, |r| {
+            Count(r.random_range(1..5))
+        });
+        assert_cyclic_agree(&q, "count");
+    }
+
+    #[test]
+    fn boolean_cyclic_agree(
+        which in 0usize..3,
+        free_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+        tuples in 4usize..24,
+    ) {
+        let q = cyclic_instance::<Boolean>(which, free_sel, seed, tuples, |_| Boolean::TRUE);
+        assert_cyclic_agree(&q, "boolean");
+    }
+
+    #[test]
+    fn min_plus_cyclic_agree(
+        which in 0usize..3,
+        free_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+        tuples in 4usize..24,
+    ) {
+        // Integer-valued tropical weights: ⊗ = f64 addition is exact,
+        // and the generic join folds annotations in the cascade's
+        // association order, so equality here is bit-for-bit.
+        let q = cyclic_instance::<MinPlus>(which, free_sel, seed, tuples, |r| {
+            MinPlus::new(r.random_range(0..32) as f64)
+        });
+        assert_cyclic_agree(&q, "minplus");
+    }
+}
+
+/// The issue's acceptance regression: on a ≥ 50k-tuple triangle the
+/// stats planner picks a generic-join bag, both lowerings agree
+/// bit-for-bit, and the generic-join solve measurably beats the pinned
+/// binary-cascade baseline (whose intermediate `R ⋈ S` holds ~2.5M rows
+/// against ~125k surviving triangles).
+#[test]
+fn pinned_triangle_picks_generic_join_and_beats_the_cascade() {
+    let q: FaqQuery<Count> = random_instance(
+        &cycle_query(3),
+        &RandomInstanceConfig {
+            tuples_per_factor: 50_000,
+            domain: 1_000,
+            seed: 19,
+        },
+        vec![],
+        |_| Count(1),
+    );
+
+    let wcoj_plan = plan_query(
+        &q,
+        false,
+        &PlannerConfig {
+            use_stats: true,
+            use_wcoj: true,
+        },
+    )
+    .expect("wcoj plan");
+    let cascade_plan = plan_query(
+        &q,
+        false,
+        &PlannerConfig {
+            use_stats: true,
+            use_wcoj: false,
+        },
+    )
+    .expect("cascade plan");
+
+    // Pin the plan shape: the WCOJ leg must lower a generic-join bag,
+    // the escape-hatch leg must not, and the model must predict the
+    // WCOJ plan strictly cheaper.
+    assert!(
+        wcoj_plan.uses_generic_join(),
+        "the 50k triangle must lower to a generic-join bag"
+    );
+    assert!(
+        !cascade_plan.uses_generic_join(),
+        "FAQS_PLAN_DISABLE_WCOJ semantics: no generic-join bags"
+    );
+    assert!(
+        wcoj_plan.cost.cpu < cascade_plan.cost.cpu,
+        "model must price generic join below the cascade: {} vs {}",
+        wcoj_plan.cost.cpu,
+        cascade_plan.cost.cpu
+    );
+
+    let agg = |rel: &faqs_relation::Relation<Count>, v: Var, op| rel.aggregate_out(v, op);
+    let t0 = std::time::Instant::now();
+    let via_genjoin = solve_faq_with_plan(&q, &wcoj_plan, agg).expect("genjoin solve");
+    let genjoin_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let via_cascade = solve_faq_with_plan(&q, &cascade_plan, agg).expect("cascade solve");
+    let cascade_time = t1.elapsed();
+
+    assert_eq!(via_genjoin, via_cascade, "both lowerings count triangles");
+    assert!(
+        genjoin_time < cascade_time,
+        "generic join must beat the cascade on the 50k triangle: {genjoin_time:?} vs {cascade_time:?}"
+    );
+}

@@ -1,0 +1,307 @@
+//! Fractional edge covers and the AGM/FD-aware size bounds they induce.
+//!
+//! The fractional edge cover number `ρ*(B)` of a bag `B` is the optimum
+//! of the covering LP `min Σ_e x_e` subject to `Σ_{e ∋ v} x_e ≥ 1` for
+//! every `v ∈ B`, `x ≥ 0`. With edge weights `w_e = log₂|R_e|` the same
+//! LP's optimum is `log₂` of the AGM bound `∏_e |R_e|^{x_e}` — the
+//! worst-case output size a generic-join pass over the bag can touch.
+//! Adding one unary "virtual edge" per variable with weight
+//! `log₂ min_e d_e(v)` (the fewest distinct values any factor admits for
+//! `v`) tightens the bound in the style of Valiant & Valiant's
+//! FD-aware size bounds for conjunctive queries: a cover may buy a
+//! variable through its cheapest distinct-count column instead of a
+//! whole relation.
+//!
+//! The solver is a dense-tableau primal simplex on the *dual* packing
+//! LP (`max Σ_v y_v` s.t. `Σ_{v ∈ e} y_v ≤ w_e`, `y ≥ 0`), which is
+//! feasible at the slack basis since `w ≥ 0`; the primal cover weights
+//! are read off the slack columns' reduced costs at the optimum. Bland's
+//! rule guarantees termination. Query-sized inputs (tens of variables
+//! and edges) make the dense tableau entirely adequate.
+
+use crate::ghd::{Ghd, NodeId};
+use crate::hypergraph::{EdgeId, Hypergraph, Var};
+
+const EPS: f64 = 1e-9;
+
+/// The optimum of a weighted covering LP: the objective value and one
+/// weight per column.
+#[derive(Clone, Debug)]
+pub struct CoverSolution {
+    /// `Σ_j w_j x_j` at the optimum.
+    pub value: f64,
+    /// The cover weights `x_j`, one per input column.
+    pub weights: Vec<f64>,
+}
+
+/// Solves `min Σ_j w_j x_j` s.t. every item `i ∈ 0..n_items` is covered
+/// (`Σ_{j : i ∈ cover_j} x_j ≥ 1`), `x ≥ 0`, for columns given as
+/// `(w_j, cover_j)` with item indices in `0..n_items`.
+///
+/// Returns `None` when some item appears in no column (infeasible) or
+/// the tableau fails to converge within its iteration cap (which a
+/// well-posed covering LP never hits — Bland's rule excludes cycling).
+pub fn weighted_cover(n_items: usize, columns: &[(f64, Vec<usize>)]) -> Option<CoverSolution> {
+    let m = columns.len();
+    if n_items == 0 {
+        return Some(CoverSolution {
+            value: 0.0,
+            weights: vec![0.0; m],
+        });
+    }
+    let mut covered = vec![false; n_items];
+    for (_, cover) in columns {
+        for &i in cover {
+            assert!(i < n_items, "cover item {i} out of range");
+            covered[i] = true;
+        }
+    }
+    if covered.iter().any(|c| !c) {
+        return None;
+    }
+
+    // Dual packing LP: maximize Σ_i y_i  s.t.  Σ_{i ∈ cover_j} y_i ≤ w_j.
+    // Tableau rows = the m column constraints; tableau columns =
+    // n_items structural `y` + m slacks + rhs.
+    let width = n_items + m + 1;
+    let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for (j, (w, cover)) in columns.iter().enumerate() {
+        let mut row = vec![0.0; width];
+        for &i in cover {
+            row[i] = 1.0;
+        }
+        row[n_items + j] = 1.0;
+        row[width - 1] = w.max(0.0);
+        tab.push(row);
+    }
+    // Objective row holds `z_j − c_j` (maximization: enter while any is
+    // negative); structural columns have c = 1.
+    let mut obj = vec![0.0; width];
+    for cell in obj.iter_mut().take(n_items) {
+        *cell = -1.0;
+    }
+    let mut basis: Vec<usize> = (0..m).map(|j| n_items + j).collect();
+
+    let max_iters = 200 * (n_items + m + 1);
+    for _ in 0..max_iters {
+        // Bland: entering column = smallest index with negative reduced
+        // cost.
+        let Some(enter) = (0..width - 1).find(|&c| obj[c] < -EPS) else {
+            // Optimal: dual objective = primal cover optimum; primal
+            // weights are the slack columns' reduced costs.
+            let value = obj[width - 1];
+            let weights = (0..m).map(|j| obj[n_items + j].max(0.0)).collect();
+            return Some(CoverSolution { value, weights });
+        };
+        // Ratio test, smallest basis index breaking ties (Bland).
+        let mut pivot: Option<(f64, usize)> = None;
+        for (r, row) in tab.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[width - 1] / row[enter];
+                let better = match pivot {
+                    None => true,
+                    Some((best, br)) => {
+                        ratio < best - EPS || (ratio < best + EPS && basis[r] < basis[br])
+                    }
+                };
+                if better {
+                    pivot = Some((ratio, r));
+                }
+            }
+        }
+        // An unbounded dual would mean an infeasible cover, excluded by
+        // the coverage pre-check — but bail defensively.
+        let (_, pr) = pivot?;
+        // Pivot on (pr, enter).
+        let piv = tab[pr][enter];
+        for cell in tab[pr].iter_mut() {
+            *cell /= piv;
+        }
+        let pivot_row = tab[pr].clone();
+        for (r, row) in tab.iter_mut().enumerate() {
+            if r != pr && row[enter].abs() > EPS {
+                let f = row[enter];
+                for (cell, &p) in row.iter_mut().zip(&pivot_row) {
+                    *cell -= f * p;
+                }
+            }
+        }
+        if obj[enter].abs() > EPS {
+            let f = obj[enter];
+            for (cell, &p) in obj.iter_mut().zip(&pivot_row) {
+                *cell -= f * p;
+            }
+        }
+        basis[pr] = enter;
+    }
+    None
+}
+
+/// A fractional edge cover of one bag.
+#[derive(Clone, Debug)]
+pub struct FractionalCover {
+    /// The covered bag (sorted).
+    pub bag: Vec<Var>,
+    /// Non-zero cover weights per hyperedge.
+    pub edge_weights: Vec<(EdgeId, f64)>,
+    /// The cover number: `Σ_e x_e` (`ρ*(bag)` for the unweighted LP).
+    pub rho: f64,
+}
+
+/// The fractional edge cover number `ρ*(bag)` over `h`'s edges (each
+/// restricted to the bag), with a witnessing cover. `None` if some bag
+/// variable occurs in no edge.
+pub fn fractional_edge_cover(h: &Hypergraph, bag: &[Var]) -> Option<FractionalCover> {
+    let mut bag: Vec<Var> = bag.to_vec();
+    bag.sort_unstable();
+    bag.dedup();
+    let columns: Vec<(EdgeId, f64, Vec<usize>)> = h
+        .edges()
+        .filter_map(|(e, vars)| {
+            let cover: Vec<usize> = vars
+                .iter()
+                .filter_map(|v| bag.binary_search(v).ok())
+                .collect();
+            if cover.is_empty() {
+                None
+            } else {
+                Some((e, 1.0, cover))
+            }
+        })
+        .collect();
+    let lp: Vec<(f64, Vec<usize>)> = columns.iter().map(|(_, w, c)| (*w, c.clone())).collect();
+    let sol = weighted_cover(bag.len(), &lp)?;
+    let edge_weights = columns
+        .iter()
+        .zip(&sol.weights)
+        .filter(|(_, &x)| x > EPS)
+        .map(|((e, _, _), &x)| (*e, x))
+        .collect();
+    Some(FractionalCover {
+        bag,
+        edge_weights,
+        rho: sol.value,
+    })
+}
+
+/// One fractional edge cover per live GHD node's bag `χ(v)` — the
+/// per-bag `ρ*` report the planner's AGM pricing and the width ablation
+/// read. Nodes whose bag cannot be covered (impossible for a GHD of
+/// `h`, kept total for caller-supplied trees) are skipped.
+pub fn per_bag_fractional_covers(h: &Hypergraph, ghd: &Ghd) -> Vec<(NodeId, FractionalCover)> {
+    ghd.node_ids()
+        .filter_map(|n| fractional_edge_cover(h, ghd.chi(n)).map(|c| (n, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{clique_query, cycle_query, path_query, star_query};
+
+    fn rho(h: &Hypergraph) -> f64 {
+        let bag: Vec<Var> = h.vars().collect();
+        fractional_edge_cover(h, &bag).expect("coverable").rho
+    }
+
+    #[test]
+    fn single_edge_covers_itself() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge([Var(0), Var(1), Var(2)]);
+        assert!((rho(&h) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_rho_is_three_halves() {
+        // The AGM classic: ρ*(K3) = 3/2 via weight ½ on every edge.
+        let h = cycle_query(3);
+        assert!((rho(&h) - 1.5).abs() < 1e-6);
+        let cover = fractional_edge_cover(&h, &h.vars().collect::<Vec<_>>()).unwrap();
+        let total: f64 = cover.edge_weights.iter().map(|(_, x)| x).sum();
+        assert!((total - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn even_cycle_rho_is_half_length() {
+        assert!((rho(&cycle_query(4)) - 2.0).abs() < 1e-6);
+        assert!((rho(&cycle_query(6)) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn odd_cycle_rho_is_half_length() {
+        assert!((rho(&cycle_query(5)) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_needs_every_leaf_edge() {
+        // Each leaf variable is covered only by its own edge.
+        assert!((rho(&star_query(4)) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_rho_is_edge_cover() {
+        // A path of 2 edges: both endpoints force both edges.
+        assert!((rho(&path_query(2)) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clique_rho_is_n_over_two() {
+        // K4 on binary edges: ρ* = 4/2 = 2.
+        assert!((rho(&clique_query(4)) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_cover_prefers_cheap_columns() {
+        // Two ways to cover {0,1}: one wide column at weight 10 or two
+        // cheap unary columns at weight 1 each.
+        let sol = weighted_cover(2, &[(10.0, vec![0, 1]), (1.0, vec![0]), (1.0, vec![1])]).unwrap();
+        assert!((sol.value - 2.0).abs() < 1e-6);
+        assert!(sol.weights[0] < 1e-6, "wide column unused");
+    }
+
+    #[test]
+    fn weighted_triangle_matches_agm_bound() {
+        // Triangle with |R_e| = N on every edge: log₂ bound = 1.5·log₂N.
+        let n: f64 = 50_000.0;
+        let w = n.log2();
+        let cols: Vec<(f64, Vec<usize>)> = vec![(w, vec![0, 1]), (w, vec![1, 2]), (w, vec![0, 2])];
+        let sol = weighted_cover(3, &cols).unwrap();
+        assert!((sol.value - 1.5 * w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unary_columns_tighten_the_bound() {
+        // Valiant&Valiant-style tightening on the triangle: a cheap
+        // distinct-count column for one variable lets the cover buy that
+        // variable directly (cost 1) plus one whole relation for the
+        // other two (cost w) — beating the plain AGM 1.5·w once w > 2.
+        let w = 10.0f64; // log₂|R| for the three binary relations
+        let triangle = [(w, vec![0, 1]), (w, vec![1, 2]), (w, vec![0, 2])];
+        let plain = weighted_cover(3, &triangle).unwrap().value;
+        let mut with_unary = triangle.to_vec();
+        with_unary.push((1.0, vec![1]));
+        let tightened = weighted_cover(3, &with_unary).unwrap().value;
+        assert!((plain - 1.5 * w).abs() < 1e-6);
+        assert!((tightened - (w + 1.0)).abs() < 1e-6, "got {tightened}");
+    }
+
+    #[test]
+    fn infeasible_when_a_variable_is_uncovered() {
+        assert!(weighted_cover(2, &[(1.0, vec![0])]).is_none());
+        let mut h = Hypergraph::new(2);
+        h.add_edge([Var(0)]);
+        assert!(fractional_edge_cover(&h, &[Var(0), Var(1)]).is_none());
+    }
+
+    #[test]
+    fn per_bag_covers_report_every_node() {
+        let h = cycle_query(4);
+        let ghd = Ghd::gyo_ghd(&h);
+        let covers = per_bag_fractional_covers(&h, &ghd);
+        assert_eq!(covers.len(), ghd.len(), "every bag coverable");
+        for (n, c) in &covers {
+            assert_eq!(c.bag, ghd.chi(*n));
+            assert!(c.rho >= 1.0 - 1e-9, "non-empty bags cost at least 1");
+        }
+    }
+}

@@ -29,6 +29,7 @@
 
 mod builders;
 mod combinatorics;
+mod cover;
 mod ghd;
 mod graph;
 mod gyo;
@@ -43,10 +44,15 @@ pub use combinatorics::{
     greedy_independent_set, is_strong_independent, short_vertex_disjoint_cycles,
     strong_independent_set,
 };
+pub use cover::{
+    fractional_edge_cover, per_bag_fractional_covers, weighted_cover, CoverSolution,
+    FractionalCover,
+};
 pub use ghd::{Ghd, GhdNode, GhdValidationError, NodeId};
 pub use graph::SimpleGraph;
 pub use gyo::{gyo, is_acyclic, Decomposition, GyoStep, GyoTrace};
 pub use hypergraph::{EdgeId, Hypergraph, Var};
 pub use width::{
-    candidate_decompositions, exact_internal_node_width, internal_node_width, WidthReport,
+    candidate_decompositions, cyclic_core_candidates, exact_internal_node_width,
+    internal_node_width, WidthReport,
 };

@@ -10,7 +10,8 @@
 
 use crate::ghd::{Ghd, GhdNode, NodeId};
 use crate::gyo::Decomposition;
-use crate::hypergraph::Hypergraph;
+use crate::hypergraph::{intersect, is_subset, EdgeId, Hypergraph, Var};
+use std::collections::BTreeSet;
 
 /// The result of a width computation.
 #[derive(Clone, Debug)]
@@ -116,6 +117,169 @@ pub fn candidate_decompositions(h: &Hypergraph) -> Vec<Decomposition> {
         }
     }
     out
+}
+
+/// GHD candidates for *cyclic* cores, beyond Construction 2.8's reroots:
+/// bag-merge decompositions of the GYO core toward fractional /
+/// submodular width, for the cost-based planner to race against the
+/// canonical flat root.
+///
+/// Construction 2.8 puts the whole core vertex set in the root bag but
+/// hangs every contained edge as a leaf child with `λ = {e}` — so a
+/// triangle still materialises through a binary join cascade of child
+/// messages. The candidates produced here change *λ assignment and bag
+/// shape*, which is what a worst-case-optimal generic-join operator
+/// needs to apply:
+///
+/// 1. **Flat core** — one root bag `χ = V(C(H))` whose λ absorbs every
+///    edge it contains (the multiway-join bag), remaining forest
+///    attached below;
+/// 2. **Core 2-splits** — for cores of ≥ 4 edges, the core edges are
+///    walked into a shared-variable chain, cut into two contiguous
+///    arcs, and each arc becomes one bag (both rootings are emitted) —
+///    the greedy "merge adjacent cycle bags" family between the flat
+///    root and the canonical decomposition.
+///
+/// Every candidate is MD-hoisted and validated against the full GHD
+/// checks (coverage, λ-containment, RIP, tree shape); invalid merges —
+/// e.g. splits whose arcs interleave on a chord — are silently dropped.
+/// Acyclic hypergraphs (empty core) yield no candidates, leaving
+/// [`candidate_decompositions`] the complete story there.
+pub fn cyclic_core_candidates(h: &Hypergraph) -> Vec<Ghd> {
+    let d = Decomposition::of(h);
+    if d.core_edges.is_empty() {
+        return Vec::new();
+    }
+    let core_vars: Vec<Var> = d.core_vars.iter().copied().collect();
+    let mut out = Vec::new();
+
+    if let Some(g) = assemble_merged(h, &d, &[(core_vars, None)]) {
+        out.push(g);
+    }
+
+    let m = d.core_edges.len();
+    if m >= 4 {
+        if let Some(order) = core_walk(h, &d.core_edges) {
+            // Contiguous 2-splits of the walk: all cuts for small cores,
+            // balanced cuts only once the quadratic family gets large.
+            let lens: Vec<usize> = if m <= 8 {
+                (2..=m - 2).collect()
+            } else {
+                vec![m / 2]
+            };
+            for s in 0..m {
+                for &l in &lens {
+                    let arc1: Vec<EdgeId> = (0..l).map(|i| order[(s + i) % m]).collect();
+                    let arc2: Vec<EdgeId> = (l..m).map(|i| order[(s + i) % m]).collect();
+                    let b1 = edge_union_vars(h, &arc1);
+                    let b2 = edge_union_vars(h, &arc2);
+                    for (first, second) in [(&b1, &b2), (&b2, &b1)] {
+                        let bags = [(first.clone(), None), (second.clone(), Some(0))];
+                        if let Some(g) = assemble_merged(h, &d, &bags) {
+                            out.push(g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The sorted union of the given edges' vertex sets.
+fn edge_union_vars(h: &Hypergraph, edges: &[EdgeId]) -> Vec<Var> {
+    let set: BTreeSet<Var> = edges
+        .iter()
+        .flat_map(|&e| h.edge(e).iter().copied())
+        .collect();
+    set.into_iter().collect()
+}
+
+/// Greedily walks the core edges into a chain where consecutive edges
+/// share a variable (a cycle core traces its cycle). `None` when the
+/// core's intersection graph is disconnected.
+fn core_walk(h: &Hypergraph, core: &[EdgeId]) -> Option<Vec<EdgeId>> {
+    let mut order = vec![core[0]];
+    let mut used = vec![false; core.len()];
+    used[0] = true;
+    while order.len() < core.len() {
+        let last = *order.last().expect("order non-empty");
+        let next = core
+            .iter()
+            .enumerate()
+            .find(|(i, e)| !used[*i] && !intersect(h.edge(last), h.edge(**e)).is_empty())?;
+        used[next.0] = true;
+        order.push(*next.1);
+    }
+    Some(order)
+}
+
+/// Materialises a merged-bag candidate: the given bags (with explicit
+/// parent indices) absorb every edge contained in one of them (first
+/// containing bag wins); remaining forest edges attach below their
+/// join-forest parents exactly as in Construction 2.8. Returns the
+/// hoisted GHD iff every core edge is absorbed, every forest edge finds
+/// a parent, and the result passes full GHD validation.
+fn assemble_merged(
+    h: &Hypergraph,
+    d: &Decomposition,
+    bags: &[(Vec<Var>, Option<usize>)],
+) -> Option<Ghd> {
+    let mut nodes: Vec<GhdNode> = bags
+        .iter()
+        .map(|(chi, parent)| GhdNode {
+            chi: chi.clone(),
+            lambda: Vec::new(),
+            parent: parent.map(|p| NodeId(p as u32)),
+        })
+        .collect();
+    let mut node_of_edge: Vec<Option<NodeId>> = vec![None; h.num_edges()];
+    for (e, vars) in h.edges() {
+        if let Some(i) = bags.iter().position(|(chi, _)| is_subset(vars, chi)) {
+            nodes[i].lambda.push(e);
+            node_of_edge[e.index()] = Some(NodeId(i as u32));
+        }
+    }
+    if d.core_edges
+        .iter()
+        .any(|e| node_of_edge[e.index()].is_none())
+    {
+        return None;
+    }
+    let mut pending: Vec<EdgeId> = d
+        .forest_edges
+        .iter()
+        .copied()
+        .filter(|e| node_of_edge[e.index()].is_none())
+        .collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&e| {
+            let parent_node = d.forest_parent[e.index()].and_then(|p| node_of_edge[p.index()]);
+            match parent_node {
+                Some(pn) => {
+                    let id = NodeId(nodes.len() as u32);
+                    nodes.push(GhdNode {
+                        chi: h.edge(e).to_vec(),
+                        lambda: vec![e],
+                        parent: Some(pn),
+                    });
+                    node_of_edge[e.index()] = Some(id);
+                    false
+                }
+                None => true,
+            }
+        });
+        if pending.len() == before {
+            // A forest root whose vertices straddle the split, or a
+            // detached chain: the merge cannot host this forest.
+            return None;
+        }
+    }
+    let mut g = Ghd::from_nodes(nodes, NodeId(0));
+    g.hoist_md();
+    g.validate(h).ok()?;
+    Some(g)
 }
 
 /// Exhaustively minimises the internal node count over all parent
@@ -266,6 +430,73 @@ mod tests {
         }
         // Cyclic-core graphs have no forest to re-root.
         assert_eq!(candidate_decompositions(&cycle_query(3)).len(), 1);
+    }
+
+    #[test]
+    fn cyclic_candidates_flatten_the_triangle() {
+        // The flat-core candidate absorbs all three edges into one
+        // multiway root bag — the shape the generic-join operator needs.
+        let h = cycle_query(3);
+        let cands = cyclic_core_candidates(&h);
+        assert!(!cands.is_empty());
+        let flat = &cands[0];
+        flat.validate(&h).unwrap();
+        assert_eq!(flat.len(), 1, "triangle core is one bag");
+        assert_eq!(flat.node(flat.root()).lambda.len(), 3);
+        // Construction 2.8 by contrast leaves λ(root) empty here.
+        let canonical = Ghd::gyo_ghd(&h);
+        assert!(canonical.node(canonical.root()).lambda.is_empty());
+    }
+
+    #[test]
+    fn cyclic_candidates_split_longer_cycles() {
+        let h = cycle_query(6);
+        let cands = cyclic_core_candidates(&h);
+        assert!(cands.len() > 1, "flat + at least one 2-split");
+        for g in &cands {
+            g.validate(&h).unwrap();
+        }
+        // Some candidate is a genuine 2-bag split: two nodes, both with
+        // multi-edge λ.
+        assert!(
+            cands
+                .iter()
+                .any(|g| g.len() == 2 && g.node_ids().all(|n| g.node(n).lambda.len() >= 2)),
+            "a balanced arc split must survive validation"
+        );
+    }
+
+    #[test]
+    fn cyclic_candidates_cover_cliques_and_skip_acyclic() {
+        let h = clique_query(4);
+        let cands = cyclic_core_candidates(&h);
+        assert!(!cands.is_empty());
+        for g in &cands {
+            g.validate(&h).unwrap();
+        }
+        assert_eq!(cands[0].node(cands[0].root()).lambda.len(), 6);
+        // Acyclic shapes produce nothing — reroots already cover them.
+        assert!(cyclic_core_candidates(&star_query(3)).is_empty());
+        assert!(cyclic_core_candidates(&path_query(4)).is_empty());
+    }
+
+    #[test]
+    fn cyclic_candidates_keep_the_forest_attached() {
+        // A triangle core with a pendant path: the flat candidate must
+        // still host the forest below the merged root.
+        let mut h = Hypergraph::new(5);
+        h.add_edge([Var(0), Var(1)]);
+        h.add_edge([Var(1), Var(2)]);
+        h.add_edge([Var(0), Var(2)]);
+        h.add_edge([Var(2), Var(3)]);
+        h.add_edge([Var(3), Var(4)]);
+        let cands = cyclic_core_candidates(&h);
+        assert!(!cands.is_empty());
+        for g in &cands {
+            g.validate(&h).unwrap();
+            let covered: usize = g.node_ids().map(|n| g.node(n).lambda.len()).sum();
+            assert_eq!(covered, h.num_edges(), "every edge finds a λ home");
+        }
     }
 
     #[test]

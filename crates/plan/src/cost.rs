@@ -18,10 +18,11 @@
 //!
 //! [`PlacementContext`]: crate::PlacementContext
 
-use crate::planner::{choose_aggregation_players, PlacementContext};
+use crate::planner::{choose_aggregation_players, BagOp, PlacementContext};
 use crate::stats::QueryStats;
-use faqs_hypergraph::{EdgeId, Ghd, Var};
+use faqs_hypergraph::{weighted_cover, EdgeId, Ghd, Var};
 use faqs_network::Player;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Row-count estimates are capped here so products of distinct counts
@@ -87,7 +88,13 @@ pub(crate) struct CostModel<'a> {
     log_d: u64,
     /// Bits per semiring annotation (`S::value_bits()`).
     value_bits: u64,
+    /// Memoised `log₂` size bounds: one fractional-cover LP per distinct
+    /// `(vars, factor set)` pair across all simulated candidates.
+    vv_cache: RefCell<VvCache>,
 }
+
+/// Key = the projected variable set plus the absorbed factor set.
+type VvCache = BTreeMap<(Vec<Var>, Vec<EdgeId>), f64>;
 
 impl<'a> CostModel<'a> {
     pub(crate) fn new(stats: &'a QueryStats, domain: u32, value_bits: u64) -> CostModel<'a> {
@@ -96,7 +103,58 @@ impl<'a> CostModel<'a> {
             stats,
             log_d,
             value_bits,
+            vv_cache: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// `log₂` of the AGM/FD-aware bound on `|⋈_{e ∈ edges} R_e|`
+    /// projected onto `vars`: the weighted fractional edge cover with
+    /// `w_e = log₂|R_e|`, tightened by unary "virtual" columns pricing
+    /// each variable at `log₂` of its minimum per-factor distinct count
+    /// — the Valiant & Valiant functional-dependency refinement of the
+    /// plain AGM bound. Only `edges` participate: a bound involving an
+    /// unabsorbed factor would undercount a cascade's intermediates.
+    fn vv_log2_bound(&self, vars: &[Var], edges: &[EdgeId]) -> f64 {
+        let mut key_vars = vars.to_vec();
+        key_vars.sort_unstable();
+        let mut key_edges = edges.to_vec();
+        key_edges.sort_unstable();
+        let key = (key_vars, key_edges);
+        if let Some(&v) = self.vv_cache.borrow().get(&key) {
+            return v;
+        }
+        let (vars, edges) = (&key.0, &key.1);
+        let mut columns: Vec<(f64, Vec<usize>)> = Vec::new();
+        for &e in edges {
+            let s = &self.stats.factors[e.index()];
+            let items: Vec<usize> = vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| s.schema.contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            if !items.is_empty() {
+                columns.push(((s.rows.max(1) as f64).log2(), items));
+            }
+        }
+        for (i, v) in vars.iter().enumerate() {
+            let mut d = f64::INFINITY;
+            for &e in edges {
+                let s = &self.stats.factors[e.index()];
+                if let Some(p) = s.schema.iter().position(|w| w == v) {
+                    d = d.min(s.distinct[p].max(1) as f64);
+                }
+            }
+            if d.is_finite() {
+                columns.push((d.log2(), vec![i]));
+            }
+        }
+        let bound = match weighted_cover(vars.len(), &columns) {
+            Some(sol) => sol.value,
+            None => f64::INFINITY,
+        };
+        self.vv_cache.borrow_mut().insert(key, bound);
+        bound
     }
 
     fn factor_est(&self, e: EdgeId) -> Est {
@@ -126,15 +184,23 @@ impl<'a> CostModel<'a> {
     }
 
     /// One indexed join: `cur` probes an index of `next` (built here),
-    /// matches multiply out.
-    fn join(&self, cur: Est, next: Est, cost: &mut PlanCost) -> Est {
+    /// matches multiply out. `cap_log2` bounds the output rows by
+    /// `2^cap_log2` — the VV/AGM bound over the factors actually
+    /// absorbed (pass `f64::INFINITY` when no sound bound applies,
+    /// e.g. child-message folds whose inputs are already capped).
+    fn join(&self, cur: Est, next: Est, cap_log2: f64, cost: &mut PlanCost) -> Est {
         let mut denom = 1.0f64;
         for (v, da) in &cur.distinct {
             if let Some(db) = next.distinct.get(v) {
                 denom *= da.max(*db).max(1.0);
             }
         }
-        let out_rows = (cur.rows * next.rows / denom.max(1.0)).min(EST_CAP);
+        let cap = if cap_log2.is_finite() {
+            cap_log2.exp2().min(EST_CAP)
+        } else {
+            EST_CAP
+        };
+        let out_rows = (cur.rows * next.rows / denom.max(1.0)).min(cap);
         // Index build on `next`, one binary-search probe per `cur` row,
         // one emitted row per estimated match.
         cost.cpu = cost
@@ -176,16 +242,41 @@ impl<'a> CostModel<'a> {
         Est { rows, distinct }
     }
 
+    /// Prices one multi-factor bag as a binary cascade on `scratch`,
+    /// returning the folded estimate and the absorbed-so-far VV caps.
+    fn price_cascade(&self, order: &[EdgeId], scratch: &mut PlanCost) -> Est {
+        let mut absorbed: Vec<EdgeId> = vec![order[0]];
+        let mut cur = self.factor_est(order[0]);
+        for &e in &order[1..] {
+            absorbed.push(e);
+            let next = self.factor_est(e);
+            let mut vars: Vec<Var> = cur.distinct.keys().copied().collect();
+            for v in next.distinct.keys() {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+            let cap = self.vv_log2_bound(&vars, &absorbed);
+            cur = self.join(cur, next, cap, scratch);
+        }
+        cur
+    }
+
     /// Scores one candidate: simulates the full upward pass over the
-    /// estimates, and — when a placement is given — predicts the bits
-    /// each GHD node's gather and each upward message will ship, using
-    /// the same aggregation-player choice the runtime makes.
+    /// estimates — pricing each multi-factor bag both as a binary
+    /// cascade and as one generic-join pass and keeping the cheaper
+    /// operator (when `wcoj` allows it) — and, when a placement is
+    /// given, predicts the bits each GHD node's gather and each upward
+    /// message will ship, using the same aggregation-player choice the
+    /// runtime makes. Returns the cost plus the per-node operator
+    /// choices (dense by `NodeId`).
     pub(crate) fn simulate(
         &self,
         ghd: &Ghd,
         join_order: &[Vec<EdgeId>],
         placement: Option<&PlacementContext<'_>>,
-    ) -> PlanCost {
+        wcoj: bool,
+    ) -> (PlanCost, Vec<BagOp>) {
         let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
         let mut children: Vec<Vec<_>> = vec![Vec::new(); n_nodes];
         for n in ghd.node_ids() {
@@ -227,16 +318,55 @@ impl<'a> CostModel<'a> {
             (ctx, agg, dists)
         });
 
+        let mut bag_ops = vec![BagOp::Cascade; n_nodes];
         let mut est: Vec<Option<Est>> = vec![None; n_nodes];
         for node in ghd.post_order() {
-            let mut acc: Option<Est> = None;
-            for &e in &join_order[node.index()] {
-                let f = self.factor_est(e);
-                acc = Some(match acc {
-                    Some(cur) => self.join(cur, f, &mut cost),
-                    None => f,
-                });
-            }
+            let order = &join_order[node.index()];
+            let mut acc: Option<Est> = if order.len() < 2 {
+                order.first().map(|&e| self.factor_est(e))
+            } else {
+                // Multi-factor bag: price the cascade's intermediates
+                // and one worst-case-optimal pass over the same output
+                // estimate, keep the cheaper operator.
+                let mut cascade = PlanCost::default();
+                let out = self.price_cascade(order, &mut cascade);
+                let k = out.arity() as f64;
+                let max_rows = order
+                    .iter()
+                    .map(|&e| self.stats.factors[e.index()].rows.max(1) as f64)
+                    .fold(1.0f64, f64::max);
+                // Reorder/prep each factor once, then one emit per
+                // output row: k column bindings plus a galloping seek.
+                let prep: f64 = order
+                    .iter()
+                    .map(|&e| {
+                        let r = self.stats.factors[e.index()].rows.max(1) as f64;
+                        r * (r.log2() + 1.0)
+                    })
+                    .sum();
+                let gj_cpu = saturating(prep + out.rows * (k + max_rows.log2() + 1.0));
+                if wcoj && gj_cpu < cascade.cpu {
+                    cost.cpu = cost.cpu.saturating_add(gj_cpu);
+                    // The binding order is the cascade's concatenation
+                    // schema (first factor, then each step's fresh
+                    // vars), so both lowerings produce the *identical*
+                    // relation — schema order included — and every
+                    // downstream fold proceeds bit-for-bit the same.
+                    let mut var_order: Vec<Var> = Vec::new();
+                    for &e in order {
+                        for &v in &self.stats.factors[e.index()].schema {
+                            if !var_order.contains(&v) {
+                                var_order.push(v);
+                            }
+                        }
+                    }
+                    bag_ops[node.index()] = BagOp::GenericJoin { var_order };
+                } else {
+                    cost.cpu = cost.cpu.saturating_add(cascade.cpu);
+                }
+                cost.net_bits = cost.net_bits.saturating_add(cascade.net_bits);
+                Some(out)
+            };
             for &child in &children[node.index()] {
                 let sub = est[child.index()].take().expect("post-order: child first");
                 let msg = self.project(sub, ghd.chi(node), &mut cost);
@@ -254,7 +384,9 @@ impl<'a> CostModel<'a> {
                     }
                 }
                 acc = Some(match acc {
-                    Some(cur) => self.join(cur, msg, &mut cost),
+                    // Child messages are already capped at their node;
+                    // no sound factor-set bound applies to the fold.
+                    Some(cur) => self.join(cur, msg, f64::INFINITY, &mut cost),
                     None => msg,
                 });
             }
@@ -265,7 +397,7 @@ impl<'a> CostModel<'a> {
             }
             est[node.index()] = Some(node_est);
         }
-        cost
+        (cost, bag_ops)
     }
 }
 

@@ -63,7 +63,7 @@ pub use error::EngineError;
 pub use planner::{
     choose_aggregation_players, cost_quote, decomposition_covering_free_vars,
     decomposition_for_free_vars, ghd_for_query, join_order_covers_lambda, join_order_for_ghd,
-    plan_query, plan_query_placed, plan_query_with_stats, CandidateReport, ChosenPlan,
+    plan_query, plan_query_placed, plan_query_with_stats, BagOp, CandidateReport, ChosenPlan,
     PlacementContext, PlannerConfig,
 };
 pub use stats::{QueryStats, StatsDigest};
@@ -268,6 +268,77 @@ mod tests {
                 Err(EngineError::FreeVarsOutsideCore(_))
             ));
         }
+    }
+
+    #[test]
+    fn triangles_merge_the_core_and_pick_generic_join() {
+        // A dense triangle: the GYO default hangs the three edges as
+        // leaves under an empty-λ root and folds them as a binary
+        // cascade with a quadratic intermediate. The planner must
+        // instead merge the core into one multi-factor bag and lower
+        // it to the generic join.
+        let h = faqs_hypergraph::cycle_query(3);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 2000,
+                domain: 100,
+                seed: 11,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let plan = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        assert!(!plan.chose_default(), "merged core must beat the default");
+        assert!(plan.uses_generic_join(), "the merged bag lowers to WCOJ");
+        assert!(
+            plan.candidates.iter().any(|c| c.label == "merged core"),
+            "the flat-core candidate is in the explain table"
+        );
+        let root_op = &plan.bag_ops[plan.ghd.root().index()];
+        match root_op {
+            BagOp::GenericJoin { var_order } => {
+                assert_eq!(var_order, &[Var(0), Var(1), Var(2)]);
+            }
+            BagOp::Cascade => panic!("root bag must be generic join"),
+        }
+
+        // The escape hatch pins the cascade lowering but keeps the
+        // merged-core decomposition search alive.
+        let pinned = PlannerConfig {
+            use_stats: true,
+            use_wcoj: false,
+        };
+        let plan2 = plan_query(&q, false, &pinned).unwrap();
+        assert!(!plan2.uses_generic_join(), "WCOJ disabled ⇒ all cascade");
+        assert!(
+            plan.cost.cpu < plan2.cost.cpu,
+            "generic join predicted cheaper: {} !< {}",
+            plan.cost.cpu,
+            plan2.cost.cpu
+        );
+
+        // Structural mode is untouched: legacy shape, all-cascade ops.
+        let structural = plan_query(&q, false, &PlannerConfig::structural()).unwrap();
+        assert!(!structural.uses_generic_join());
+        assert!(structural.ghd.node(structural.ghd.root()).lambda.is_empty());
+    }
+
+    #[test]
+    fn candidate_dedup_drops_the_re_enumerated_canonical_base() {
+        // candidate_decompositions re-enumerates the canonical rooting;
+        // the fingerprint dedup must keep exactly one copy of each
+        // distinct shape in the explain table.
+        let q = skewed_star_instance(3, 16);
+        let plan = plan_query(&q, false, &PlannerConfig::stats()).unwrap();
+        let mut labels: Vec<&str> = plan.candidates.iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        let n = labels.len();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "duplicate candidate labels survived");
+        // The canonical rooting equals the default and must be deduped:
+        // a 3-leaf star has 3 rerootings, one of which is the default.
+        assert_eq!(plan.candidates.len(), 3, "default + 2 distinct reroots");
     }
 
     #[test]

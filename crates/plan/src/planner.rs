@@ -7,7 +7,8 @@ use crate::error::EngineError;
 use crate::stats::QueryStats;
 use crate::validate::{check_elimination_order, check_product_aggregates};
 use faqs_hypergraph::{
-    candidate_decompositions, internal_node_width, Decomposition, EdgeId, Ghd, Hypergraph, Var,
+    candidate_decompositions, cyclic_core_candidates, internal_node_width, Decomposition, EdgeId,
+    Ghd, Hypergraph, NodeId, Var,
 };
 use faqs_network::{Player, Topology};
 use faqs_relation::FaqQuery;
@@ -23,34 +24,52 @@ pub struct PlannerConfig {
     /// and smallest-first join orders, no data inspection beyond factor
     /// listing sizes.
     pub use_stats: bool,
+    /// Whether multi-factor bags may lower to the worst-case-optimal
+    /// generic join when the cost model prices it below the binary
+    /// cascade. `false` pins every bag to the cascade — the
+    /// `FAQS_PLAN_DISABLE_WCOJ=1` escape hatch. Irrelevant in
+    /// structural mode, which never produces multi-factor bags.
+    pub use_wcoj: bool,
 }
 
 impl PlannerConfig {
     /// Statistics-driven planning (the default unless the environment
-    /// disables it).
+    /// disables it), generic join enabled.
     pub fn stats() -> Self {
-        PlannerConfig { use_stats: true }
+        PlannerConfig {
+            use_stats: true,
+            use_wcoj: true,
+        }
     }
 
     /// Pure-structural planning — the escape hatch the
     /// `FAQS_PLAN_DISABLE_STATS=1` environment variable selects.
     pub fn structural() -> Self {
-        PlannerConfig { use_stats: false }
+        PlannerConfig {
+            use_stats: false,
+            use_wcoj: false,
+        }
     }
 
     /// Reads `FAQS_PLAN_DISABLE_STATS` (set to `1` to force structural
-    /// planning; CI runs the whole matrix once that way). The variable
-    /// is read once per process — `solve_faq` constructs a default
-    /// config per call, and an env lookup (a lock plus an allocation on
-    /// most platforms) has no place on that path.
+    /// planning) and `FAQS_PLAN_DISABLE_WCOJ` (set to `1` to pin the
+    /// binary-cascade lowering); CI runs the whole matrix once under
+    /// each. The variables are read once per process — `solve_faq`
+    /// constructs a default config per call, and an env lookup (a lock
+    /// plus an allocation on most platforms) has no place on that path.
     pub fn from_env() -> Self {
-        static DISABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-        let disabled = *DISABLED
+        static STATS_OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        static WCOJ_OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let stats_off = *STATS_OFF
             .get_or_init(|| matches!(std::env::var("FAQS_PLAN_DISABLE_STATS"), Ok(v) if v == "1"));
-        if disabled {
-            Self::structural()
-        } else {
-            Self::stats()
+        if stats_off {
+            return Self::structural();
+        }
+        let wcoj_off = *WCOJ_OFF
+            .get_or_init(|| matches!(std::env::var("FAQS_PLAN_DISABLE_WCOJ"), Ok(v) if v == "1"));
+        PlannerConfig {
+            use_stats: true,
+            use_wcoj: !wcoj_off,
         }
     }
 }
@@ -74,6 +93,35 @@ pub struct PlacementContext<'a> {
     /// The player that must learn the answer (the root's aggregation
     /// player is pinned here).
     pub output: Player,
+}
+
+/// How one GHD node materialises its bag from its λ factors — the
+/// per-bag operator choice the cost model makes and every consumer
+/// (engine, executor, incremental maintenance, distributed runtime)
+/// replays verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BagOp {
+    /// Binary join cascade in `join_order`: seed with the first factor,
+    /// absorb the rest one indexed join at a time.
+    Cascade,
+    /// One worst-case-optimal multiway pass
+    /// ([`faqs_relation::generic_join`]) binding `var_order` — the
+    /// cascade's concatenation schema (first factor, then each step's
+    /// fresh variables), so both lowerings produce the identical
+    /// relation — one variable at a time. Chosen when the AGM/FD-aware
+    /// output bound prices it below the cascade's estimated
+    /// intermediates.
+    GenericJoin {
+        /// The variable binding order (also the output schema).
+        var_order: Vec<Var>,
+    },
+}
+
+impl BagOp {
+    /// Whether this is the generic-join lowering.
+    pub fn is_generic_join(&self) -> bool {
+        matches!(self, BagOp::GenericJoin { .. })
+    }
 }
 
 /// One scored candidate — the row of the `plan-explain` table.
@@ -104,6 +152,10 @@ pub struct ChosenPlan {
     /// implementation of this ordering — here — and every consumer
     /// (engine, executor, distributed runtime) replays it.
     pub join_order: Vec<Vec<EdgeId>>,
+    /// Per-node operator choice (dense by `NodeId` index): how each
+    /// bag's λ factors materialise. All-[`BagOp::Cascade`] in
+    /// structural mode and under `FAQS_PLAN_DISABLE_WCOJ=1`.
+    pub bag_ops: Vec<BagOp>,
     /// Predicted cost of the chosen candidate (zero in structural mode,
     /// which predicts nothing).
     pub cost: PlanCost,
@@ -119,6 +171,51 @@ impl ChosenPlan {
     pub fn chose_default(&self) -> bool {
         self.candidates.first().map(|c| c.chosen).unwrap_or(true)
     }
+
+    /// Whether any bag lowers to the generic join.
+    pub fn uses_generic_join(&self) -> bool {
+        self.bag_ops.iter().any(BagOp::is_generic_join)
+    }
+}
+
+/// A canonical serialisation of a rooted GHD, invariant under child
+/// order: `(sorted χ | sorted λ : sorted child fingerprints)`. Bag-merge
+/// enumeration re-derives the same decomposition from many rotations;
+/// deduplicating on this fingerprint keeps each shape's cost simulation
+/// from running more than once.
+fn ghd_fingerprint(ghd: &Ghd) -> String {
+    fn ser(ghd: &Ghd, n: NodeId, out: &mut String) {
+        out.push('(');
+        let mut chi = ghd.chi(n).to_vec();
+        chi.sort_unstable();
+        for v in chi {
+            out.push_str(&format!("{},", v.0));
+        }
+        out.push('|');
+        let mut lambda = ghd.node(n).lambda.clone();
+        lambda.sort_unstable();
+        for e in lambda {
+            out.push_str(&format!("{},", e.0));
+        }
+        out.push(':');
+        let mut kids: Vec<String> = ghd
+            .children(n)
+            .into_iter()
+            .map(|c| {
+                let mut s = String::new();
+                ser(ghd, c, &mut s);
+                s
+            })
+            .collect();
+        kids.sort();
+        for k in kids {
+            out.push_str(&k);
+        }
+        out.push(')');
+    }
+    let mut s = String::new();
+    ser(ghd, ghd.root(), &mut s);
+    s
 }
 
 /// Finds a core/forest decomposition whose core vertex set contains all
@@ -300,7 +397,10 @@ pub fn cost_quote<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> Result<PlanCos
     let order = join_order_for_ghd(q, &ghd);
     let stats = QueryStats::of(q);
     let model = CostModel::new(&stats, q.domain, S::value_bits());
-    Ok(model.simulate(&ghd, &order, None))
+    // Price operators the way the process-wide default planner will
+    // lower them, so admission control quotes the plan that runs.
+    let wcoj = PlannerConfig::from_env().use_wcoj;
+    Ok(model.simulate(&ghd, &order, None, wcoj).0)
 }
 
 /// [`plan_query`] against *precomputed* per-factor statistics instead
@@ -351,6 +451,7 @@ fn plan_query_impl<S: Semiring>(
     let default_order = join_order_for_ghd(q, &default_ghd);
 
     if !cfg.use_stats {
+        let n_nodes = default_ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
         return Ok(ChosenPlan {
             candidates: vec![CandidateReport {
                 label: "structural default".into(),
@@ -359,6 +460,7 @@ fn plan_query_impl<S: Semiring>(
                 chosen: true,
             }],
             join_order: default_order,
+            bag_ops: vec![BagOp::Cascade; n_nodes],
             cost: PlanCost::default(),
             stats_aware: false,
             ghd: default_ghd,
@@ -375,14 +477,58 @@ fn plan_query_impl<S: Semiring>(
     };
     let model = CostModel::new(stats, q.domain, S::value_bits());
     let placed = placement.is_some();
-    let default_cost = model.simulate(&default_ghd, &default_order, placement);
+    let (default_cost, default_ops) =
+        model.simulate(&default_ghd, &default_order, placement, cfg.use_wcoj);
     let mut candidates = vec![CandidateReport {
         label: "structural default".into(),
         y: default_ghd.internal_count(),
         cost: default_cost,
         chosen: true,
     }];
-    let mut best = (default_ghd, default_order, default_cost, 0usize);
+    // Structurally identical candidates (reroot + bag-merge enumeration
+    // both re-derive the canonical shape) are deduplicated on their
+    // rooted-tree fingerprint before any cost simulation runs.
+    let mut seen: BTreeSet<String> = BTreeSet::from([ghd_fingerprint(&default_ghd)]);
+    let mut best = (
+        default_ghd,
+        default_order,
+        default_cost,
+        0usize,
+        default_ops,
+    );
+
+    let consider =
+        |ghd: Ghd,
+         label: String,
+         candidates: &mut Vec<CandidateReport>,
+         seen: &mut BTreeSet<String>,
+         best: &mut (Ghd, Vec<Vec<EdgeId>>, PlanCost, usize, Vec<BagOp>)| {
+            let root_chi = ghd.chi(ghd.root());
+            if q.free_vars.iter().any(|v| !root_chi.contains(v)) {
+                return;
+            }
+            // A candidate may be push-down-illegal where the default is
+            // legal (different elimination order); skip, never error.
+            if check_elimination_order(q, &ghd).is_err() {
+                return;
+            }
+            if !seen.insert(ghd_fingerprint(&ghd)) {
+                return;
+            }
+            let order = join_order_for_ghd(q, &ghd);
+            let (cost, ops) = model.simulate(&ghd, &order, placement, cfg.use_wcoj);
+            candidates.push(CandidateReport {
+                label,
+                y: ghd.internal_count(),
+                cost,
+                chosen: false,
+            });
+            // Strict improvement only: ties keep the default, so uniform
+            // instances plan exactly as the structural planner did.
+            if cost.key(placed) < best.2.key(placed) {
+                *best = (ghd, order, cost, candidates.len() - 1, ops);
+            }
+        };
 
     for d in candidate_decompositions(&q.hypergraph) {
         // Free variables must end up in the candidate's core; re-root
@@ -406,29 +552,21 @@ fn plan_query_impl<S: Semiring>(
         );
         let mut ghd = Ghd::from_decomposition(&q.hypergraph, &d);
         ghd.hoist_md();
-        let root_chi = ghd.chi(ghd.root());
-        if q.free_vars.iter().any(|v| !root_chi.contains(v)) {
-            continue;
-        }
-        // A candidate may be push-down-illegal where the default is
-        // legal (different elimination order); skip, never error.
-        if check_elimination_order(q, &ghd).is_err() {
-            continue;
-        }
-        let order = join_order_for_ghd(q, &ghd);
-        let cost = model.simulate(&ghd, &order, placement);
-        candidates.push(CandidateReport {
-            label,
-            y: ghd.internal_count(),
-            cost,
-            chosen: false,
-        });
-        // Strict improvement only: ties (including the canonical base,
-        // which re-enumerates as a candidate) keep the default, so
-        // uniform instances plan exactly as the structural planner did.
-        if cost.key(placed) < best.2.key(placed) {
-            best = (ghd, order, cost, candidates.len() - 1);
-        }
+        consider(ghd, label, &mut candidates, &mut seen, &mut best);
+    }
+
+    // Cyclic cores: the flat merged bag plus every RIP-valid 2-split of
+    // the cycle walk — the shapes the generic join exists to serve.
+    for (i, ghd) in cyclic_core_candidates(&q.hypergraph)
+        .into_iter()
+        .enumerate()
+    {
+        let label = if ghd.len() == 1 {
+            "merged core".to_string()
+        } else {
+            format!("core split {i}")
+        };
+        consider(ghd, label, &mut candidates, &mut seen, &mut best);
     }
 
     let chosen_idx = best.3;
@@ -438,6 +576,7 @@ fn plan_query_impl<S: Semiring>(
     Ok(ChosenPlan {
         ghd: best.0,
         join_order: best.1,
+        bag_ops: best.4,
         cost: best.2,
         stats_aware: true,
         candidates,

@@ -422,18 +422,33 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             messages.push(message);
         }
 
-        // Own factors: gather shards, then the cached join pipeline.
-        let mut acc: Option<Relation<S>> = None;
-        for step in self.plan.joins(node) {
+        // Own factors: gather shards first (gathering order — and hence
+        // round accounting — is operator-independent), then combine by
+        // the plan's per-bag operator: one generic-join pass for
+        // worst-case-optimal bags, the cached join pipeline otherwise.
+        let steps = self.plan.joins(node);
+        let mut gathered: Vec<Relation<S>> = Vec::with_capacity(steps.len());
+        for step in steps {
             let (factor, arrived) = self.gather_factor(step.edge, me, run, shards)?;
             ready = ready.max(arrived);
-            acc = Some(match acc {
-                Some(cur) => {
-                    let idx = factor.build_index(&step.key);
-                    cur.join_indexed_par(&factor, &idx, self.threads)
-                }
-                None => factor,
-            });
+            gathered.push(factor);
+        }
+        let mut acc: Option<Relation<S>> = None;
+        if let (true, faqs_plan::BagOp::GenericJoin { var_order }) =
+            (gathered.len() >= 2, self.plan.bag_op(node))
+        {
+            let refs: Vec<&Relation<S>> = gathered.iter().collect();
+            acc = Some(faqs_relation::generic_join(&refs, var_order));
+        } else {
+            for (factor, step) in gathered.into_iter().zip(steps) {
+                acc = Some(match acc {
+                    Some(cur) => {
+                        let idx = factor.build_index(&step.key);
+                        cur.join_indexed_par(&factor, &idx, self.threads)
+                    }
+                    None => factor,
+                });
+            }
         }
 
         // Fold child messages in node order — the `⊗` on the bag overlap

@@ -24,6 +24,7 @@
 mod builder;
 mod delta;
 mod generators;
+mod genjoin;
 pub mod kernel;
 mod query;
 mod relation;
@@ -37,6 +38,7 @@ pub use generators::{
     irreducible_star_instance, random_boolean_instance, random_instance, skewed_star_instance,
     RandomInstanceConfig,
 };
+pub use genjoin::generic_join;
 pub use kernel::JoinIndex;
 pub use query::{FaqQuery, QueryError};
 pub use relation::{Relation, Tuple};

@@ -258,6 +258,16 @@ impl<S: Semiring> Relation<S> {
         self.values = values;
     }
 
+    /// The raw row-major tuple arena (generic-join range scans).
+    pub(crate) fn raw_data(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// The raw annotation column, parallel to the rows.
+    pub(crate) fn raw_values(&self) -> &[S] {
+        &self.values
+    }
+
     /// The variables shared with `other`, in this schema's order.
     pub fn shared_vars(&self, other: &Relation<S>) -> Vec<Var> {
         self.schema

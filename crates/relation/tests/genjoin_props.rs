@@ -1,0 +1,137 @@
+//! Property suite for the worst-case-optimal generic join: on random
+//! cyclic factor sets it must agree *exactly* — bit-for-bit on float
+//! semirings — with the binary join cascade folded in the same factor
+//! order, across `Count`, `Boolean` and `MinPlus`.
+
+use faqs_hypergraph::Var;
+use faqs_relation::{generic_join, Relation};
+use faqs_semiring::{Boolean, Count, MinPlus, Semiring};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Factor-schema families: triangle, 4-cycle, K4 (all six edges), a
+/// triangle with a pendant unary, a chordal square, and a schema listed
+/// in non-`var_order` column order.
+const SHAPES: &[&[&[u32]]] = &[
+    &[&[0, 1], &[1, 2], &[0, 2]],
+    &[&[0, 1], &[1, 2], &[2, 3], &[0, 3]],
+    &[&[0, 1], &[0, 2], &[0, 3], &[1, 2], &[1, 3], &[2, 3]],
+    &[&[0, 1], &[1, 2], &[0, 2], &[1]],
+    &[&[0, 1], &[1, 2], &[2, 3], &[0, 3], &[0, 2]],
+    &[&[1, 0], &[2, 1], &[2, 0]],
+];
+
+fn vars(ids: &[u32]) -> Vec<Var> {
+    ids.iter().map(|&i| Var(i)).collect()
+}
+
+fn random_rel<S: Semiring>(
+    schema: &[u32],
+    n: usize,
+    domain: u32,
+    rng: &mut StdRng,
+    mut value_of: impl FnMut(&mut StdRng) -> S,
+) -> Relation<S> {
+    let pairs: Vec<(Vec<u32>, S)> = (0..n)
+        .map(|_| {
+            let t: Vec<u32> = schema.iter().map(|_| rng.random_range(0..domain)).collect();
+            (t, value_of(rng))
+        })
+        .collect();
+    Relation::from_pairs(vars(schema), pairs)
+}
+
+/// The reference: a left-fold binary cascade over the factor slice,
+/// reordered onto `var_order` at the end. `generic_join` promises the
+/// same association order, hence exact equality.
+fn cascade<S: Semiring>(factors: &[Relation<S>], var_order: &[Var]) -> Relation<S> {
+    let mut acc = factors[0].clone();
+    for f in &factors[1..] {
+        acc = acc.join(f);
+    }
+    if acc.schema() == var_order {
+        acc
+    } else {
+        acc.reorder(var_order)
+    }
+}
+
+fn check_shape<S: Semiring>(
+    shape: usize,
+    seed: u64,
+    n: usize,
+    domain: u32,
+    value_of: impl FnMut(&mut StdRng) -> S + Copy,
+) {
+    let schemas = SHAPES[shape % SHAPES.len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors: Vec<Relation<S>> = schemas
+        .iter()
+        .map(|s| random_rel(s, n, domain, &mut rng, value_of))
+        .collect();
+    let mut order: Vec<u32> = schemas.iter().flat_map(|s| s.iter().copied()).collect();
+    order.sort_unstable();
+    order.dedup();
+    let var_order = vars(&order);
+
+    let refs: Vec<&Relation<S>> = factors.iter().collect();
+    let gj = generic_join(&refs, &var_order);
+    let want = cascade(&factors, &var_order);
+
+    assert_eq!(gj.schema(), var_order.as_slice());
+    assert_eq!(gj.len(), want.len(), "shape {shape} cardinality");
+    for i in 0..gj.len() {
+        assert_eq!(gj.tuple_at(i), want.tuple_at(i), "shape {shape} row {i}");
+        assert_eq!(
+            gj.value_at(i),
+            want.value_at(i),
+            "shape {shape} annotation {i}"
+        );
+    }
+    // Canonical invariants: strictly sorted, no zero annotations.
+    for w in gj.tuples().collect::<Vec<_>>().windows(2) {
+        assert!(w[0] < w[1], "rows not strictly sorted");
+    }
+    assert!(gj.iter().all(|(_, v)| !v.is_zero()), "zero listed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counting_generic_join_matches_cascade(
+        shape in 0usize..6,
+        seed: u64,
+        n in 0usize..60,
+        domain in 1u32..6,
+    ) {
+        check_shape(shape, seed, n, domain, |r: &mut StdRng| {
+            Count(r.random_range(0..4))
+        });
+    }
+
+    #[test]
+    fn boolean_generic_join_matches_cascade(
+        shape in 0usize..6,
+        seed: u64,
+        n in 0usize..60,
+        domain in 1u32..6,
+    ) {
+        check_shape(shape, seed, n, domain, |_: &mut StdRng| Boolean(true));
+    }
+
+    #[test]
+    fn minplus_generic_join_is_bit_identical(
+        shape in 0usize..6,
+        seed: u64,
+        n in 0usize..60,
+        domain in 1u32..6,
+    ) {
+        // PartialEq on f64 is bitwise-equivalent here (no NaNs drawn),
+        // so assert_eq in check_shape is the bit-identity check.
+        check_shape(shape, seed, n, domain, |r: &mut StdRng| {
+            MinPlus(f64::from(r.random_range(0..1000)) * 0.125)
+        });
+    }
+}

@@ -251,3 +251,50 @@ fn concurrent_writers_never_tear_reader_batches() {
     });
     assert_eq!(server.snapshot(shape).unwrap().epoch(), DELTAS);
 }
+
+/// Cyclic shapes are first-class at the serving layer: a triangle
+/// template registers (admission's `cost_quote` prices the merged-core
+/// candidate), batched answers match the solo oracle, and the cost
+/// budget still gates submission.
+#[test]
+fn cyclic_templates_serve_and_admit() {
+    let q: FaqQuery<Count> = faqs_relation::random_instance(
+        &faqs_hypergraph::cycle_query(3),
+        &faqs_relation::RandomInstanceConfig {
+            tuples_per_factor: 64,
+            domain: 8,
+            seed: 23,
+        },
+        vec![Var(0)],
+        |_| Count(1),
+    );
+    let server = FaqServer::new(ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        ..ServeConfig::default()
+    });
+    let shape = server.register(q.clone(), Var(0)).unwrap();
+    let tickets: Vec<_> = (0..16u32)
+        .map(|b| server.submit(shape, b % 8).unwrap())
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let b = (i as u32) % 8;
+        assert_eq!(
+            t.wait().unwrap().relation,
+            solo(&q, Var(0), b),
+            "triangle slice at binding {b}"
+        );
+    }
+
+    // The quote is real work (a triangle join), so a zero budget must
+    // reject the same shape before any join runs.
+    let strict = FaqServer::new(ServeConfig {
+        cost_budget: 0,
+        ..ServeConfig::default()
+    });
+    let shape = strict.register(q, Var(0)).unwrap();
+    assert!(matches!(
+        strict.submit(shape, 1),
+        Err(ServeError::TooExpensive { .. })
+    ));
+}
