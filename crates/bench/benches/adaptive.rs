@@ -1,0 +1,121 @@
+//! Criterion bench for the adaptive executor (`faqs-exec` +
+//! `faqs-plan` calibration). Recorded in CI as `BENCH_adaptive.json` —
+//! the self-calibration perf trajectory next to the executor
+//! (`BENCH_engine.json`) and planner (`BENCH_plan.json`) rows.
+//!
+//! Two comparisons over shared fixtures:
+//!
+//! * **calibration overhead** — a warm-cache solve of a value-skewed
+//!   triangle with telemetry + envelope checks on (an
+//!   infinite-envelope registry: observes everything, never drifts)
+//!   versus calibration pinned off, i.e. exactly what
+//!   `FAQS_PLAN_DISABLE_CALIBRATION=1` degrades the executor to. The
+//!   acceptance line is parity: fold-point telemetry must be noise.
+//! * **forced drift** — the pinned E20 drifted-stats fixture
+//!   (`faqs_bench::experiments::e20_drift_fixture`): a plan built from
+//!   the sparse sibling driven against the dense hub instance through
+//!   `solve_on`, with a zero-width envelope (every fold observes
+//!   out-of-envelope, the hub fold re-orders smallest-actual-first)
+//!   versus the same stale plan executed verbatim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_bench::experiments::e20_drift_fixture;
+use faqs_exec::{Executor, ExecutorConfig, QueryPlan};
+use faqs_hypergraph::{cycle_query, Var};
+use faqs_plan::{CalibrationRegistry, PlannerConfig};
+use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::Count;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The E20 Part A fixture: a triangle whose edge endpoints are pinned
+/// to a hot vertex with 40% probability — the shape the cost model
+/// habitually under-prices, so calibration has something to learn.
+fn skewed_triangle(tuples: usize) -> FaqQuery<Count> {
+    let domain = 64u32;
+    let mut rng = StdRng::seed_from_u64(0xADA1);
+    let mut q: FaqQuery<Count> = random_instance(
+        &cycle_query(3),
+        &RandomInstanceConfig {
+            tuples_per_factor: 0,
+            domain,
+            seed: 0xADA1,
+        },
+        (0..3u32).map(Var).collect(),
+        |_| Count(1),
+    );
+    for factor in &mut q.factors {
+        while factor.len() < tuples {
+            let mut endpoint = || {
+                if rng.random_range(0..100) < 40 {
+                    0
+                } else {
+                    rng.random_range(0..domain)
+                }
+            };
+            let t = vec![endpoint(), endpoint()];
+            factor.insert(t, Count(1));
+        }
+    }
+    q
+}
+
+fn executor(registry: CalibrationRegistry) -> Executor {
+    Executor::with_planner(ExecutorConfig::with_threads(1), PlannerConfig::stats())
+        .with_calibration(Arc::new(registry))
+}
+
+fn bench_calibration_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_overhead");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    let q = skewed_triangle(1_024);
+    for (name, ex) in [
+        ("calibration_off", executor(CalibrationRegistry::off())),
+        (
+            "calibration_on",
+            executor(CalibrationRegistry::forced(f64::INFINITY)),
+        ),
+    ] {
+        ex.solve(&q).expect("warm the plan cache");
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(ex.solve(black_box(&q)).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forced_drift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_drift");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    let (dense, sparse) = e20_drift_fixture(64);
+    let stale_plan = QueryPlan::build_with(&sparse, false, &PlannerConfig::stats(), None).unwrap();
+    for (name, ex) in [
+        ("stale_plan_fixed", executor(CalibrationRegistry::off())),
+        (
+            "stale_plan_adaptive",
+            executor(CalibrationRegistry::forced(0.0)),
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                black_box(
+                    ex.solve_on(black_box(&dense), black_box(&stale_plan))
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_calibration_overhead, bench_forced_drift);
+criterion_main!(benches);

@@ -932,13 +932,14 @@ pub fn e16_plan_explain(n: usize) {
     // Skewed instance, placement-aware: candidates ranked on predicted
     // shipped bits across a line, huge factor held far from the output.
     let g = Topology::line(4);
-    let ctx = PlacementContext {
-        topology: &g,
-        holders: (0..skewed.k())
+    let ctx = PlacementContext::new(
+        &skewed,
+        &g,
+        (0..skewed.k())
             .map(|e| vec![Player((e % 3) as u32)])
             .collect(),
-        output: Player(3),
-    };
+        Player(3),
+    );
     let plan =
         plan_query_placed(&skewed, false, &PlannerConfig::stats(), Some(&ctx)).expect("plan");
     print_plan("skewed_star (placement-aware, line4, output P3)", &plan);
@@ -1234,6 +1235,248 @@ pub fn e19_cyclic(n: usize) {
     }
 }
 
+/// **E20 — Adaptive planning.** Part A: on a hub-skewed star family
+/// (every instance shares one [`faqs_plan::StatsDigest`] shape) the
+/// uniformity assumption makes the cost model under-predict the join,
+/// and the calibration registry's learned per-shape correction pulls
+/// the prediction toward the measured answer: the median
+/// `|log2(predicted/actual)|` error over the family must strictly
+/// drop. Part B: the pinned drifted-stats instance of
+/// [`e20_drift_fixture`] — a plan built from a sparse sibling driven
+/// through [`Executor::solve_on`] against the dense hub instance —
+/// must raise the sticky drift flag, re-order the remaining ⊗-folds
+/// smallest-first, measurably beat the stale static order, and still
+/// return the reference answer bit-for-bit; both runtimes are
+/// reported.
+pub fn e20_adaptive(n: usize) {
+    use faqs_exec::{Executor, ExecutorConfig, QueryPlan};
+    use faqs_plan::{CalibrationRegistry, PlannerConfig, QueryStats};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    banner("E20 · Adaptive planning — calibration closes the estimator error");
+    header(&[
+        "round",
+        "actual rows",
+        "raw pred",
+        "cal pred",
+        "raw |log₂ err|",
+        "cal |log₂ err|",
+    ]);
+
+    // Part A: value-skewed triangles — each endpoint of every edge is
+    // pinned to vertex 0 with 40% probability, so triangles through the
+    // hot vertex dwarf what the uniformity assumption prices in. All
+    // three variables are free (the merged cyclic core contains them
+    // all), so the root fold's predicted cardinality is checkable
+    // against the answer relation itself.
+    let h = faqs_hypergraph::cycle_query(3);
+    let tuples = n.clamp(64, 256);
+    let domain = 64u32;
+    let skewed = |seed: u64| -> FaqQuery<Count> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 0,
+                domain,
+                seed,
+            },
+            (0..3u32).map(Var).collect(),
+            |_| Count(1),
+        );
+        for factor in &mut q.factors {
+            while factor.len() < tuples {
+                let mut endpoint = || {
+                    if rng.random_range(0..100) < 40 {
+                        0
+                    } else {
+                        rng.random_range(0..domain)
+                    }
+                };
+                let t = vec![endpoint(), endpoint()];
+                factor.insert(t, Count(1));
+            }
+        }
+        q
+    };
+
+    let planner = PlannerConfig::stats();
+    let registry = Arc::new(CalibrationRegistry::forced(f64::INFINITY));
+    let ex = Executor::with_planner(ExecutorConfig::with_threads(1), planner)
+        .with_calibration(Arc::clone(&registry));
+    let (mut raw_errs, mut cal_errs) = (Vec::new(), Vec::new());
+    for round in 0..8u64 {
+        let q = skewed(0xE20 + round);
+        let stats = QueryStats::of(&q);
+        let digest = stats.digest();
+        let raw =
+            QueryPlan::build_calibrated(&q, false, &planner, None, Some(&stats), 1.0).unwrap();
+        let correction = registry.correction(&digest);
+        let cal = QueryPlan::build_calibrated(&q, false, &planner, None, Some(&stats), correction)
+            .unwrap();
+        // The solve itself feeds the registry (fold-point telemetry),
+        // so the next round's correction reflects this one's misses.
+        let actual = ex.solve(&q).unwrap().len().max(1) as f64;
+        let predicted = |p: &QueryPlan| {
+            p.node_rows()
+                .get(p.root().index())
+                .copied()
+                .unwrap_or(1)
+                .max(1)
+        };
+        let err = |p: &QueryPlan| (predicted(p) as f64 / actual).log2().abs();
+        raw_errs.push(err(&raw));
+        cal_errs.push(err(&cal));
+        row(&[
+            round.to_string(),
+            format!("{actual:.0}"),
+            predicted(&raw).to_string(),
+            predicted(&cal).to_string(),
+            format!("{:.2}", err(&raw)),
+            format!("{:.2}", err(&cal)),
+        ]);
+    }
+    let median = |errs: &[f64]| -> f64 {
+        let mut s = errs.to_vec();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    let (raw_med, cal_med) = (median(&raw_errs), median(&cal_errs));
+    println!("  median |log₂ error|: raw {raw_med:.2} → calibrated {cal_med:.2}");
+    assert!(
+        cal_med < raw_med,
+        "calibration must reduce the median estimator error: {cal_med} !< {raw_med}"
+    );
+
+    // Part B: forced drift. A plan whose statistics came from a sparse
+    // sibling mis-predicts every fold of the dense instance; the
+    // adaptive executor notices at the 2-hop leg's fold point and
+    // re-orders the hub bag's message fold smallest-actual-first,
+    // which pulls the one-row hub-pinning message in front of the nine
+    // full-range leg messages and skips the nine `domain²`-row
+    // intermediates the stale order pays for.
+    let (dense, sparse) = e20_drift_fixture(64);
+    let stale_plan = QueryPlan::build_with(&sparse, false, &planner, None).unwrap();
+    let timed = |registry: CalibrationRegistry| {
+        let ex = Executor::with_planner(ExecutorConfig::with_threads(1), planner)
+            .with_calibration(Arc::new(registry));
+        // Median of five runs: the win is ~an order of magnitude, but
+        // single timings on shared CI runners are noisy.
+        let mut times = Vec::new();
+        let mut out = None;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            out = Some(ex.solve_on(&dense, &stale_plan).unwrap());
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        times.sort_by(f64::total_cmp);
+        (out.unwrap(), times[times.len() / 2], ex.calibration_stats())
+    };
+    let (fixed, fixed_ms, _) = timed(CalibrationRegistry::off());
+    let (adaptive, adaptive_ms, stats) = timed(CalibrationRegistry::forced(0.0));
+    assert_eq!(adaptive, fixed, "re-planning never changes the answer");
+    assert!(
+        stats.replans > 0,
+        "the drifted instance must force a re-plan"
+    );
+    assert!(
+        adaptive_ms < fixed_ms,
+        "mid-flight re-planning must beat the stale fold order: {adaptive_ms:.3} !< {fixed_ms:.3} ms"
+    );
+    println!(
+        "  drifted hub (stale plan): fixed {fixed_ms:.2} ms, adaptive {adaptive_ms:.2} ms \
+         ({:.1}×) · {} fold samples · {} re-plans",
+        fixed_ms / adaptive_ms.max(1e-9),
+        stats.samples,
+        stats.replans
+    );
+}
+
+/// The pinned drifted-stats instance behind E20 Part B and
+/// `BENCH_adaptive.json`. The shape is a hub `x0` carrying a dense
+/// `(x0,x1)` cross-product bag, a free-tip path `x1—x2` on top (the
+/// re-rooted bag holding the free variable), eight pendant `(x0,yᵢ)`
+/// permutation legs plus one 2-hop permutation leg whose upward `(x0)`
+/// messages cover every hub value (the 2-hop leg's inner bag is the
+/// fold point whose telemetry flags the drift), and one pendant that
+/// pins the hub to a single value. Pendant messages fold in edge-id
+/// order, so the hub bag's static order runs the nine full-range
+/// messages first — nine `domain²`-row intermediates — before the
+/// one-row pinning message finally collapses the accumulator; a plan
+/// built from the uniformly `sparse` sibling prices every fold at a
+/// handful of rows, so it sees no reason to deviate. The
+/// drift-triggered smallest-actual-first re-plan folds the pinning
+/// message first and every later fold runs at `domain` rows.
+pub fn e20_drift_fixture(domain: u32) -> (FaqQuery<Count>, FaqQuery<Count>) {
+    const PENDANTS: u32 = 8;
+    // Vars: 0 = hub, 1 = mid, 2 = free tip, 3..3+PENDANTS = pendant
+    // tips, then the 2-hop leg's two vars, then the pinning tip.
+    let deep = 3 + PENDANTS;
+    let mut h = Hypergraph::new(6 + PENDANTS as usize);
+    h.add_edge([Var(0), Var(1)]);
+    h.add_edge([Var(1), Var(2)]);
+    for i in 0..PENDANTS {
+        h.add_edge([Var(0), Var(3 + i)]);
+    }
+    h.add_edge([Var(0), Var(deep)]);
+    h.add_edge([Var(deep), Var(deep + 1)]);
+    h.add_edge([Var(0), Var(deep + 2)]);
+
+    let free = vec![Var(2)];
+    let mut dense: FaqQuery<Count> = random_instance(
+        &h,
+        &RandomInstanceConfig {
+            tuples_per_factor: 0,
+            domain,
+            seed: 0xB20,
+        },
+        free.clone(),
+        |_| Count(1),
+    );
+    // e0 = (x0,x1): the dense hub bag.
+    for a in 0..domain {
+        for b in 0..domain {
+            dense.factors[0].insert(vec![a, b], Count(1));
+        }
+    }
+    // e1 = (x1,x2): every free tip value under one mid — root stays cheap.
+    for b in 0..domain {
+        dense.factors[1].insert(vec![0, b], Count(1));
+    }
+    // Pendant and 2-hop permutation legs: every hub value present, so
+    // their messages filter nothing.
+    for (i, e) in (2..2 + PENDANTS as usize + 2).enumerate() {
+        let i = i as u32;
+        for a in 0..domain {
+            dense.factors[e].insert(vec![a, (a * 7 + i) % domain], Count(1));
+        }
+    }
+    // A second inner value per hub value on the 2-hop leg's outer
+    // factor: its bag lands at 2·domain rows while every other fold
+    // point lands at domain, so the per-node log-ratios can never all
+    // sit on one envelope center — the drift flag re-fires on every
+    // pass, not just the first.
+    for a in 0..domain {
+        dense.factors[2 + PENDANTS as usize]
+            .insert(vec![a, (a * 7 + 1 + PENDANTS) % domain], Count(1));
+    }
+    // The pinning pendant (highest edge id, hence the last static
+    // fold): hub value 0 only.
+    dense.factors[4 + PENDANTS as usize].insert(vec![0, 0], Count(1));
+    let sparse = random_instance(
+        &h,
+        &RandomInstanceConfig {
+            tuples_per_factor: 4,
+            domain,
+            seed: 0xB21,
+        },
+        free,
+        |_| Count(1),
+    );
+    (dense, sparse)
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {
@@ -1291,6 +1534,7 @@ mod tests {
         e17_incremental(512);
         e18_serve(512);
         e19_cyclic(256);
+        e20_adaptive(64);
         ablation_width();
     }
 

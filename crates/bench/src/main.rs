@@ -9,7 +9,7 @@
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
 //! `kernel`, `executor`, `distributed`, `plan-explain`, `incremental`,
-//! `serve`, `ablation`, `all` (default).
+//! `serve`, `cyclic`, `adaptive`, `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -47,13 +47,14 @@ fn main() {
     run("incremental", &|| exp::e17_incremental(32 * n));
     run("serve", &|| exp::e18_serve(8 * n));
     run("cyclic", &|| exp::e19_cyclic(16 * n));
+    run("adaptive", &|| exp::e20_adaptive(n));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             distributed plan-explain incremental serve cyclic ablation all"
+             distributed plan-explain incremental serve cyclic adaptive ablation all"
         );
         std::process::exit(2);
     }

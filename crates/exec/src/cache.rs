@@ -214,6 +214,59 @@ impl PlanCache {
         }
     }
 
+    /// [`PlanCache::get_or_build_with`] with a *freshness* predicate: a
+    /// cached positive entry that fails `fresh` is rebuilt (counted as
+    /// a miss) and the rebuild *replaces* the stale entry. The
+    /// calibrated executor passes "was this plan scored under (close
+    /// to) the registry's current correction?" — so a shape whose
+    /// learned correction has moved by more than the
+    /// [`faqs_plan::correction_fresh`] hysteresis re-plans once, then
+    /// settles (corrections converge as samples accumulate). Negative
+    /// entries replay as in [`PlanCache::get_or_build_with`]; staleness
+    /// is a positive-plan concept.
+    pub fn get_or_build_fresh<S: Semiring>(
+        &self,
+        q: &FaqQuery<S>,
+        lattice: bool,
+        digest: Option<StatsDigest>,
+        fresh: impl Fn(&QueryPlan) -> bool,
+        build: impl FnOnce() -> Result<QueryPlan, EngineError>,
+    ) -> Arc<Result<QueryPlan, EngineError>> {
+        let key = PlanKey::with_digest(q, lattice, digest);
+        {
+            let mut map = self.lock();
+            let tick = self.tick();
+            if let Some(entry) = map.get_mut(&key) {
+                let usable = match entry.plan.as_ref() {
+                    Ok(plan) => fresh(plan),
+                    Err(_) => true, // negative entries have no staleness
+                };
+                if usable {
+                    entry.tick = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&entry.plan);
+                }
+            } else if key.has_digest() {
+                if let Some(entry) = map.get_mut(&key.structural()) {
+                    if entry.plan.is_err() {
+                        entry.tick = tick;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(&entry.plan);
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build());
+        match plan.as_ref() {
+            Err(EngineError::Invalid(_)) => plan,
+            Err(_) => self.insert(key.structural(), plan),
+            // Replace, not first-writer-wins: the whole point of the
+            // rebuild was to supersede the stale plan under this key.
+            Ok(_) => self.insert_replace(key, plan),
+        }
+    }
+
     /// Inserts (first writer wins), touches, and evicts past capacity.
     fn insert(
         &self,
@@ -231,6 +284,21 @@ impl PlanCache {
                 Arc::clone(&v.insert(Entry { plan, tick }).plan)
             }
         };
+        self.evict_over_capacity(&mut map);
+        shared
+    }
+
+    /// Inserts, overwriting any existing entry under `key` (the
+    /// stale-plan replacement path of [`PlanCache::get_or_build_fresh`]).
+    fn insert_replace(
+        &self,
+        key: PlanKey,
+        plan: Arc<Result<QueryPlan, EngineError>>,
+    ) -> Arc<Result<QueryPlan, EngineError>> {
+        let mut map = self.lock();
+        let tick = self.tick();
+        let shared = Arc::clone(&plan);
+        map.insert(key, Entry { plan, tick });
         self.evict_over_capacity(&mut map);
         shared
     }

@@ -22,10 +22,14 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::plan::QueryPlan;
 use faqs_core::EngineError;
 use faqs_hypergraph::{NodeId, Var};
-use faqs_plan::{BagOp, PlannerConfig};
+use faqs_plan::{
+    correction_fresh, BagOp, CalibrationLog, CalibrationRegistry, CalibrationStats, Envelope,
+    PlannerConfig, QueryStats, StatsDigest,
+};
 use faqs_relation::{generic_join, FaqQuery, Relation};
 use faqs_semiring::{Aggregate, LatticeOps, Semiring};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Executor tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -101,11 +105,21 @@ impl Default for ExecutorConfig {
 /// The front door for repeated FAQ traffic: caches one validated plan
 /// per query shape (per statistics digest, when stats-driven planning
 /// is on) and runs the upward pass across worker threads.
+///
+/// Every execution also *teaches* the planner: fold points record
+/// predicted-vs-actual cardinalities into the executor's
+/// [`CalibrationRegistry`], repeated shapes re-plan under the learned
+/// per-shape correction, and an in-flight pass whose actuals leave the
+/// shape's error envelope re-orders its remaining message folds
+/// smallest-actual-first (the folds are commutative, so any order is a
+/// safe swap point). `FAQS_PLAN_DISABLE_CALIBRATION=1` pins all of it
+/// off.
 #[derive(Default)]
 pub struct Executor {
     cfg: ExecutorConfig,
     planner: PlannerConfig,
     cache: PlanCache,
+    calibration: Arc<CalibrationRegistry>,
 }
 
 impl Executor {
@@ -123,7 +137,28 @@ impl Executor {
             cfg,
             planner,
             cache: PlanCache::new(),
+            calibration: Arc::new(CalibrationRegistry::new()),
         }
+    }
+
+    /// Replaces the calibration registry — shares one learning session
+    /// across executors (a serving pool, an incremental maintainer), or
+    /// injects [`CalibrationRegistry::forced`]/`off` in tests and
+    /// benches regardless of the environment hatch.
+    pub fn with_calibration(mut self, calibration: Arc<CalibrationRegistry>) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// This executor's calibration registry.
+    pub fn calibration(&self) -> &Arc<CalibrationRegistry> {
+        &self.calibration
+    }
+
+    /// Calibration counters (shapes learned, samples absorbed,
+    /// mid-flight re-plans triggered).
+    pub fn calibration_stats(&self) -> CalibrationStats {
+        self.calibration.stats()
     }
 
     /// Shorthand for [`Executor::new`] + [`ExecutorConfig::with_threads`].
@@ -152,13 +187,7 @@ impl Executor {
     /// every input (sequential config runs the identical pass; parallel
     /// configs only reorder commutative work).
     pub fn solve<S: Semiring>(&self, q: &FaqQuery<S>) -> Result<Relation<S>, EngineError> {
-        q.validate()
-            .map_err(|e| EngineError::Invalid(e.to_string()))?;
-        let plan = self.cache.get_or_build(q, false, &self.planner);
-        let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
-        eval(q, plan, &self.cfg, &|rel, var, op| {
-            rel.aggregate_out(var, op)
-        })
+        self.solve_impl(q, false, &|rel, var, op| rel.aggregate_out(var, op))
     }
 
     /// [`Executor::solve`] for lattice-capable semirings: additionally
@@ -167,13 +196,143 @@ impl Executor {
         &self,
         q: &FaqQuery<S>,
     ) -> Result<Relation<S>, EngineError> {
+        self.solve_impl(q, true, &|rel, var, op| rel.aggregate_out_lattice(var, op))
+    }
+
+    /// Runs the upward pass on an explicitly supplied (possibly stale
+    /// or deliberately mis-estimated) plan, bypassing the cache but
+    /// keeping calibration telemetry and mid-flight re-planning live —
+    /// the entry point the adaptive bench and the forced-drift tests
+    /// drive. The plan must have been built for `q`'s shape.
+    pub fn solve_on<S: Semiring>(
+        &self,
+        q: &FaqQuery<S>,
+        plan: &QueryPlan,
+    ) -> Result<Relation<S>, EngineError> {
         q.validate()
             .map_err(|e| EngineError::Invalid(e.to_string()))?;
-        let plan = self.cache.get_or_build(q, true, &self.planner);
+        let agg = |rel: &Relation<S>, var: Var, op: Aggregate| rel.aggregate_out(var, op);
+        if !self.calibration.is_enabled() {
+            return eval(q, plan, &self.cfg, None, &agg);
+        }
+        let digest = QueryStats::of(q).digest();
+        let probe = CalProbe::new(&self.calibration, digest, plan);
+        let out = eval(q, plan, &self.cfg, Some(&probe), &agg);
+        if out.is_ok() {
+            probe.flush();
+        }
+        out
+    }
+
+    fn solve_impl<S, F>(
+        &self,
+        q: &FaqQuery<S>,
+        lattice: bool,
+        agg: &F,
+    ) -> Result<Relation<S>, EngineError>
+    where
+        S: Semiring,
+        F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
+    {
+        q.validate()
+            .map_err(|e| EngineError::Invalid(e.to_string()))?;
+        // Calibration needs the digest (its shape key), which only
+        // stats-driven planning computes; structural mode stays the
+        // exact pre-calibration path.
+        if !self.calibration.is_enabled() || !self.planner.use_stats {
+            let plan = self.cache.get_or_build(q, lattice, &self.planner);
+            let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
+            return eval(q, plan, &self.cfg, None, agg);
+        }
+        let stats = QueryStats::of(q);
+        let digest = stats.digest();
+        let correction = self.calibration.correction(&digest);
+        // A cached plan scored under a materially different correction
+        // is stale: rebuild once under the current one (the
+        // `correction_fresh` hysteresis stops rebuild oscillation).
+        let plan = self.cache.get_or_build_fresh(
+            q,
+            lattice,
+            Some(digest.clone()),
+            |p| correction_fresh(p.correction(), correction),
+            || {
+                QueryPlan::build_calibrated(
+                    q,
+                    lattice,
+                    &self.planner,
+                    None,
+                    Some(&stats),
+                    correction,
+                )
+            },
+        );
         let plan = plan.as_ref().as_ref().map_err(Clone::clone)?;
-        eval(q, plan, &self.cfg, &|rel, var, op| {
-            rel.aggregate_out_lattice(var, op)
-        })
+        let probe = CalProbe::new(&self.calibration, digest, plan);
+        let out = eval(q, plan, &self.cfg, Some(&probe), agg);
+        // Telemetry from a failed pass describes a run that never
+        // finished; only successful passes teach the registry.
+        if out.is_ok() {
+            probe.flush();
+        }
+        out
+    }
+}
+
+/// Per-execution calibration state: the plan's predicted rows, the
+/// shape's envelope, the telemetry log, and the sticky drift flag the
+/// fold points consult. Lives on the calling thread's stack for one
+/// `eval`; worker threads share it by reference.
+struct CalProbe<'a> {
+    registry: &'a CalibrationRegistry,
+    digest: StatsDigest,
+    envelope: Envelope,
+    node_rows: &'a [u64],
+    log: CalibrationLog,
+    replans: AtomicU64,
+    drift: AtomicBool,
+}
+
+impl<'a> CalProbe<'a> {
+    fn new(registry: &'a CalibrationRegistry, digest: StatsDigest, plan: &'a QueryPlan) -> Self {
+        let envelope = registry.envelope(&digest);
+        CalProbe {
+            registry,
+            digest,
+            envelope,
+            node_rows: plan.node_rows(),
+            log: CalibrationLog::new(),
+            replans: AtomicU64::new(0),
+            drift: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one fold point's predicted-vs-actual pair and raises the
+    /// sticky drift flag when the sample leaves the shape's envelope.
+    fn observe(&self, node: usize, actual: usize) {
+        let Some(&predicted) = self.node_rows.get(node) else {
+            return; // structural plan: nothing was predicted
+        };
+        let actual = actual as u64;
+        self.log.record(node, predicted, actual);
+        if !self.envelope.contains(predicted, actual) {
+            self.drift.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether any sample so far left the envelope.
+    fn drifted(&self) -> bool {
+        self.drift.load(Ordering::Acquire)
+    }
+
+    fn note_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hands the run's telemetry to the registry (successful runs only).
+    fn flush(&self) {
+        self.registry.absorb(&self.digest, &self.log);
+        self.registry
+            .record_replans(self.replans.load(Ordering::Relaxed));
     }
 }
 
@@ -214,6 +373,7 @@ fn eval<S, F>(
     q: &FaqQuery<S>,
     plan: &QueryPlan,
     cfg: &ExecutorConfig,
+    cal: Option<&CalProbe<'_>>,
     agg: &F,
 ) -> Result<Relation<S>, EngineError>
 where
@@ -222,8 +382,8 @@ where
 {
     let budget = AtomicUsize::new(cfg.threads.saturating_sub(1));
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let result =
-            eval_subtree(q, plan, plan.root(), cfg, &budget, agg)?.unwrap_or_else(Relation::unit);
+        let result = eval_subtree(q, plan, plan.root(), cfg, &budget, cal, agg)?
+            .unwrap_or_else(Relation::unit);
         // Root: the engine's shared epilogue (aggregate the remaining
         // bound variables innermost-first, reorder onto the free-variable
         // schema).
@@ -246,6 +406,7 @@ fn eval_subtree<S, F>(
     node: NodeId,
     cfg: &ExecutorConfig,
     budget: &AtomicUsize,
+    cal: Option<&CalProbe<'_>>,
     agg: &F,
 ) -> Result<Option<Relation<S>>, EngineError>
 where
@@ -256,7 +417,7 @@ where
     let messages: Vec<Relation<S>> = if children.len() <= 1 || cfg.threads == 1 {
         children
             .iter()
-            .map(|&c| subtree_message(q, plan, c, node, cfg, budget, agg))
+            .map(|&c| subtree_message(q, plan, c, node, cfg, budget, cal, agg))
             .collect::<Result<_, _>>()?
     } else {
         std::thread::scope(|s| {
@@ -268,7 +429,7 @@ where
             for (i, &c) in children.iter().enumerate() {
                 if i + 1 < children.len() && try_acquire(budget) {
                     handles.push(Some(s.spawn(move || {
-                        let m = subtree_message(q, plan, c, node, cfg, budget, agg);
+                        let m = subtree_message(q, plan, c, node, cfg, budget, cal, agg);
                         budget.fetch_add(1, Ordering::Release);
                         m
                     })));
@@ -286,7 +447,7 @@ where
                     Some(h) => h
                         .join()
                         .unwrap_or_else(|p| Err(EngineError::WorkerPanic(panic_message(&*p)))),
-                    None => subtree_message(q, plan, c, node, cfg, budget, agg),
+                    None => subtree_message(q, plan, c, node, cfg, budget, cal, agg),
                 })
                 .collect();
             outcomes.into_iter().collect::<Result<_, _>>()
@@ -315,9 +476,24 @@ where
         }
     }
 
-    // Fold child messages in node order (determinism) — the `⊗` on the
-    // bag overlap of Theorem G.3.
-    for message in messages {
+    // Fold child messages — the `⊗` on the bag overlap of Theorem G.3.
+    // Default order is node order (determinism for a fixed plan state);
+    // once calibration flags drift, the remaining folds of the pass
+    // re-plan locally to smallest-actual-first. `⊗`-folds commute, so
+    // the reorder is a safe swap point and the answer is unchanged —
+    // only the intermediate sizes (the thing the stale plan mispriced)
+    // shrink. Ties break on node order, keeping the reorder itself
+    // deterministic for a given drift state.
+    let mut order: Vec<usize> = (0..messages.len()).collect();
+    if messages.len() >= 2 && cal.is_some_and(|c| c.drifted()) {
+        if let Some(c) = cal {
+            c.note_replan();
+        }
+        order.sort_by_key(|&i| (messages[i].len(), i));
+    }
+    let mut slots: Vec<Option<Relation<S>>> = messages.into_iter().map(Some).collect();
+    for i in order {
+        let message = slots[i].take().expect("each message folds exactly once");
         acc = Some(match acc {
             Some(cur) => {
                 let shared = cur.shared_vars(&message);
@@ -327,12 +503,23 @@ where
             None => message,
         });
     }
+
+    // Telemetry: a fold point with at least two inputs is where the
+    // cost model actually had to *predict* (single-factor leaf bags
+    // restate exact statistics — feeding them back would drown the
+    // signal in certainty).
+    if plan.joins(node).len() + plan.children(node).len() >= 2 {
+        if let (Some(c), Some(rel)) = (cal, acc.as_ref()) {
+            c.observe(node.index(), rel.len());
+        }
+    }
     Ok(acc)
 }
 
 /// A child's upward message: its subtree relation with every variable
 /// private to the subtree (absent from the parent's bag) aggregated out,
 /// innermost (highest index) first — the push-down of Corollary G.2.
+#[allow(clippy::too_many_arguments)]
 fn subtree_message<S, F>(
     q: &FaqQuery<S>,
     plan: &QueryPlan,
@@ -340,14 +527,15 @@ fn subtree_message<S, F>(
     parent: NodeId,
     cfg: &ExecutorConfig,
     budget: &AtomicUsize,
+    cal: Option<&CalProbe<'_>>,
     agg: &F,
 ) -> Result<Relation<S>, EngineError>
 where
     S: Semiring,
     F: Fn(&Relation<S>, Var, Aggregate) -> Relation<S> + Sync,
 {
-    let message =
-        eval_subtree(q, plan, child, cfg, budget, agg)?.expect("non-root GHD nodes carry a factor");
+    let message = eval_subtree(q, plan, child, cfg, budget, cal, agg)?
+        .expect("non-root GHD nodes carry a factor");
     Ok(faqs_core::push_down_message(
         q,
         message,
@@ -484,6 +672,122 @@ mod tests {
             let msg = warn.unwrap_or_else(|| panic!("{raw:?} must warn"));
             assert!(msg.contains("FAQS_EXEC_THREADS"), "names the variable");
         }
+    }
+
+    #[test]
+    fn calibration_absorbs_samples_on_repeated_shapes() {
+        let ex = Executor::with_planner(ExecutorConfig::sequential(), PlannerConfig::stats())
+            .with_calibration(Arc::new(CalibrationRegistry::forced(f64::INFINITY)));
+        let q = inst(2);
+        let expected = solve_faq(&q).unwrap();
+        for _ in 0..4 {
+            assert_eq!(ex.solve(&q).unwrap(), expected);
+        }
+        let stats = ex.calibration_stats();
+        assert_eq!(stats.shapes, 1, "one digest, one learned shape");
+        assert!(stats.samples > 0, "fold points recorded telemetry");
+        assert_eq!(stats.replans, 0, "an infinite envelope never drifts");
+    }
+
+    /// A spider: hub variable with three 2-hop legs. Each leg's hub bag
+    /// folds its own factor plus the tip's message (≥2 inputs → it
+    /// *observes*), and the root folds three leg messages — the shape
+    /// where drift raised mid-pass can still re-order remaining work.
+    fn spider(tuples: usize) -> FaqQuery<Count> {
+        let mut h = faqs_hypergraph::Hypergraph::new(7);
+        for leg in 0..3u32 {
+            h.add_edge([Var(0), Var(1 + 2 * leg)]); // hub—mid
+            h.add_edge([Var(1 + 2 * leg), Var(2 + 2 * leg)]); // mid—tip
+        }
+        random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: tuples,
+                domain: 8,
+                seed: 11,
+            },
+            vec![],
+            |_| Count(1),
+        )
+    }
+
+    #[test]
+    fn forced_drift_replans_without_changing_the_answer() {
+        // A stale plan: built from a sparse instance of the shape, run
+        // against a dense one. The leg bags' actuals leave the
+        // zero-width envelope long before the root folds its three
+        // messages, so the sticky drift flag re-orders that fold — and
+        // the answer must not move.
+        let stale =
+            QueryPlan::build_with(&spider(4), false, &PlannerConfig::stats(), None).unwrap();
+        let q = spider(48);
+        let expected = solve_faq(&q).unwrap();
+        for threads in [1usize, 4] {
+            let ex = Executor::with_planner(
+                ExecutorConfig::with_threads(threads),
+                PlannerConfig::stats(),
+            )
+            .with_calibration(Arc::new(CalibrationRegistry::forced(0.0)));
+            assert_eq!(
+                ex.solve_on(&q, &stale).unwrap(),
+                expected,
+                "threads {threads}"
+            );
+            let stats = ex.calibration_stats();
+            assert!(
+                stats.replans > 0,
+                "threads {threads}: out-of-envelope actuals must force a mid-flight re-plan"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_and_matches_engine() {
+        let ex = Executor::with_planner(ExecutorConfig::sequential(), PlannerConfig::stats())
+            .with_calibration(Arc::new(CalibrationRegistry::off()));
+        let q = inst(4);
+        assert_eq!(ex.solve(&q).unwrap(), solve_faq(&q).unwrap());
+        let stats = ex.calibration_stats();
+        assert_eq!((stats.shapes, stats.samples, stats.replans), (0, 0, 0));
+    }
+
+    #[test]
+    fn learned_corrections_trigger_one_fresh_rebuild() {
+        // Seed the registry with a large correction for the shape, then
+        // solve twice: the first call rebuilds the (previously cached)
+        // plan under the learned correction, the second hits it — the
+        // `correction_fresh` hysteresis stops rebuild churn. An
+        // explicit forced() registry keeps the test meaningful under
+        // the FAQS_PLAN_DISABLE_CALIBRATION=1 CI configuration.
+        let ex = Executor::with_planner(ExecutorConfig::sequential(), PlannerConfig::stats())
+            .with_calibration(Arc::new(CalibrationRegistry::forced(f64::INFINITY)));
+        let q = inst(6);
+        let expected = solve_faq(&q).unwrap();
+        assert_eq!(ex.solve(&q).unwrap(), expected);
+        assert_eq!(ex.cache_stats().misses, 1);
+        let digest = QueryStats::of(&q).digest();
+        let log = CalibrationLog::new();
+        for _ in 0..32 {
+            log.record(0, 16, 1 << 14); // actuals 1024× the prediction
+        }
+        ex.calibration().absorb(&digest, &log);
+        assert!(ex.calibration().correction(&digest) > 2.0);
+        assert_eq!(ex.solve(&q).unwrap(), expected);
+        assert_eq!(ex.cache_stats().misses, 2, "stale plan rebuilt once");
+        assert_eq!(ex.solve(&q).unwrap(), expected);
+        assert_eq!(ex.cache_stats().misses, 2, "fresh plan replays");
+    }
+
+    #[test]
+    fn solve_on_runs_telemetry_against_a_supplied_plan() {
+        let ex = Executor::with_planner(ExecutorConfig::sequential(), PlannerConfig::stats())
+            .with_calibration(Arc::new(CalibrationRegistry::forced(0.0)));
+        let q = inst(8);
+        let plan = QueryPlan::build_with(&q, false, &PlannerConfig::stats(), None).unwrap();
+        assert_eq!(ex.solve_on(&q, &plan).unwrap(), solve_faq(&q).unwrap());
+        let stats = ex.calibration_stats();
+        assert!(stats.samples > 0, "supplied-plan path still observes");
+        assert_eq!(ex.cache_stats().misses, 0, "cache bypassed");
     }
 
     /// A counting semiring whose `⊕` detonates on a sentinel value —

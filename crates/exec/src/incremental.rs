@@ -37,7 +37,9 @@ use crate::cache::PlanCache;
 use crate::plan::QueryPlan;
 use faqs_core::{finish_root, push_down_message, EngineError};
 use faqs_hypergraph::{EdgeId, NodeId};
-use faqs_plan::{BagOp, PlannerConfig, QueryStats, StatsDigest};
+use faqs_plan::{
+    correction_fresh, BagOp, CalibrationRegistry, PlannerConfig, QueryStats, StatsDigest,
+};
 use faqs_relation::{
     generic_join, AppliedDelta, FaqQuery, MaintainedStats, Relation, RelationDelta,
 };
@@ -85,6 +87,10 @@ pub struct IncrementalStats {
     pub full_upward_passes: u64,
     /// Re-plans triggered by a statistics-digest bucket crossing.
     pub plan_rebuilds: u64,
+    /// Re-plans triggered by a learned-correction shift (a subset of
+    /// `plan_rebuilds`): the shared [`CalibrationRegistry`] moved this
+    /// shape's correction past the `correction_fresh` hysteresis.
+    pub calibration_replans: u64,
     /// Inverse propagations that hit an unrepresentable cancellation
     /// and fell back to the dirty-subtree path. Defensive: the shipped
     /// inverse-capable semirings never refuse (Count's listing values
@@ -138,6 +144,13 @@ pub struct IncrementalFaq<S: Semiring> {
     answer: Relation<S>,
     mode: MaintenanceMode,
     counters: IncrementalStats,
+    /// Calibration telemetry sink and correction source. Defaults to
+    /// [`CalibrationRegistry::off`]: a session replays one instance, so
+    /// self-calibration would chase its own digest-drift re-plans;
+    /// serving stacks opt in via [`IncrementalFaq::with_calibration`]
+    /// to share an executor's registry, and every recompute then feeds
+    /// predicted-vs-actual samples back into it.
+    calibration: Arc<CalibrationRegistry>,
 }
 
 impl<S: Semiring> IncrementalFaq<S> {
@@ -187,10 +200,25 @@ impl<S: Semiring> IncrementalFaq<S> {
             answer,
             mode,
             counters,
+            calibration: Arc::new(CalibrationRegistry::off()),
         };
         session.index_edges();
         session.full_recompute();
         Ok(session)
+    }
+
+    /// Attaches a shared [`CalibrationRegistry`]: recomputes feed their
+    /// predicted-vs-actual pairs into it, and [`IncrementalFaq::apply`]
+    /// re-plans (once per hysteresis-sized correction shift) when the
+    /// registry's learned correction for this shape moves materially.
+    pub fn with_calibration(mut self, calibration: Arc<CalibrationRegistry>) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// This session's calibration registry.
+    pub fn calibration(&self) -> &Arc<CalibrationRegistry> {
+        &self.calibration
     }
 
     /// The maintained answer relation over the free variables.
@@ -249,6 +277,9 @@ impl<S: Semiring> IncrementalFaq<S> {
         self.stats[edge.index()].apply(&applied);
         self.counters.delta_stats_merges += 1;
         if self.replan_if_drifted()? {
+            return Ok(());
+        }
+        if self.replan_if_recalibrated()? {
             return Ok(());
         }
         match self.mode {
@@ -368,6 +399,59 @@ impl<S: Semiring> IncrementalFaq<S> {
         Ok(true)
     }
 
+    /// Re-plans and fully recomputes iff an attached calibration
+    /// registry's learned correction for this shape moved past the
+    /// [`correction_fresh`] hysteresis since the current plan was
+    /// scored; returns whether that happened. The rebuilt plan goes
+    /// through the cache's freshness path, so sibling sessions on the
+    /// same digest share it.
+    fn replan_if_recalibrated(&mut self) -> Result<bool, EngineError> {
+        if !self.calibration.is_enabled() {
+            return Ok(false);
+        }
+        let Some(digest) = self.digest.clone() else {
+            return Ok(false);
+        };
+        let correction = self.calibration.correction(&digest);
+        {
+            let plan = self.plan_arc();
+            let plan = plan.as_ref().as_ref().expect("session plan is Ok");
+            if correction_fresh(plan.correction(), correction) {
+                return Ok(false);
+            }
+        }
+        self.counters.plan_rebuilds += 1;
+        self.counters.calibration_replans += 1;
+        self.calibration.record_replans(1);
+        let plan = self.cache.get_or_build_fresh(
+            &self.query,
+            false,
+            Some(digest),
+            |p| correction_fresh(p.correction(), correction),
+            || {
+                let qs = QueryStats::from_factors(
+                    self.stats.iter().map(MaintainedStats::snapshot).collect(),
+                );
+                faqs_plan::plan_query_calibrated(
+                    &self.query,
+                    false,
+                    &self.planner,
+                    None,
+                    Some(&qs),
+                    correction,
+                )
+                .map(|chosen| QueryPlan::lower(&self.query, chosen))
+            },
+        );
+        if let Err(e) = plan.as_ref() {
+            return Err(e.clone());
+        }
+        self.plan = plan;
+        self.index_edges();
+        self.full_recompute();
+        Ok(true)
+    }
+
     fn plan_arc(&self) -> Arc<Result<QueryPlan, EngineError>> {
         Arc::clone(&self.plan)
     }
@@ -430,6 +514,21 @@ impl<S: Semiring> IncrementalFaq<S> {
     /// non-root nodes, the finished answer at the root.
     fn emit(&mut self, plan: &QueryPlan, node: NodeId) {
         let sub = self.subtree(plan, node);
+        // Telemetry: multi-input fold points (the ones the cost model
+        // had to predict) report predicted-vs-actual to the attached
+        // registry — an incremental maintainer teaches the planner
+        // exactly like a one-shot execution does.
+        if self.calibration.is_enabled() && plan.joins(node).len() + plan.children(node).len() >= 2
+        {
+            if let (Some(digest), Some(rel), Some(&predicted)) = (
+                self.digest.as_ref(),
+                sub.as_ref(),
+                plan.node_rows().get(node.index()),
+            ) {
+                self.calibration
+                    .observe(digest, predicted, rel.len() as u64);
+            }
+        }
         if node == plan.root() {
             let root_rel = sub.unwrap_or_else(Relation::unit);
             self.answer = finish_root(&self.query, root_rel, |rel, v, op| rel.aggregate_out(v, op));
@@ -840,6 +939,87 @@ mod tests {
                 faq.answer()
             );
         }
+    }
+
+    #[test]
+    fn calibrated_session_observes_and_replans_on_correction_shift() {
+        use faqs_plan::CalibrationLog;
+
+        let h = star_query(3);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 16,
+                seed: 2,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let registry = Arc::new(CalibrationRegistry::forced(f64::INFINITY));
+        let mut faq = IncrementalFaq::with_cache(
+            q.clone(),
+            Arc::new(PlanCache::new()),
+            PlannerConfig::stats(),
+        )
+        .unwrap()
+        .with_calibration(Arc::clone(&registry));
+        // The construction recompute predates the attachment, so seed
+        // the registry by hand: a doctored log claiming the model
+        // under-predicts this shape by 1024× shifts its correction far
+        // past the freshness hysteresis.
+        let digest = faq.digest.clone().unwrap();
+        let log = CalibrationLog::new();
+        for _ in 0..32 {
+            log.record(0, 16, 1 << 14);
+        }
+        registry.absorb(&digest, &log);
+        assert!(registry.correction(&digest) > 2.0);
+
+        let before = faq.counters();
+        let mut mirror = q;
+        faq.insert(EdgeId(0), &[9, 9], Count(1)).unwrap();
+        mirror.factors[0].insert(vec![9, 9], Count(1));
+        let after = faq.counters();
+        assert_eq!(
+            after.calibration_replans,
+            before.calibration_replans + 1,
+            "the correction shift forces exactly one re-plan"
+        );
+        assert_eq!(after.plan_rebuilds, before.plan_rebuilds + 1);
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+        // The post-re-plan recompute reported fresh telemetry.
+        assert!(registry.stats().samples > 32, "recompute observed");
+
+        // A second small update: the plan is now scored under the
+        // learned correction, so no further calibration re-plan fires.
+        faq.delete(EdgeId(0), &[9, 9]).unwrap();
+        mirror.factors[0].delete(&[9, 9]);
+        assert_eq!(
+            faq.counters().calibration_replans,
+            after.calibration_replans
+        );
+        assert_eq!(faq.answer(), &solve_faq_reference(&mirror).unwrap());
+    }
+
+    #[test]
+    fn uncalibrated_sessions_record_nothing() {
+        let h = path_query(2);
+        let q: FaqQuery<Count> = random_instance(
+            &h,
+            &RandomInstanceConfig {
+                tuples_per_factor: 8,
+                domain: 4,
+                seed: 6,
+            },
+            vec![],
+            |_| Count(1),
+        );
+        let mut faq = IncrementalFaq::new(q).unwrap();
+        faq.insert(EdgeId(0), &[3, 3], Count(1)).unwrap();
+        let s = faq.calibration().stats();
+        assert_eq!((s.shapes, s.samples, s.replans), (0, 0, 0));
+        assert_eq!(faq.counters().calibration_replans, 0);
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct QueryPlan {
     /// Per-node operator choice (dense by `NodeId` index): cascade the
     /// join steps, or materialise the bag in one generic-join pass.
     bag_ops: Vec<BagOp>,
+    /// The cost model's predicted row count per node (dense by `NodeId`
+    /// index; empty for structural plans) — the `predicted` halves of
+    /// the executor's calibration samples.
+    node_rows: Vec<u64>,
+    /// The calibration correction the plan was scored under (`1.0` =
+    /// uncalibrated); the cache's freshness predicate compares it to
+    /// the registry's current correction.
+    correction: f64,
 }
 
 impl QueryPlan {
@@ -75,6 +83,22 @@ impl QueryPlan {
         Ok(Self::lower(q, chosen))
     }
 
+    /// [`QueryPlan::build_with`] under a calibration `correction` (and
+    /// optional precomputed stats): the executor's planning path once a
+    /// [`faqs_plan::CalibrationRegistry`] has learned this shape.
+    pub fn build_calibrated<S: Semiring>(
+        q: &FaqQuery<S>,
+        lattice: bool,
+        planner: &PlannerConfig,
+        placement: Option<&PlacementContext<'_>>,
+        stats: Option<&faqs_plan::QueryStats>,
+        correction: f64,
+    ) -> Result<QueryPlan, EngineError> {
+        let chosen =
+            faqs_plan::plan_query_calibrated(q, lattice, planner, placement, stats, correction)?;
+        Ok(Self::lower(q, chosen))
+    }
+
     /// Lowers a [`ChosenPlan`] to execution form: per-node child lists
     /// and join steps with precomputed index-key schemas, consuming the
     /// planner's join order verbatim (the executor's old smallest-first
@@ -87,6 +111,8 @@ impl QueryPlan {
             bag_ops,
             cost,
             stats_aware,
+            node_rows,
+            correction,
             ..
         } = chosen;
         let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
@@ -131,6 +157,8 @@ impl QueryPlan {
             children,
             joins,
             bag_ops,
+            node_rows,
+            correction,
         }
     }
 
@@ -167,6 +195,19 @@ impl QueryPlan {
     /// Whether any bag lowers to the generic join.
     pub fn uses_generic_join(&self) -> bool {
         self.bag_ops.iter().any(BagOp::is_generic_join)
+    }
+
+    /// The cost model's predicted rows per node (dense by `NodeId`;
+    /// empty for structural plans).
+    #[inline]
+    pub fn node_rows(&self) -> &[u64] {
+        &self.node_rows
+    }
+
+    /// The calibration correction this plan was scored under.
+    #[inline]
+    pub fn correction(&self) -> f64 {
+        self.correction
     }
 
     /// Total number of live GHD nodes (sizing hint for schedulers).

@@ -1,0 +1,199 @@
+//! Adaptive-execution differential suite: the calibrated executor —
+//! telemetry on, zero-width forced envelope, and a deliberately *stale*
+//! plan driven through [`Executor::solve_on`] so mid-flight re-planning
+//! actually fires — must stay bit-identical to the deterministic
+//! [`solve_faq_reference`] re-solve, across semirings, shapes (acyclic
+//! and cyclic), and thread counts.
+//!
+//! Why bit-identity is the right bar even for the float-valued tropical
+//! semiring: the drift path only re-orders commutative `⊗`-folds, and
+//! every MinPlus annotation here is a dyadic rational (k·0.25), so
+//! tropical `⊗` (f64 addition) is exact in every association order.
+
+use faqs_core::solve_faq_reference;
+use faqs_exec::{Executor, ExecutorConfig, QueryPlan};
+use faqs_hypergraph::{cycle_query, example_h2, path_query, star_query, Hypergraph, Var};
+use faqs_plan::{CalibrationRegistry, PlannerConfig};
+use faqs_relation::{random_boolean_instance, random_instance, FaqQuery, RandomInstanceConfig};
+use faqs_semiring::{Boolean, Count, MinPlus, Semiring};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The issue's shape matrix: star, path, H2 and the (cyclic) triangle,
+/// each with a free-variable choice the engine can place.
+fn shape(which: usize, free_sel: usize) -> (&'static str, Hypergraph, Vec<Var>) {
+    match which % 4 {
+        0 => (
+            "star3",
+            star_query(3),
+            if free_sel == 0 { vec![] } else { vec![Var(0)] },
+        ),
+        1 => (
+            "path4",
+            path_query(4),
+            if free_sel == 0 {
+                vec![]
+            } else {
+                vec![Var(1), Var(2)]
+            },
+        ),
+        2 => (
+            "h2",
+            example_h2(),
+            if free_sel == 0 {
+                vec![]
+            } else {
+                vec![Var(0), Var(1), Var(2)]
+            },
+        ),
+        _ => (
+            "triangle",
+            cycle_query(3),
+            if free_sel == 0 { vec![] } else { vec![Var(0)] },
+        ),
+    }
+}
+
+fn cfg(seed: u64, tuples: usize) -> RandomInstanceConfig {
+    RandomInstanceConfig {
+        tuples_per_factor: tuples,
+        domain: 5,
+        seed,
+    }
+}
+
+/// Runs `q` through the adaptive matrix and asserts every leg equals
+/// the reference relation bit-for-bit:
+///
+/// * cache path (`solve`) with a zero-width forced envelope — every
+///   multi-input fold observes out-of-envelope, so any later fold with
+///   ≥2 messages re-orders;
+/// * stale-plan path (`solve_on` against a plan built from `stale`, a
+///   sparse instance of the same shape) — predictions are badly wrong,
+///   the strongest drift provocation the executor supports;
+/// * both at 1 and 4 threads, plus a calibration-off control.
+fn assert_adaptive_agree<S>(q: &FaqQuery<S>, stale: &FaqQuery<S>, label: &str)
+where
+    S: Semiring + PartialEq + std::fmt::Debug,
+{
+    let want = solve_faq_reference(q).unwrap_or_else(|e| panic!("{label}: reference: {e}"));
+    let stale_plan = QueryPlan::build_with(stale, false, &PlannerConfig::stats(), None)
+        .unwrap_or_else(|e| panic!("{label}: stale plan: {e}"));
+    for threads in [1usize, 4] {
+        let ex = Executor::with_planner(
+            ExecutorConfig::with_threads(threads),
+            PlannerConfig::stats(),
+        )
+        .with_calibration(Arc::new(CalibrationRegistry::forced(0.0)));
+        // Twice through the cache path: the second solve replays under
+        // whatever corrections the first taught the registry.
+        for round in 0..2 {
+            let got = ex
+                .solve(q)
+                .unwrap_or_else(|e| panic!("{label}/t{threads}/r{round}: rejected: {e}"));
+            assert_eq!(got, want, "{label}/t{threads}/r{round}: calibrated solve");
+        }
+        let got = ex
+            .solve_on(q, &stale_plan)
+            .unwrap_or_else(|e| panic!("{label}/t{threads}: stale plan rejected: {e}"));
+        assert_eq!(got, want, "{label}/t{threads}: stale-plan adaptive solve");
+
+        let off = Executor::with_planner(
+            ExecutorConfig::with_threads(threads),
+            PlannerConfig::stats(),
+        )
+        .with_calibration(Arc::new(CalibrationRegistry::off()));
+        assert_eq!(
+            off.solve(q).unwrap(),
+            want,
+            "{label}/t{threads}: calibration-off control"
+        );
+        let s = off.calibration_stats();
+        assert_eq!(
+            (s.samples, s.replans),
+            (0, 0),
+            "{label}: off records nothing"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn count_adaptive_matches_reference(
+        which in 0usize..4,
+        free_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let (name, h, free) = shape(which, free_sel);
+        let q: FaqQuery<Count> = random_instance(&h, &cfg(seed, 24), free.clone(), |r| {
+            use rand::Rng;
+            Count(r.random_range(1..5))
+        });
+        let stale: FaqQuery<Count> = random_instance(&h, &cfg(seed ^ 1, 3), free, |_| Count(1));
+        assert_adaptive_agree(&q, &stale, &format!("count/{name}/s{seed}"));
+    }
+
+    #[test]
+    fn boolean_adaptive_matches_reference(
+        which in 0usize..4,
+        free_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let (name, h, free) = shape(which, free_sel);
+        let mut q: FaqQuery<Boolean> = random_boolean_instance(&h, &cfg(seed, 24), seed % 2 == 0);
+        q.free_vars = free.clone();
+        let mut stale: FaqQuery<Boolean> = random_boolean_instance(&h, &cfg(seed ^ 1, 3), true);
+        stale.free_vars = free;
+        assert_adaptive_agree(&q, &stale, &format!("bool/{name}/s{seed}"));
+    }
+
+    #[test]
+    fn minplus_adaptive_matches_reference(
+        which in 0usize..4,
+        free_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let (name, h, free) = shape(which, free_sel);
+        // Dyadic annotations: k·0.25 — exact under any fold order.
+        let q: FaqQuery<MinPlus> = random_instance(&h, &cfg(seed, 24), free.clone(), |r| {
+            use rand::Rng;
+            MinPlus::new(r.random_range(0..32) as f64 * 0.25)
+        });
+        let stale: FaqQuery<MinPlus> =
+            random_instance(&h, &cfg(seed ^ 1, 3), free, |_| MinPlus::new(0.25));
+        assert_adaptive_agree(&q, &stale, &format!("minplus/{name}/s{seed}"));
+    }
+}
+
+/// The deterministic "re-planning fired and won nothing but time" pin:
+/// a spider instance (hub with three 2-hop legs) against a plan built
+/// from a sparse sibling *must* raise the sticky drift flag at a leg
+/// fold and re-order the root fold — the counters prove the adaptive
+/// machinery ran, the equality proves it changed nothing semantically.
+#[test]
+fn forced_drift_is_observable_and_lossless() {
+    let mut h = Hypergraph::new(7);
+    for leg in 0..3u32 {
+        h.add_edge([Var(0), Var(1 + 2 * leg)]);
+        h.add_edge([Var(1 + 2 * leg), Var(2 + 2 * leg)]);
+    }
+    let mk = |tuples: usize| -> FaqQuery<Count> {
+        random_instance(&h, &cfg(13, tuples), vec![], |_| Count(1))
+    };
+    let q = mk(48);
+    let want = solve_faq_reference(&q).unwrap();
+    let stale_plan = QueryPlan::build_with(&mk(4), false, &PlannerConfig::stats(), None).unwrap();
+    for threads in [1usize, 4] {
+        let ex = Executor::with_planner(
+            ExecutorConfig::with_threads(threads),
+            PlannerConfig::stats(),
+        )
+        .with_calibration(Arc::new(CalibrationRegistry::forced(0.0)));
+        assert_eq!(ex.solve_on(&q, &stale_plan).unwrap(), want, "t{threads}");
+        let s = ex.calibration_stats();
+        assert!(s.replans > 0, "t{threads}: drift must trigger a re-plan");
+        assert!(s.samples > 0, "t{threads}: fold points must observe");
+    }
+}

@@ -29,10 +29,14 @@ use std::collections::BTreeMap;
 /// never overflow into `inf` (and the final `u64` conversion is safe).
 const EST_CAP: f64 = 1e15;
 
-/// The unreachable-distance clamp shared with the aggregation-player
-/// chooser: a candidate behind a down link is effectively infinitely
-/// far, but must still compare totally against reachable ones.
-pub(crate) const UNREACHABLE_HOPS: u32 = 1 << 20;
+/// Net-bits price of a leg the topology cannot route. The runtime
+/// routes *every* shard and message — `NoRoute` aborts the run even
+/// for a zero-bit send — so an unreachable leg does not make a plan
+/// expensive, it makes it inexecutable: saturate the candidate's
+/// `net_bits` outright so any executable candidate beats it, and the
+/// planner can turn "no candidate below the sentinel" into a loud
+/// error instead of a silently mispriced route.
+pub(crate) const UNREACHABLE_BITS: u64 = u64::MAX;
 
 /// Predicted cost of one plan candidate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -88,6 +92,9 @@ pub(crate) struct CostModel<'a> {
     log_d: u64,
     /// Bits per semiring annotation (`S::value_bits()`).
     value_bits: u64,
+    /// Learned per-shape multiplicative row correction (calibration).
+    /// `1.0` = trust the raw independence estimates.
+    correction: f64,
     /// Memoised `log₂` size bounds: one fractional-cover LP per distinct
     /// `(vars, factor set)` pair across all simulated candidates.
     vv_cache: RefCell<VvCache>,
@@ -97,14 +104,32 @@ pub(crate) struct CostModel<'a> {
 type VvCache = BTreeMap<(Vec<Var>, Vec<EdgeId>), f64>;
 
 impl<'a> CostModel<'a> {
-    pub(crate) fn new(stats: &'a QueryStats, domain: u32, value_bits: u64) -> CostModel<'a> {
+    pub(crate) fn new(
+        stats: &'a QueryStats,
+        domain: u32,
+        value_bits: u64,
+        correction: f64,
+    ) -> CostModel<'a> {
         let log_d = (32 - domain.saturating_sub(1).leading_zeros()).max(1) as u64;
         CostModel {
             stats,
             log_d,
             value_bits,
+            // A poisoned multiplier must never reach the estimates: the
+            // registry clamps to 2^±8, but the model re-sanitises so no
+            // caller can reintroduce the NaN-cost bug class.
+            correction: if correction.is_finite() && correction > 0.0 {
+                correction
+            } else {
+                1.0
+            },
             vv_cache: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// The (sanitised) correction this model scores with.
+    pub(crate) fn correction(&self) -> f64 {
+        self.correction
     }
 
     /// `log₂` of the AGM/FD-aware bound on `|⋈_{e ∈ edges} R_e|`
@@ -176,11 +201,29 @@ impl<'a> CostModel<'a> {
         saturating(est.rows) * per_tuple.max(1)
     }
 
-    /// Bits of one shard of factor `e` split across `parts` holders.
-    fn shard_bits(&self, e: EdgeId, parts: usize) -> u64 {
+    /// Bits of one shard of factor `e` split across `parts` holders,
+    /// after the shard-local Sum push-down of Corollary G.2 collapsed
+    /// the `pre_agg` columns away (the runtime aggregates each shard
+    /// locally *before* shipping it — `materialise_shards` — so the
+    /// wire carries only the kept columns, and at most one tuple per
+    /// distinct kept-column combination).
+    fn shard_bits(&self, e: EdgeId, parts: usize, pre_agg: &[Var]) -> u64 {
         let s = &self.stats.factors[e.index()];
-        let per_tuple = s.schema.len() as u64 * self.log_d + self.value_bits;
-        (s.rows as u64).div_ceil(parts.max(1) as u64) * per_tuple.max(1)
+        let mut shard_rows = (s.rows as u64).div_ceil(parts.max(1) as u64);
+        let kept: Vec<usize> = (0..s.schema.len())
+            .filter(|&i| !pre_agg.contains(&s.schema[i]))
+            .collect();
+        if kept.len() < s.schema.len() {
+            // Aggregating down to the kept columns caps the shard at
+            // their distinct-combination capacity.
+            let mut capacity = 1.0f64;
+            for &i in &kept {
+                capacity = (capacity * s.distinct[i].max(1) as f64).min(EST_CAP);
+            }
+            shard_rows = shard_rows.min(saturating(capacity));
+        }
+        let per_tuple = kept.len() as u64 * self.log_d + self.value_bits;
+        shard_rows * per_tuple.max(1)
     }
 
     /// One indexed join: `cur` probes an index of `next` (built here),
@@ -268,15 +311,17 @@ impl<'a> CostModel<'a> {
     /// operator (when `wcoj` allows it) — and, when a placement is
     /// given, predicts the bits each GHD node's gather and each upward
     /// message will ship, using the same aggregation-player choice the
-    /// runtime makes. Returns the cost plus the per-node operator
-    /// choices (dense by `NodeId`).
+    /// runtime makes. Returns the cost, the per-node operator choices
+    /// and the per-node predicted row counts (both dense by `NodeId`);
+    /// the row predictions are what the executor's fold points confront
+    /// with `Relation::len` to drive calibration.
     pub(crate) fn simulate(
         &self,
         ghd: &Ghd,
         join_order: &[Vec<EdgeId>],
         placement: Option<&PlacementContext<'_>>,
         wcoj: bool,
-    ) -> (PlanCost, Vec<BagOp>) {
+    ) -> (PlanCost, Vec<BagOp>, Vec<u64>) {
         let n_nodes = ghd.node_ids().map(|n| n.index()).max().unwrap_or(0) + 1;
         let mut children: Vec<Vec<_>> = vec![Vec::new(); n_nodes];
         for n in ghd.node_ids() {
@@ -294,7 +339,23 @@ impl<'a> CostModel<'a> {
             for node in ghd.node_ids() {
                 for &e in &join_order[node.index()] {
                     let holders = &ctx.holders[e.index()];
-                    let bits = self.shard_bits(e, holders.len());
+                    // Only variables confined to a single χ bag are
+                    // pre-aggregated by the runtime (the Corollary G.2
+                    // guard's one GHD-dependent condition); the rest of
+                    // the guard is baked into `ctx.pre_agg`.
+                    let agged: Vec<Var> = ctx
+                        .pre_agg
+                        .get(e.index())
+                        .map(|vs| {
+                            vs.iter()
+                                .copied()
+                                .filter(|&v| {
+                                    ghd.node_ids().filter(|&n| ghd.chi(n).contains(&v)).count() == 1
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let bits = self.shard_bits(e, holders.len(), &agged);
                     for &p in holders {
                         node_shards[node.index()].push((p, bits));
                     }
@@ -310,8 +371,16 @@ impl<'a> CostModel<'a> {
                     .or_insert_with(|| ctx.topology.live_distances(to));
                 for &(p, bits) in &node_shards[node.index()] {
                     if p != to {
-                        let hops = dist[p.index()].min(UNREACHABLE_HOPS) as u64;
-                        cost.net_bits = cost.net_bits.saturating_add(bits.saturating_mul(hops));
+                        if dist[p.index()] == u32::MAX {
+                            // The runtime routes every shard, even an
+                            // empty one: no route ⇒ the plan cannot
+                            // execute, price it out entirely.
+                            cost.net_bits = cost.net_bits.saturating_add(UNREACHABLE_BITS);
+                        } else {
+                            cost.net_bits = cost
+                                .net_bits
+                                .saturating_add(bits.saturating_mul(dist[p.index()] as u64));
+                        }
                     }
                 }
             }
@@ -319,6 +388,7 @@ impl<'a> CostModel<'a> {
         });
 
         let mut bag_ops = vec![BagOp::Cascade; n_nodes];
+        let mut node_rows = vec![0u64; n_nodes];
         let mut est: Vec<Option<Est>> = vec![None; n_nodes];
         for node in ghd.post_order() {
             let order = &join_order[node.index()];
@@ -377,10 +447,15 @@ impl<'a> CostModel<'a> {
                             .get(&to)
                             .map(|d| d[from.index()])
                             .unwrap_or_else(|| ctx.topology.live_distances(to)[from.index()]);
-                        cost.net_bits = cost.net_bits.saturating_add(
-                            self.est_bits(&msg)
-                                .saturating_mul(dist.min(UNREACHABLE_HOPS) as u64),
-                        );
+                        if dist == u32::MAX {
+                            // Unroutable message leg ⇒ inexecutable
+                            // plan (see the gather loop above).
+                            cost.net_bits = cost.net_bits.saturating_add(UNREACHABLE_BITS);
+                        } else {
+                            cost.net_bits = cost
+                                .net_bits
+                                .saturating_add(self.est_bits(&msg).saturating_mul(dist as u64));
+                        }
                     }
                 }
                 acc = Some(match acc {
@@ -390,14 +465,28 @@ impl<'a> CostModel<'a> {
                     None => msg,
                 });
             }
-            let node_est = acc.unwrap_or_else(Est::unit);
+            let mut node_est = acc.unwrap_or_else(Est::unit);
+            // Calibration: multi-input nodes are where the independence
+            // estimate actually estimates (single-factor bags have
+            // exact stats), so the learned per-shape correction applies
+            // exactly there — mirroring where the executor records
+            // predicted-vs-actual pairs.
+            if join_order[node.index()].len() + children[node.index()].len() >= 2
+                && self.correction != 1.0
+            {
+                node_est.rows = (node_est.rows * self.correction).clamp(0.0, EST_CAP);
+                for d in node_est.distinct.values_mut() {
+                    *d = d.min(node_est.rows.max(1.0));
+                }
+            }
+            node_rows[node.index()] = saturating(node_est.rows);
             // Root epilogue: one aggregation sweep over the remainder.
             if node == ghd.root() {
                 cost.cpu = cost.cpu.saturating_add(saturating(node_est.rows));
             }
             est[node.index()] = Some(node_est);
         }
-        (cost, bag_ops)
+        (cost, bag_ops, node_rows)
     }
 }
 
@@ -413,7 +502,8 @@ fn saturating(x: f64) -> u64 {
 
 #[cfg(test)]
 mod tests {
-    use super::saturating;
+    use super::*;
+    use faqs_relation::RelationStats;
 
     #[test]
     fn saturating_pins_nan_inf_and_negatives() {
@@ -424,5 +514,124 @@ mod tests {
         assert_eq!(saturating(0.0), 0);
         assert_eq!(saturating(42.9), 42);
         assert_eq!(saturating(1e300), u64::MAX);
+    }
+
+    /// `k` chained binary factors `R_i(x_i, x_{i+1})`, each `rows` rows
+    /// with `rows` distinct values per column — dense enough that a
+    /// long cascade's row product overflows every float milestone.
+    fn chain_stats(k: usize, rows: usize) -> QueryStats {
+        QueryStats::from_factors(
+            (0..k)
+                .map(|i| RelationStats {
+                    schema: vec![Var(2 * i as u32), Var(2 * i as u32 + 1)],
+                    rows,
+                    distinct: vec![rows, rows],
+                    prefix_distinct: vec![rows, rows],
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn deep_cascades_saturate_at_est_cap_not_infinity() {
+        // 40 disjoint-variable factors of 1e6 rows: the naive row
+        // product is 1e240 — far past both `EST_CAP` and `u64::MAX` —
+        // and no variables are shared, so the independence denominator
+        // never trims it. Every intermediate must stay capped and the
+        // final cost finite-by-saturation, not NaN/inf-poisoned.
+        let stats = chain_stats(40, 1_000_000);
+        let model = CostModel::new(&stats, 1 << 20, 64, 1.0);
+        let order: Vec<EdgeId> = (0..40).map(EdgeId).collect();
+        let mut cost = PlanCost::default();
+        let est = model.price_cascade(&order, &mut cost);
+        assert!(est.rows.is_finite(), "estimate must never go non-finite");
+        assert!(est.rows <= EST_CAP, "estimate capped: {}", est.rows);
+        assert_eq!(saturating(est.rows), EST_CAP as u64);
+        assert!(cost.cpu > 0);
+    }
+
+    #[test]
+    fn non_finite_join_caps_fall_back_to_est_cap() {
+        let stats = chain_stats(2, 1000);
+        let model = CostModel::new(&stats, 16, 64, 1.0);
+        let a = model.factor_est(EdgeId(0));
+        let b = model.factor_est(EdgeId(1));
+        for cap in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut cost = PlanCost::default();
+            let out = model.join(a.clone(), b.clone(), cap, &mut cost);
+            assert!(out.rows.is_finite(), "cap {cap}: rows {}", out.rows);
+            assert!(out.rows <= EST_CAP);
+            assert!(out.distinct.values().all(|d| d.is_finite()));
+        }
+        // NaN cap: `exp2(NaN) = NaN`, `min(NaN, EST_CAP) = EST_CAP` via
+        // f64::min's non-NaN preference — pin that it cannot poison.
+        let mut cost = PlanCost::default();
+        let out = model.join(a.clone(), b.clone(), f64::NAN.exp2(), &mut cost);
+        assert!(out.rows.is_finite());
+    }
+
+    #[test]
+    fn degenerate_zero_row_stats_stay_sane() {
+        // Empty factors: estimates are 0, not NaN (0/0 guards), and
+        // projections keep capacity arithmetic finite.
+        let stats = QueryStats::from_factors(vec![
+            RelationStats {
+                schema: vec![Var(0), Var(1)],
+                rows: 0,
+                distinct: vec![0, 0],
+                prefix_distinct: vec![0, 0],
+            },
+            RelationStats {
+                schema: vec![Var(1), Var(2)],
+                rows: 0,
+                distinct: vec![0, 0],
+                prefix_distinct: vec![0, 0],
+            },
+        ]);
+        let model = CostModel::new(&stats, 2, 1, 1.0);
+        let mut cost = PlanCost::default();
+        let est = model.price_cascade(&[EdgeId(0), EdgeId(1)], &mut cost);
+        assert!(est.rows.is_finite());
+        assert_eq!(saturating(est.rows), 0);
+        let proj = model.project(est, &[Var(0)], &mut cost);
+        assert!(proj.rows.is_finite());
+        assert_eq!(model.est_bits(&proj), 0);
+    }
+
+    #[test]
+    fn poisoned_corrections_are_sanitised_to_identity() {
+        let stats = chain_stats(2, 1000);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0] {
+            let model = CostModel::new(&stats, 16, 64, bad);
+            assert_eq!(model.correction, 1.0, "correction {bad} must be dropped");
+        }
+        // A sane correction is kept and applied multiplicatively at
+        // multi-input nodes without escaping the cap.
+        let model = CostModel::new(&stats, 16, 64, 8.0);
+        assert_eq!(model.correction, 8.0);
+        let huge = CostModel::new(&stats, 16, 64, 1e300);
+        let mut cost = PlanCost::default();
+        let est = huge.price_cascade(&[EdgeId(0), EdgeId(1)], &mut cost);
+        assert!((est.rows * huge.correction).clamp(0.0, EST_CAP) <= EST_CAP);
+    }
+
+    #[test]
+    fn pre_aggregated_shards_ship_fewer_bits() {
+        // R(x, y): 1024 rows, x has 4 distinct values, y 1024. Shipping
+        // the Sum-aggregate over y keeps only x: ≤4 tuples of 1 column.
+        let stats = QueryStats::from_factors(vec![RelationStats {
+            schema: vec![Var(0), Var(1)],
+            rows: 1024,
+            distinct: vec![4, 1024],
+            prefix_distinct: vec![4, 1024],
+        }]);
+        let model = CostModel::new(&stats, 1 << 10, 64, 1.0);
+        let raw = model.shard_bits(EdgeId(0), 1, &[]);
+        let agged = model.shard_bits(EdgeId(0), 1, &[Var(1)]);
+        assert_eq!(raw, 1024 * (2 * 10 + 64));
+        assert_eq!(agged, 4 * (10 + 64));
+        // Aggregating everything away leaves one annotation-only tuple.
+        let all = model.shard_bits(EdgeId(0), 1, &[Var(0), Var(1)]);
+        assert_eq!(all, 64);
     }
 }

@@ -52,19 +52,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calibration;
 mod cost;
 mod error;
 mod planner;
 mod stats;
 mod validate;
 
+pub use calibration::{
+    calibration_disabled, correction_fresh, CalibrationLog, CalibrationRegistry, CalibrationSample,
+    CalibrationStats, Envelope,
+};
 pub use cost::PlanCost;
 pub use error::EngineError;
 pub use planner::{
-    choose_aggregation_players, cost_quote, decomposition_covering_free_vars,
-    decomposition_for_free_vars, ghd_for_query, join_order_covers_lambda, join_order_for_ghd,
-    plan_query, plan_query_placed, plan_query_with_stats, BagOp, CandidateReport, ChosenPlan,
-    PlacementContext, PlannerConfig,
+    choose_aggregation_players, cost_quote, cost_quote_calibrated,
+    decomposition_covering_free_vars, decomposition_for_free_vars, ghd_for_query,
+    join_order_covers_lambda, join_order_for_ghd, plan_query, plan_query_calibrated,
+    plan_query_placed, plan_query_with_stats, pre_agg_candidates, BagOp, CandidateReport,
+    ChosenPlan, PlacementContext, PlannerConfig,
 };
 pub use stats::{QueryStats, StatsDigest};
 pub use validate::{check_elimination_order, check_product_aggregates, check_push_down};
@@ -166,14 +172,20 @@ mod tests {
         // Same skewed star, huge factor held far from the output: the
         // placed cost model must predict strictly fewer shipped bits
         // for the chosen plan than for the structural default (which
-        // gathers the n²-row factor at the output-pinned root).
-        let q = skewed_star_instance(3, 16);
+        // gathers the n²-row factor at the output-pinned root). The
+        // `Product` aggregate defeats the shard-local Sum push-down on
+        // the huge factor (same trick as the protocols fixture) — with
+        // pre-aggregation modelled, the raw-size gap this test pins
+        // would otherwise collapse to a tie.
+        let q =
+            skewed_star_instance(3, 16).with_aggregate(Var(1), faqs_semiring::Aggregate::Product);
         let g = Topology::line(4);
-        let ctx = PlacementContext {
-            topology: &g,
-            holders: vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
-            output: Player(3),
-        };
+        let ctx = PlacementContext::new(
+            &q,
+            &g,
+            vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+            Player(3),
+        );
         let plan = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx)).unwrap();
         assert!(!plan.chose_default());
         let default_bits = plan.candidates[0].cost.net_bits;
@@ -206,6 +218,156 @@ mod tests {
                 assert_eq!(agg[n.index()], Player(0), "mass wins over output");
             }
         }
+    }
+
+    #[test]
+    fn unreachable_players_never_win_the_aggregation_argmin() {
+        // The pinned bug: zero-bit shard masses price every candidate
+        // at `0 × clamp = 0`, so the lowest player id used to win even
+        // when it was marooned behind a down link — a guaranteed
+        // `NoRoute` at runtime. With the viability filter the marooned
+        // holder is excluded and a reachable candidate wins.
+        let q: FaqQuery<Boolean> = skewed_star_instance(3, 8);
+        let plan = plan_query(&q, false, &PlannerConfig::structural()).unwrap();
+        let mut g = Topology::line(4);
+        g.set_capacity(faqs_network::LinkId(0), 0); // maroon Player(0)
+        let n_nodes = plan.ghd.node_ids().map(|n| n.index()).max().unwrap() + 1;
+        let mut shards = vec![Vec::new(); n_nodes];
+        for n in plan.ghd.node_ids() {
+            if n != plan.ghd.root() {
+                // Zero-bit shards at a marooned holder and a live one.
+                shards[n.index()].push((Player(0), 0u64));
+                shards[n.index()].push((Player(1), 0u64));
+            }
+        }
+        let agg = choose_aggregation_players(&g, &plan.ghd, Player(3), &shards);
+        for n in plan.ghd.node_ids() {
+            if n != plan.ghd.root() {
+                assert_ne!(
+                    agg[n.index()],
+                    Player(0),
+                    "a marooned candidate must never win"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_placements_fail_loudly_at_plan_time() {
+        // A shard holder the rest of the topology cannot reach at all:
+        // no aggregation player can gather it, so the planner must
+        // reject the placement instead of handing the runtime a
+        // silently mispriced route.
+        let q = skewed_star_instance(3, 16);
+        let mut g = Topology::line(4);
+        g.set_capacity(faqs_network::LinkId(0), 0); // Player(0) marooned
+        let ctx = PlacementContext::new(
+            &q,
+            &g,
+            vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+            Player(3),
+        );
+        let err = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx));
+        assert!(
+            matches!(err, Err(EngineError::Invalid(ref m)) if m.contains("unreachable")),
+            "partitioned placement must be a planner error, got {err:?}"
+        );
+        // The same placement on the healthy line plans fine.
+        let g2 = Topology::line(4);
+        let ctx2 = PlacementContext::new(
+            &q,
+            &g2,
+            vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+            Player(3),
+        );
+        assert!(plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx2)).is_ok());
+    }
+
+    #[test]
+    fn corrections_rescale_predicted_rows_and_are_recorded() {
+        let q = skewed_star_instance(3, 16);
+        let base =
+            plan_query_calibrated(&q, false, &PlannerConfig::stats(), None, None, 1.0).unwrap();
+        assert_eq!(base.correction, 1.0);
+        assert!(!base.node_rows.is_empty(), "stats plans predict rows");
+        let scaled =
+            plan_query_calibrated(&q, false, &PlannerConfig::stats(), None, None, 4.0).unwrap();
+        assert_eq!(scaled.correction, 4.0);
+        // Multi-input nodes (root folds its children) scale up; leaf
+        // bags have exact single-factor stats and must stay put.
+        let root = scaled.ghd.root().index();
+        assert!(
+            scaled.node_rows[root] > base.node_rows[root],
+            "root prediction must grow under a 4× correction: {} !> {}",
+            scaled.node_rows[root],
+            base.node_rows[root]
+        );
+        // A poisoned correction is sanitised, not propagated.
+        let nan = plan_query_calibrated(&q, false, &PlannerConfig::stats(), None, None, f64::NAN)
+            .unwrap();
+        assert_eq!(nan.correction, 1.0);
+        assert_eq!(nan.cost, base.cost);
+    }
+
+    #[test]
+    fn pre_agg_candidates_mirror_the_runtime_guard() {
+        // Plain Sum star: every leaf's private bound variable is
+        // pre-aggregable; the shared core variable is not (it lives in
+        // every edge).
+        let q = skewed_star_instance(3, 8);
+        let pre = pre_agg_candidates(&q);
+        assert_eq!(pre.len(), q.factors.len());
+        for (e, vars) in pre.iter().enumerate() {
+            for v in vars {
+                let in_edges = q
+                    .hypergraph
+                    .edges()
+                    .filter(|(_, vs)| vs.contains(v))
+                    .count();
+                assert_eq!(in_edges, 1, "edge {e}: {v:?} must be private");
+                assert!(!q.is_free(*v));
+            }
+        }
+        // A Product aggregate defeats the guard for its variable.
+        let blocked = q
+            .clone()
+            .with_aggregate(Var(1), faqs_semiring::Aggregate::Product);
+        let pre_blocked = pre_agg_candidates(&blocked);
+        assert!(
+            pre_blocked.iter().all(|vs| !vs.contains(&Var(1))),
+            "Product variables are never pre-aggregated"
+        );
+    }
+
+    #[test]
+    fn pre_aggregation_shrinks_predicted_shipped_bits() {
+        // The modelling-gap regression at plan level: with the guard
+        // threaded through the placement context, predicted shipped
+        // bits on the skewed star drop strictly below the raw-shard
+        // model's prediction (the runtime Sum-aggregates each shard
+        // before shipping; the model must charge what actually ships).
+        let q = skewed_star_instance(3, 16);
+        let g = Topology::line(4);
+        let holders = vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]];
+        let ctx = PlacementContext::new(&q, &g, holders.clone(), Player(3));
+        assert!(
+            ctx.pre_agg.iter().any(|vs| !vs.is_empty()),
+            "precondition: the star has pre-aggregable variables"
+        );
+        let raw_ctx = PlacementContext {
+            topology: &g,
+            holders,
+            output: Player(3),
+            pre_agg: vec![Vec::new(); q.factors.len()],
+        };
+        let fixed = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx)).unwrap();
+        let raw = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&raw_ctx)).unwrap();
+        assert!(
+            fixed.cost.net_bits < raw.cost.net_bits,
+            "aggregated shards must ship fewer predicted bits: {} !< {}",
+            fixed.cost.net_bits,
+            raw.cost.net_bits
+        );
     }
 
     #[test]

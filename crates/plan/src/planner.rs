@@ -2,7 +2,8 @@
 //! GHD, candidate enumeration, join orders, cost-based selection, and
 //! the placement-aware aggregation-player choice.
 
-use crate::cost::{CostModel, PlanCost, UNREACHABLE_HOPS};
+use crate::calibration::CalibrationRegistry;
+use crate::cost::{CostModel, PlanCost};
 use crate::error::EngineError;
 use crate::stats::QueryStats;
 use crate::validate::{check_elimination_order, check_product_aggregates};
@@ -93,6 +94,62 @@ pub struct PlacementContext<'a> {
     /// The player that must learn the answer (the root's aggregation
     /// player is pinned here).
     pub output: Player,
+    /// `pre_agg[e]` = factor `e`'s variables passing the GHD-independent
+    /// part of the runtime's shard-local Sum push-down guard
+    /// ([`pre_agg_candidates`]). The cost model intersects each list
+    /// with the candidate GHD's χ-singleton condition and charges the
+    /// aggregated shard size the runtime actually ships — not the raw
+    /// factor size. Leave empty (`vec![]`) to model runtimes that ship
+    /// shards verbatim.
+    pub pre_agg: Vec<Vec<Var>>,
+}
+
+impl<'a> PlacementContext<'a> {
+    /// Builds the context for `q`, deriving [`pre_agg_candidates`] so
+    /// predicted shard sizes match what `materialise_shards` ships.
+    pub fn new<S: Semiring>(
+        q: &FaqQuery<S>,
+        topology: &'a Topology,
+        holders: Vec<Vec<Player>>,
+        output: Player,
+    ) -> Self {
+        PlacementContext {
+            topology,
+            holders,
+            output,
+            pre_agg: pre_agg_candidates(q),
+        }
+    }
+}
+
+/// The GHD-independent part of the runtime's shard-local Sum push-down
+/// guard (`materialise_shards`): per factor, the bound `Sum` variables
+/// private to that single hyperedge whose exchange respects Equation
+/// (4)'s nesting (every higher-indexed bound variable of the same edge
+/// is itself `Sum`). A variable in this list is actually pre-aggregated
+/// by the runtime iff it additionally sits in exactly one χ bag of the
+/// *chosen* GHD — a per-candidate condition the cost model applies
+/// itself. One source of truth: the distributed runtime filters this
+/// same list instead of re-deriving the guard.
+pub fn pre_agg_candidates<S: Semiring>(q: &FaqQuery<S>) -> Vec<Vec<Var>> {
+    let h = &q.hypergraph;
+    (0..q.k())
+        .map(|ei| {
+            let edge_vars = h.edge(EdgeId(ei as u32));
+            edge_vars
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    !q.is_free(v)
+                        && q.aggregates[v.index()] == Aggregate::Sum
+                        && h.edges().filter(|(_, vars)| vars.contains(&v)).count() == 1
+                        && edge_vars.iter().all(|&w| {
+                            w <= v || q.is_free(w) || q.aggregates[w.index()] == Aggregate::Sum
+                        })
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// How one GHD node materialises its bag from its λ factors — the
@@ -161,6 +218,15 @@ pub struct ChosenPlan {
     pub cost: PlanCost,
     /// Whether statistics were consulted.
     pub stats_aware: bool,
+    /// The cost model's predicted row count per GHD node (dense by
+    /// `NodeId`; empty in structural mode, which predicts nothing).
+    /// These are the `predicted` halves of the executor's
+    /// predicted-vs-actual calibration samples.
+    pub node_rows: Vec<u64>,
+    /// The calibration correction the winning candidate was scored
+    /// under (`1.0` = uncalibrated). Plan caches compare this against
+    /// the registry's current correction to decide staleness.
+    pub correction: f64,
     /// The full scored candidate table (one entry, the default, in
     /// structural mode).
     pub candidates: Vec<CandidateReport>,
@@ -362,7 +428,32 @@ pub fn plan_query_placed<S: Semiring>(
     cfg: &PlannerConfig,
     placement: Option<&PlacementContext<'_>>,
 ) -> Result<ChosenPlan, EngineError> {
-    plan_query_impl(q, lattice, cfg, placement, None)
+    plan_query_impl(q, lattice, cfg, placement, None, 1.0)
+}
+
+/// The fully-general planning entry point: optional placement, optional
+/// precomputed statistics, and a per-shape calibration `correction`
+/// (the multiplicative row-estimate fix a [`CalibrationRegistry`]
+/// learned for this instance's [`StatsDigest`](crate::StatsDigest);
+/// pass `1.0` to trust the raw estimates). The executor and the
+/// distributed runtime plan through here so repeated shapes get
+/// progressively better estimates.
+pub fn plan_query_calibrated<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    cfg: &PlannerConfig,
+    placement: Option<&PlacementContext<'_>>,
+    stats: Option<&QueryStats>,
+    correction: f64,
+) -> Result<ChosenPlan, EngineError> {
+    if let Some(s) = stats {
+        assert_eq!(
+            s.factors.len(),
+            q.factors.len(),
+            "one stats entry per factor"
+        );
+    }
+    plan_query_impl(q, lattice, cfg, placement, stats, correction)
 }
 
 /// A per-query admission-control quote: the predicted kernel work of
@@ -378,6 +469,27 @@ pub fn plan_query_placed<S: Semiring>(
 /// even under `FAQS_PLAN_DISABLE_STATS=1` — the escape hatch changes
 /// which plan runs, not what the front door knows.
 pub fn cost_quote<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> Result<PlanCost, EngineError> {
+    quote_impl(q, lattice, None)
+}
+
+/// [`cost_quote`] corrected by what `calibration` has learned about
+/// this instance's shape: the serving front door quotes with the same
+/// per-shape multiplier the executor plans with, so admission control
+/// sharpens as the session observes executions. Identical to
+/// [`cost_quote`] for unseen shapes and disabled registries.
+pub fn cost_quote_calibrated<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    calibration: &CalibrationRegistry,
+) -> Result<PlanCost, EngineError> {
+    quote_impl(q, lattice, Some(calibration))
+}
+
+fn quote_impl<S: Semiring>(
+    q: &FaqQuery<S>,
+    lattice: bool,
+    calibration: Option<&CalibrationRegistry>,
+) -> Result<PlanCost, EngineError> {
     if !lattice {
         for v in q.hypergraph.vars() {
             if !q.is_free(v) && matches!(q.aggregates[v.index()], Aggregate::Max | Aggregate::Min) {
@@ -396,7 +508,8 @@ pub fn cost_quote<S: Semiring>(q: &FaqQuery<S>, lattice: bool) -> Result<PlanCos
     check_elimination_order(q, &ghd)?;
     let order = join_order_for_ghd(q, &ghd);
     let stats = QueryStats::of(q);
-    let model = CostModel::new(&stats, q.domain, S::value_bits());
+    let correction = calibration.map_or(1.0, |c| c.correction(&stats.digest()));
+    let model = CostModel::new(&stats, q.domain, S::value_bits(), correction);
     // Price operators the way the process-wide default planner will
     // lower them, so admission control quotes the plan that runs.
     let wcoj = PlannerConfig::from_env().use_wcoj;
@@ -418,7 +531,7 @@ pub fn plan_query_with_stats<S: Semiring>(
         q.factors.len(),
         "one stats entry per factor"
     );
-    plan_query_impl(q, lattice, cfg, None, Some(stats))
+    plan_query_impl(q, lattice, cfg, None, Some(stats), 1.0)
 }
 
 fn plan_query_impl<S: Semiring>(
@@ -427,6 +540,7 @@ fn plan_query_impl<S: Semiring>(
     cfg: &PlannerConfig,
     placement: Option<&PlacementContext<'_>>,
     precomputed: Option<&QueryStats>,
+    correction: f64,
 ) -> Result<ChosenPlan, EngineError> {
     if !lattice {
         for v in q.hypergraph.vars() {
@@ -463,6 +577,8 @@ fn plan_query_impl<S: Semiring>(
             bag_ops: vec![BagOp::Cascade; n_nodes],
             cost: PlanCost::default(),
             stats_aware: false,
+            node_rows: Vec::new(),
+            correction: 1.0,
             ghd: default_ghd,
         });
     }
@@ -475,9 +591,9 @@ fn plan_query_impl<S: Semiring>(
             &gathered
         }
     };
-    let model = CostModel::new(stats, q.domain, S::value_bits());
+    let model = CostModel::new(stats, q.domain, S::value_bits(), correction);
     let placed = placement.is_some();
-    let (default_cost, default_ops) =
+    let (default_cost, default_ops, default_rows) =
         model.simulate(&default_ghd, &default_order, placement, cfg.use_wcoj);
     let mut candidates = vec![CandidateReport {
         label: "structural default".into(),
@@ -495,40 +611,41 @@ fn plan_query_impl<S: Semiring>(
         default_cost,
         0usize,
         default_ops,
+        default_rows,
     );
 
-    let consider =
-        |ghd: Ghd,
-         label: String,
-         candidates: &mut Vec<CandidateReport>,
-         seen: &mut BTreeSet<String>,
-         best: &mut (Ghd, Vec<Vec<EdgeId>>, PlanCost, usize, Vec<BagOp>)| {
-            let root_chi = ghd.chi(ghd.root());
-            if q.free_vars.iter().any(|v| !root_chi.contains(v)) {
-                return;
-            }
-            // A candidate may be push-down-illegal where the default is
-            // legal (different elimination order); skip, never error.
-            if check_elimination_order(q, &ghd).is_err() {
-                return;
-            }
-            if !seen.insert(ghd_fingerprint(&ghd)) {
-                return;
-            }
-            let order = join_order_for_ghd(q, &ghd);
-            let (cost, ops) = model.simulate(&ghd, &order, placement, cfg.use_wcoj);
-            candidates.push(CandidateReport {
-                label,
-                y: ghd.internal_count(),
-                cost,
-                chosen: false,
-            });
-            // Strict improvement only: ties keep the default, so uniform
-            // instances plan exactly as the structural planner did.
-            if cost.key(placed) < best.2.key(placed) {
-                *best = (ghd, order, cost, candidates.len() - 1, ops);
-            }
-        };
+    type Best = (Ghd, Vec<Vec<EdgeId>>, PlanCost, usize, Vec<BagOp>, Vec<u64>);
+    let consider = |ghd: Ghd,
+                    label: String,
+                    candidates: &mut Vec<CandidateReport>,
+                    seen: &mut BTreeSet<String>,
+                    best: &mut Best| {
+        let root_chi = ghd.chi(ghd.root());
+        if q.free_vars.iter().any(|v| !root_chi.contains(v)) {
+            return;
+        }
+        // A candidate may be push-down-illegal where the default is
+        // legal (different elimination order); skip, never error.
+        if check_elimination_order(q, &ghd).is_err() {
+            return;
+        }
+        if !seen.insert(ghd_fingerprint(&ghd)) {
+            return;
+        }
+        let order = join_order_for_ghd(q, &ghd);
+        let (cost, ops, rows) = model.simulate(&ghd, &order, placement, cfg.use_wcoj);
+        candidates.push(CandidateReport {
+            label,
+            y: ghd.internal_count(),
+            cost,
+            chosen: false,
+        });
+        // Strict improvement only: ties keep the default, so uniform
+        // instances plan exactly as the structural planner did.
+        if cost.key(placed) < best.2.key(placed) {
+            *best = (ghd, order, cost, candidates.len() - 1, ops, rows);
+        }
+    };
 
     for d in candidate_decompositions(&q.hypergraph) {
         // Free variables must end up in the candidate's core; re-root
@@ -569,6 +686,19 @@ fn plan_query_impl<S: Semiring>(
         consider(ghd, label, &mut candidates, &mut seen, &mut best);
     }
 
+    // Every candidate priced at the unreachable sentinel means no
+    // executable placed plan exists: some shard or message leg has no
+    // route at all. Erroring here is the contract the runtime relies
+    // on — it never has to discover `NoRoute` mid-execution on a plan
+    // the planner silently mispriced.
+    if placed && best.2.net_bits == crate::cost::UNREACHABLE_BITS {
+        return Err(EngineError::Invalid(
+            "placement unreachable: no candidate plan can route every shard and message \
+             on the live topology"
+                .into(),
+        ));
+    }
+
     let chosen_idx = best.3;
     for (i, c) in candidates.iter_mut().enumerate() {
         c.chosen = i == chosen_idx;
@@ -579,6 +709,8 @@ fn plan_query_impl<S: Semiring>(
         bag_ops: best.4,
         cost: best.2,
         stats_aware: true,
+        node_rows: best.5,
+        correction: model.correction(),
         candidates,
     })
 }
@@ -590,6 +722,16 @@ fn plan_query_impl<S: Semiring>(
 /// lowest player id). Shared by the cost model's predictions and by
 /// `DistributedFaqRun`'s actual routing, so predicted and executed
 /// placements agree by construction.
+///
+/// Only *viable* candidates compete: a candidate that cannot reach some
+/// shard holder, or that the output player cannot be reached from, is
+/// excluded outright rather than priced at a large-but-finite clamp.
+/// The clamp was a real bug: with all-zero shard masses every candidate
+/// priced to `0 × clamp = 0` and the lowest player id won even when it
+/// was marooned, handing the runtime a guaranteed `NoRoute`. When no
+/// candidate is viable the node falls back to `output`; the cost model
+/// then prices the unroutable legs at the unreachable sentinel and the
+/// planner rejects the placement loudly.
 pub fn choose_aggregation_players(
     g: &Topology,
     ghd: &Ghd,
@@ -615,16 +757,26 @@ pub fn choose_aggregation_players(
             // Live distances: a down link must not make a candidate
             // look closer than its actual detour.
             let dist = dist_cache.entry(c).or_insert_with(|| g.live_distances(c));
-            let cost: u64 = mass
-                .iter()
-                .map(|&(p, bits)| bits.saturating_mul(dist[p.index()].min(UNREACHABLE_HOPS) as u64))
-                .sum();
+            // Viability: every shard (even a zero-bit one — the runtime
+            // routes it regardless) and the upward message must have a
+            // route. Distances are symmetric here (undirected links),
+            // so `dist[output]` prices the candidate→output leg too.
+            if dist[output.index()] == u32::MAX
+                || mass.iter().any(|&(p, _)| dist[p.index()] == u32::MAX)
+            {
+                continue;
+            }
+            let cost = mass.iter().fold(0u64, |acc, &(p, bits)| {
+                acc.saturating_add(bits.saturating_mul(dist[p.index()] as u64))
+            });
             // Strict `<` keeps the first (lowest-id) minimiser.
             if best.map(|(b, _)| cost < b).unwrap_or(true) {
                 best = Some((cost, c));
             }
         }
-        agg[node.index()] = best.expect("at least one candidate").1;
+        if let Some((_, c)) = best {
+            agg[node.index()] = c;
+        }
     }
     agg
 }

@@ -33,10 +33,11 @@ use crate::outcome::ProtocolError;
 use faqs_exec::QueryPlan;
 use faqs_hypergraph::{EdgeId, NodeId, Var};
 use faqs_network::{best_delta, Assignment, NetRun, Player, RunStats, Topology};
-use faqs_plan::{PlacementContext, PlannerConfig};
+use faqs_plan::{CalibrationRegistry, PlacementContext, PlannerConfig, QueryStats, StatsDigest};
 use faqs_relation::{FaqQuery, Relation};
 use faqs_semiring::{Aggregate, Semiring};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Which player holds which shard of each input factor (`K ⊆ V`
 /// generalised to sharded inputs, Definition G.7 / Appendix G.6).
@@ -181,6 +182,11 @@ pub struct DistributedFaqRun<'a, S: Semiring> {
     scaled: Topology,
     all_links_live: bool,
     threads: usize,
+    /// Attached calibration registry + this query's shape digest:
+    /// `eval_node` then reports predicted-vs-actual pairs at every
+    /// multi-input fold, so distributed runs teach the planner exactly
+    /// like local executions do. `None` = no telemetry.
+    calibration: Option<(Arc<CalibrationRegistry>, StatsDigest)>,
 }
 
 impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
@@ -219,11 +225,11 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             g.clone()
                 .with_uniform_capacity(capacity_tuples * model_capacity_bits(q))
         };
-        let ctx = PlacementContext {
-            topology: &scaled,
-            holders: placement.shards.clone(),
-            output: placement.output(),
-        };
+        // `PlacementContext::new` fills the per-edge pre-aggregation
+        // candidates, so the cost model prices shards at their
+        // post-push-down width — the same variables `materialise_shards`
+        // actually sums out before routing.
+        let ctx = PlacementContext::new(q, &scaled, placement.shards.clone(), placement.output());
         let plan = QueryPlan::build_with(q, false, planner, Some(&ctx))
             .map_err(|e| ProtocolError::Engine(e.to_string()))?;
         let all_links_live = scaled.links().all(|l| scaled.capacity(l) > 0);
@@ -237,7 +243,18 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             // local join work is bit-identical at any thread count, so
             // the matrix only widens coverage, never the results.
             threads: faqs_exec::ExecutorConfig::default().threads,
+            calibration: None,
         })
+    }
+
+    /// Attaches a shared [`CalibrationRegistry`]: every execution then
+    /// feeds predicted-vs-actual fold-point cardinalities into it under
+    /// this query's statistics digest. No-op for disabled registries.
+    pub fn with_calibration(mut self, calibration: Arc<CalibrationRegistry>) -> Self {
+        self.calibration = calibration
+            .is_enabled()
+            .then(|| (calibration, QueryStats::of(self.q).digest()));
+        self
     }
 
     /// Sets the worker-thread count for the *local* join work at the
@@ -295,32 +312,29 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
     /// aggregates in *other* factors are fine: `Product` is
     /// idempotence-gated, so `(⊕_v f)^m = ⊕_v f^m`).
     fn materialise_shards(&self) -> Vec<Vec<(Player, Relation<S>)>> {
-        let h = &self.q.hypergraph;
-        let shippable = |v: Var, edge_vars: &[Var]| {
-            !self.q.is_free(v)
-                && self.q.aggregates[v.index()] == Aggregate::Sum
-                && h.edges().filter(|(_, vars)| vars.contains(&v)).count() == 1
-                && edge_vars.iter().all(|&w| {
-                    w <= v || self.q.is_free(w) || self.q.aggregates[w.index()] == Aggregate::Sum
-                })
-                && self
-                    .plan
-                    .ghd
-                    .node_ids()
-                    .filter(|&n| self.plan.ghd.chi(n).contains(&v))
-                    .count()
-                    == 1
+        // The GHD-independent half of the guard is the planner's
+        // [`faqs_plan::pre_agg_candidates`] — one shared implementation,
+        // so the cost model prices exactly what the runtime ships. The
+        // GHD-dependent half (the variable must live in a single bag of
+        // *this* plan's decomposition) is filtered here.
+        let pre_agg = faqs_plan::pre_agg_candidates(self.q);
+        let single_bag = |v: Var| {
+            self.plan
+                .ghd
+                .node_ids()
+                .filter(|&n| self.plan.ghd.chi(n).contains(&v))
+                .count()
+                == 1
         };
         (0..self.q.k())
             .map(|ei| {
                 let e = EdgeId(ei as u32);
                 let holders = self.placement.shard_holders(e);
                 let factor = self.q.factor(e);
-                let mut ship: Vec<Var> = factor
-                    .schema()
+                let mut ship: Vec<Var> = pre_agg[ei]
                     .iter()
                     .copied()
-                    .filter(|&v| shippable(v, factor.schema()))
+                    .filter(|&v| single_bag(v))
                     .collect();
                 // Innermost (highest index) first, like every other
                 // aggregation site.
@@ -462,6 +476,18 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
                 }
                 None => message,
             });
+        }
+
+        // Calibration telemetry: multi-input folds are where the cost
+        // model predicted; report what actually materialised.
+        if self.plan.joins(node).len() + self.plan.children(node).len() >= 2 {
+            if let (Some((registry, digest)), Some(rel), Some(&predicted)) = (
+                self.calibration.as_ref(),
+                acc.as_ref(),
+                self.plan.node_rows().get(node.index()),
+            ) {
+                registry.observe(digest, predicted, rel.len() as u64);
+            }
         }
         Ok((acc, ready))
     }
@@ -768,6 +794,34 @@ mod tests {
             let run = DistributedFaqRun::new(&q, &g, placement, 1).unwrap();
             assert_eq!(run.execute().unwrap().result, engine);
         }
+    }
+
+    #[test]
+    fn calibrated_run_reports_fold_telemetry() {
+        let q = count_instance(&star_query(3), 2);
+        let g = Topology::ring(4);
+        let players: Vec<Player> = (0..4).map(Player).collect();
+        let placement = InputPlacement::hash_split(q.k(), &players, Player(0));
+        let registry = Arc::new(CalibrationRegistry::forced(f64::INFINITY));
+        let run = DistributedFaqRun::new_with(&q, &g, placement, 1, &PlannerConfig::stats())
+            .unwrap()
+            .with_calibration(Arc::clone(&registry));
+        let out = run.execute().unwrap();
+        assert_eq!(out.result, solve_faq(&q).unwrap());
+        let s = registry.stats();
+        assert_eq!(s.shapes, 1, "the run's digest is one learned shape");
+        assert!(s.samples > 0, "multi-input folds must observe");
+
+        // A disabled registry attaches to nothing and records nothing.
+        let off = Arc::new(CalibrationRegistry::off());
+        let q2 = count_instance(&star_query(3), 3);
+        let placement =
+            InputPlacement::hash_split(q2.k(), &(0..4).map(Player).collect::<Vec<_>>(), Player(0));
+        let run = DistributedFaqRun::new_with(&q2, &g, placement, 1, &PlannerConfig::stats())
+            .unwrap()
+            .with_calibration(Arc::clone(&off));
+        run.execute().unwrap();
+        assert_eq!(off.stats().samples, 0);
     }
 
     #[test]

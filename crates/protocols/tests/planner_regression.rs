@@ -72,17 +72,14 @@ fn predicted_bits_respect_the_paper_envelope() {
     // The same capacity scaling DistributedFaqRun applies for
     // capacity_tuples = 1.
     let scaled = g.clone().with_uniform_capacity(model_capacity_bits(&q));
-    let ctx = PlacementContext {
-        topology: &scaled,
-        holders: (0..q.k())
-            .map(|e| {
-                placement
-                    .shard_holders(faqs_hypergraph::EdgeId(e as u32))
-                    .to_vec()
-            })
-            .collect(),
-        output: placement.output(),
-    };
+    let holders: Vec<Vec<Player>> = (0..q.k())
+        .map(|e| {
+            placement
+                .shard_holders(faqs_hypergraph::EdgeId(e as u32))
+                .to_vec()
+        })
+        .collect();
+    let ctx = PlacementContext::new(&q, &scaled, holders, placement.output());
     let plan = plan_query_placed(&q, false, &PlannerConfig::stats(), Some(&ctx)).unwrap();
     let envelope =
         ConformanceReport::evaluate(&q, &scaled, &placement.players(), RunStats::default());
@@ -99,6 +96,99 @@ fn predicted_bits_respect_the_paper_envelope() {
         !plan.chose_default() && plan.cost.net_bits < plan.candidates[0].cost.net_bits,
         "prediction must rank the thin root above the huge root"
     );
+}
+
+#[test]
+fn pre_aggregation_closes_the_predicted_vs_measured_gap() {
+    // The modelling-bug regression: on the *plain-Sum* skewed star the
+    // runtime pre-aggregates the huge leaf's 256-row shard down to 16
+    // rows at its holder before anything ships (Corollary G.2 at the
+    // shard level). A cost model priced with empty pre-aggregation
+    // candidates ships the raw factor on paper and lands far from the
+    // measured bits; the fixed model (shards priced at post-push-down
+    // width) must land strictly closer.
+    let q = skewed_star_instance(3, 16); // default aggregates: all Sum
+    let g = Topology::line(4);
+    let placement = InputPlacement::new(
+        vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+        Player(3),
+    );
+
+    let run =
+        DistributedFaqRun::new_with(&q, &g, placement.clone(), 1, &PlannerConfig::stats()).unwrap();
+    let measured = run.execute().unwrap().stats.total_bits;
+    assert!(measured > 0, "remote shards must communicate");
+
+    let scaled = g.clone().with_uniform_capacity(model_capacity_bits(&q));
+    let holders: Vec<Vec<Player>> = (0..q.k())
+        .map(|e| {
+            placement
+                .shard_holders(faqs_hypergraph::EdgeId(e as u32))
+                .to_vec()
+        })
+        .collect();
+    let fixed_ctx = PlacementContext::new(&q, &scaled, holders.clone(), placement.output());
+    // The pre-fix model: identical context, pre-aggregation candidates
+    // blanked out — every shard is priced at its raw width.
+    let raw_ctx = PlacementContext {
+        pre_agg: vec![Vec::new(); q.k()],
+        ..PlacementContext::new(&q, &scaled, holders, placement.output())
+    };
+    let predict = |ctx: &PlacementContext<'_>| {
+        plan_query_placed(&q, false, &PlannerConfig::stats(), Some(ctx))
+            .unwrap()
+            .cost
+            .net_bits
+    };
+    let fixed = predict(&fixed_ctx);
+    let raw = predict(&raw_ctx);
+
+    let gap = |predicted: u64| predicted.abs_diff(measured);
+    assert!(
+        gap(fixed) < gap(raw),
+        "pre-agg-aware prediction must be strictly closer to the measured bits: \
+         |{fixed} - {measured}| !< |{raw} - {measured}|"
+    );
+}
+
+#[test]
+fn marooned_holder_fails_at_plan_time_not_run_time() {
+    // The unreachable-player pricing regression: partition a line by
+    // downing its first link, strand a shard holder on the wrong side,
+    // and the planner itself must refuse with an `Engine` error naming
+    // the unreachable placement — never emit a plan whose execution
+    // dies later with a NoRoute.
+    let q = skewed_star_instance(3, 16);
+    let mut g = Topology::line(4).with_uniform_capacity(64);
+    g.set_capacity(faqs_network::LinkId(0), 0); // maroons Player(0)
+    let placement = InputPlacement::new(
+        vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+        Player(3),
+    );
+    // capacity_tuples = 0 keeps the partitioned capacities.
+    match DistributedFaqRun::new_with(&q, &g, placement, 0, &PlannerConfig::stats()) {
+        Err(faqs_protocols::ProtocolError::Engine(msg)) => {
+            assert!(
+                msg.contains("unreachable"),
+                "the refusal must name the routing failure, got: {msg}"
+            );
+        }
+        Err(e) => panic!("expected a plan-time Engine error, got {e:?}"),
+        Ok(run) => {
+            let out = run.execute();
+            panic!("planner accepted a partitioned placement; execute() = {out:?}");
+        }
+    }
+
+    // Control: the same placement on the healthy line plans and runs.
+    let q = skewed_star_instance(3, 16);
+    let g = Topology::line(4);
+    let placement = InputPlacement::new(
+        vec![vec![Player(0)], vec![Player(1)], vec![Player(2)]],
+        Player(3),
+    );
+    let run = DistributedFaqRun::new_with(&q, &g, placement, 1, &PlannerConfig::stats()).unwrap();
+    run.execute().unwrap();
 }
 
 #[test]

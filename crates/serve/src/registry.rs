@@ -12,12 +12,20 @@
 //!
 //! The registry also memoises the planner's cost quote per epoch —
 //! admission control runs on every submit, so it must not pay a
-//! planning pass per request.
+//! planning pass per request. Quotes are *calibrated*: they carry the
+//! same per-shape correction multiplier the executor plans with, so a
+//! shape the cost model habitually under-prices gets admitted (or
+//! rejected) on its learned cost, not its modelled one. A memoised
+//! quote is reused only while the registry's correction for the
+//! shape's digest stays inside the planner's hysteresis band — the
+//! check is one hash lookup, never a data scan.
 
 use crate::error::ServeError;
 use faqs_core::EngineError;
 use faqs_hypergraph::{EdgeId, Var};
-use faqs_plan::{cost_quote, PlanCost};
+use faqs_plan::{
+    correction_fresh, cost_quote_calibrated, CalibrationRegistry, PlanCost, QueryStats, StatsDigest,
+};
 use faqs_relation::{FaqQuery, RelationDelta, Snapshot, SnapshotCell};
 use faqs_semiring::Semiring;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -34,24 +42,39 @@ pub(crate) struct ShapeEntry<S: Semiring> {
     /// Serialises read-modify-write delta application; readers never
     /// take this lock.
     write_lock: Mutex<()>,
-    /// `(epoch, quote)` of the most recently priced version.
-    quote: Mutex<Option<(u64, PlanCost)>>,
+    /// The most recently priced version, plus the calibration state it
+    /// was priced under.
+    quote: Mutex<Option<QuoteMemo>>,
+}
+
+/// A memoised admission quote: valid while the epoch matches *and* the
+/// registry's correction for `digest` stays within the planner's
+/// re-plan hysteresis of `correction`.
+struct QuoteMemo {
+    epoch: u64,
+    digest: StatsDigest,
+    correction: f64,
+    cost: PlanCost,
 }
 
 impl<S: Semiring> ShapeEntry<S> {
-    /// The planner's cost quote for the *current* snapshot, recomputed
-    /// only when a delta has landed since the last quote.
-    pub(crate) fn quote(&self) -> Result<PlanCost, EngineError> {
+    /// The planner's calibrated cost quote for the *current* snapshot,
+    /// recomputed only when a delta has landed since the last quote or
+    /// calibration has learned a materially different correction for
+    /// this shape (same hysteresis band as executor re-planning, so
+    /// admission and planning always price with the same multiplier).
+    pub(crate) fn quote(&self, calibration: &CalibrationRegistry) -> Result<PlanCost, EngineError> {
         let snap = self.cell.load();
         let mut cached = recover(self.quote.lock());
-        if let Some((epoch, cost)) = *cached {
-            if epoch == snap.epoch() {
-                return Ok(cost);
+        if let Some(memo) = cached.as_ref() {
+            if memo.epoch == snap.epoch()
+                && correction_fresh(memo.correction, calibration.correction(&memo.digest))
+            {
+                return Ok(memo.cost);
             }
         }
-        let cost = cost_quote(snap.value(), false)?;
-        *cached = Some((snap.epoch(), cost));
-        Ok(cost)
+        *cached = Some(price(snap.value(), snap.epoch(), calibration)?);
+        Ok(cached.as_ref().expect("just stored").cost)
     }
 
     /// Applies a delta to one factor copy-on-write and publishes the
@@ -95,16 +118,17 @@ impl<S: Semiring> Registry<S> {
         &self,
         template: FaqQuery<S>,
         param: Var,
+        calibration: &CalibrationRegistry,
     ) -> Result<ShapeId, ServeError> {
         if param.index() >= template.hypergraph.num_vars() || !template.is_free(param) {
             return Err(ServeError::ParamNotFree(param));
         }
-        let quote = cost_quote(&template, false)?;
+        let quote = price(&template, 0, calibration)?;
         let entry = Arc::new(ShapeEntry {
             cell: SnapshotCell::new(template),
             param,
             write_lock: Mutex::new(()),
-            quote: Mutex::new(Some((0, quote))),
+            quote: Mutex::new(Some(quote)),
         });
         let mut shapes = match self.shapes.write() {
             Ok(g) => g,
@@ -129,6 +153,23 @@ impl<S: Semiring> Registry<S> {
     pub(crate) fn snapshot(&self, id: ShapeId) -> Result<Snapshot<FaqQuery<S>>, ServeError> {
         Ok(self.get(id)?.cell.load())
     }
+}
+
+/// Prices one template version under the executor's calibration state,
+/// remembering the digest and correction it was priced with so later
+/// freshness checks stay O(1).
+fn price<S: Semiring>(
+    q: &FaqQuery<S>,
+    epoch: u64,
+    calibration: &CalibrationRegistry,
+) -> Result<QuoteMemo, EngineError> {
+    let digest = QueryStats::of(q).digest();
+    Ok(QuoteMemo {
+        epoch,
+        correction: calibration.correction(&digest),
+        cost: cost_quote_calibrated(q, false, calibration)?,
+        digest,
+    })
 }
 
 /// Unwraps a mutex guard, adopting the state left by a panicked holder

@@ -188,7 +188,9 @@ impl<S: Semiring> FaqServer<S> {
     /// per-request binding site. The template is validated and priced
     /// up front; shapes the planner rejects fail here, not per query.
     pub fn register(&self, template: FaqQuery<S>, param: Var) -> Result<ShapeId, ServeError> {
-        self.shared.registry.register(template, param)
+        self.shared
+            .registry
+            .register(template, param, self.shared.executor.calibration())
     }
 
     /// Submits one binding of a registered shape. Admission control
@@ -201,7 +203,7 @@ impl<S: Semiring> FaqServer<S> {
             return Err(ServeError::Shutdown);
         }
         let entry = shared.registry.get(shape)?;
-        let quote = entry.quote()?;
+        let quote = entry.quote(shared.executor.calibration())?;
         if quote.cpu > shared.cfg.cost_budget {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::TooExpensive {

@@ -298,3 +298,43 @@ fn cyclic_templates_serve_and_admit() {
         Err(ServeError::TooExpensive { .. })
     ));
 }
+
+/// Admission control prices with the executor's learned corrections: a
+/// quote memoised before the registry learns this shape runs far larger
+/// than modelled must be re-priced upward on the next submit, without a
+/// delta landing.
+#[test]
+fn admission_quotes_track_learned_corrections() {
+    use faqs_plan::{CalibrationLog, CalibrationRegistry, QueryStats};
+    use std::sync::Arc;
+
+    let q = template(11);
+    let digest = QueryStats::of(&q).digest();
+    let registry = Arc::new(CalibrationRegistry::forced(f64::INFINITY));
+    let server = FaqServer::with_executor(
+        ServeConfig {
+            cost_budget: 0,
+            ..ServeConfig::default()
+        },
+        Executor::default().with_calibration(Arc::clone(&registry)),
+    );
+    let shape = server.register(q, Var(0)).unwrap();
+    let quoted = |server: &FaqServer<Count>| match server.submit(shape, 1) {
+        Err(ServeError::TooExpensive { quoted, .. }) => quoted,
+        other => panic!("zero budget must reject, got {other:?}"),
+    };
+
+    let before = quoted(&server);
+    // Teach the registry that this shape's cardinalities come out ~256x
+    // over the model's estimate; the memoised quote is now stale.
+    let log = CalibrationLog::new();
+    for _ in 0..32 {
+        log.record(0, 16, 1 << 12);
+    }
+    registry.absorb(&digest, &log);
+    let after = quoted(&server);
+    assert!(
+        after > before,
+        "learned under-estimation must raise the admission quote: {after} !> {before}"
+    );
+}

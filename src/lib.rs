@@ -84,7 +84,10 @@ pub mod prelude {
     pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
     pub use faqs_network::{Assignment, Topology};
-    pub use faqs_plan::{plan_query, ChosenPlan, PlanCost, PlannerConfig, QueryStats};
+    pub use faqs_plan::{
+        cost_quote_calibrated, plan_query, CalibrationRegistry, CalibrationStats, ChosenPlan,
+        PlanCost, PlannerConfig, QueryStats,
+    };
     pub use faqs_protocols::{
         run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice, ConformanceReport,
         DistributedFaqRun, InputPlacement,
