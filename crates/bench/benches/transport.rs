@@ -1,0 +1,156 @@
+//! Criterion benches for the wire-speed execution path: the columnar
+//! shard codec raced against a naive per-tuple encoder, the vectorized
+//! row-comparison kernel raced against its scalar twin, and the two
+//! real transports shipping frames over the loopback.
+//!
+//! The CI bench-smoke step runs this target with `-- --quick` and
+//! records the summary as `BENCH_transport.json`; the codec rows are
+//! the acceptance evidence that one bulk frame beats per-tuple
+//! serialization, and the kernel rows that the chunked comparison
+//! loops are never slower than the scalar ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faqs_bench::random_count_rel as random_rel;
+use faqs_network::{ChannelTransport, Player, TcpTransport, Topology, Transport};
+use faqs_relation::{kernel::force_kernel_scalar, Relation};
+use faqs_semiring::{Count, Semiring};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The pre-codec baseline: every tuple serialized as its own
+/// self-describing message (length, tagged fields, value) — the byte
+/// stream a per-tuple wire design ships, one small allocation each.
+fn naive_encode<S: Semiring>(r: &Relation<S>) -> Vec<Vec<u8>> {
+    r.iter()
+        .map(|(t, v)| {
+            let mut m = Vec::new();
+            m.extend_from_slice(&(t.len() as u32).to_le_bytes());
+            for (var, &x) in r.schema().iter().zip(t) {
+                m.extend_from_slice(&var.0.to_le_bytes());
+                m.extend_from_slice(&x.to_le_bytes());
+            }
+            v.write_wire(&mut m);
+            m
+        })
+        .collect()
+}
+
+/// Inverse of [`naive_encode`]: parse each message back to a pair and
+/// rebuild through the sorting constructor (per-tuple designs cannot
+/// assume arrival order).
+fn naive_decode<S: Semiring>(schema: &[faqs_hypergraph::Var], msgs: &[Vec<u8>]) -> Relation<S> {
+    let pairs: Vec<(Vec<u32>, S)> = msgs
+        .iter()
+        .map(|m| {
+            let arity = u32::from_le_bytes(m[0..4].try_into().unwrap()) as usize;
+            let tuple: Vec<u32> = (0..arity)
+                .map(|i| u32::from_le_bytes(m[8 + 8 * i..12 + 8 * i].try_into().unwrap()))
+                .collect();
+            let v = if S::WIRE_VALUE_BYTES == 0 {
+                S::one()
+            } else {
+                S::read_wire(&m[4 + 8 * arity..])
+            };
+            (tuple, v)
+        })
+        .collect();
+    Relation::from_pairs(schema.to_vec(), pairs)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_codec");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for n in [1024usize, 8192] {
+        let r = random_rel(&[0, 1, 2], n, (n / 2) as u32, 11);
+        let frame = r.encode_frame();
+        let msgs = naive_encode(&r);
+        let schema = r.schema().to_vec();
+        group.bench_with_input(BenchmarkId::new("codec_encode", n), &n, |bch, _| {
+            bch.iter(|| black_box(black_box(&r).encode_frame().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_encode", n), &n, |bch, _| {
+            bch.iter(|| black_box(naive_encode(black_box(&r)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("codec_decode", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(
+                    Relation::<Count>::decode_frame(black_box(&frame))
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_decode", n), &n, |bch, _| {
+            bch.iter(|| black_box(naive_decode::<Count>(&schema, black_box(&msgs)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_kernel");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    // Wide rows so the 4-lane chunk loop owns most of each comparison;
+    // the shared key spans a non-prefix slice to defeat trivial exits.
+    let n = 4096usize;
+    let a = random_rel(&[0, 1, 2, 3, 4, 5], n, 64, 21);
+    let b = random_rel(&[2, 3, 4, 5, 6, 7], n, 64, 22);
+    for (label, scalar) in [("vectorized", false), ("scalar", true)] {
+        group.bench_function(BenchmarkId::new("join", label), |bch| {
+            force_kernel_scalar(scalar);
+            bch.iter(|| black_box(black_box(&a).join(black_box(&b)).len()));
+            force_kernel_scalar(false);
+        });
+        group.bench_function(BenchmarkId::new("semijoin_probe", label), |bch| {
+            force_kernel_scalar(scalar);
+            bch.iter(|| black_box(black_box(&a).semijoin(black_box(&b)).len()));
+            force_kernel_scalar(false);
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport_ship(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_ship");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    let g = Topology::line(2).with_uniform_capacity(u64::MAX);
+    let r = random_rel(&[0, 1, 2], 8192, 4096, 31);
+    let frame = r.encode_frame();
+    group.bench_function("channel", |bch| {
+        let mut t = ChannelTransport::new(&g);
+        bch.iter(|| {
+            black_box(
+                t.route(Player(0), Player(1), black_box(&frame), 8, 0)
+                    .unwrap()
+                    .payload
+                    .map(|p| p.len()),
+            )
+        })
+    });
+    group.bench_function("tcp", |bch| {
+        let mut t = TcpTransport::new(&g).expect("loopback sockets");
+        bch.iter(|| {
+            black_box(
+                t.route(Player(0), Player(1), black_box(&frame), 8, 0)
+                    .unwrap()
+                    .payload
+                    .map(|p| p.len()),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_kernel_modes,
+    bench_transport_ship
+);
+criterion_main!(benches);

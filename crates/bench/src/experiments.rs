@@ -1477,6 +1477,66 @@ pub fn e20_drift_fixture(domain: u32) -> (FaqQuery<Count>, FaqQuery<Count>) {
     (dense, sparse)
 }
 
+/// **E21 — Real transports.** The same plan raced over the causal
+/// simulator, in-process channels, and loopback TCP: one row per
+/// topology × transport with the model-unit ledger (identical by the
+/// shadow-oracle construction — asserted), the real wire traffic, the
+/// `WireConformance` envelope, and the wall-clock of the run. Not a
+/// paper artifact — the live-monitor row behind the ROADMAP's
+/// real-transport item; CI records the companion bench as
+/// `BENCH_transport.json`.
+pub fn e21_transport(n: usize) {
+    use faqs_network::{ChannelTransport, SimTransport, TcpTransport, Transport};
+
+    banner("E21 · Pluggable transports — shadow-oracle accounting on real wires");
+    header(&[
+        "G",
+        "transport",
+        "bits",
+        "rounds",
+        "frames",
+        "wire bits",
+        "wire upper",
+        "within",
+        "ms",
+    ]);
+    let q = faqs_relation::irreducible_star_instance(4, n as u32);
+    let expected = solve_bcq(&q);
+    for g in [Topology::line(4), Topology::star(5), Topology::grid(3, 3)] {
+        let players: Vec<Player> = g.players().collect();
+        let placement = InputPlacement::hash_split(q.k(), &players, *players.last().unwrap());
+        let run = DistributedFaqRun::new(&q, &g, placement, 1).expect("run");
+        let baseline = run
+            .execute_on(&mut SimTransport::new(run.topology()))
+            .expect("sim");
+        let drive = |label: &str, t: &mut dyn Transport| {
+            let start = std::time::Instant::now();
+            let out = run.execute_on(t).expect(label);
+            let elapsed = start.elapsed();
+            assert_eq!(!out.result.total().is_zero(), expected, "answer agrees");
+            assert_eq!(out.stats, baseline.stats, "shadow ledger is carrier-free");
+            let wc = run.wire_conformance(&run.conformance(out.stats), out.wire);
+            row(&[
+                g.name().to_string(),
+                label.to_string(),
+                out.stats.total_bits.to_string(),
+                out.stats.rounds.to_string(),
+                out.wire.frames.to_string(),
+                wc.wire.wire_bits().to_string(),
+                wc.upper_wire_bits.to_string(),
+                wc.within_upper().to_string(),
+                format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            ]);
+        };
+        drive("sim", &mut SimTransport::new(run.topology()));
+        drive("channel", &mut ChannelTransport::new(run.topology()));
+        drive(
+            "tcp",
+            &mut TcpTransport::new(run.topology()).expect("loopback sockets"),
+        );
+    }
+}
+
 /// Ablation: MD-hoisting and re-rooting vs. the naive construction
 /// (DESIGN.md §5).
 pub fn ablation_width() {

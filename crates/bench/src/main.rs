@@ -9,7 +9,7 @@
 //! Subcommands: `table1`, `figures`, `examples2`, `lowerbounds`, `mcm`,
 //! `entropy`, `shannon`, `gap`, `mpc`, `setint`, `faq`, `hashsplit`,
 //! `kernel`, `executor`, `distributed`, `plan-explain`, `incremental`,
-//! `serve`, `cyclic`, `adaptive`, `ablation`, `all` (default).
+//! `serve`, `cyclic`, `adaptive`, `transport`, `ablation`, `all` (default).
 
 use faqs_bench::experiments as exp;
 
@@ -48,13 +48,14 @@ fn main() {
     run("serve", &|| exp::e18_serve(8 * n));
     run("cyclic", &|| exp::e19_cyclic(16 * n));
     run("adaptive", &|| exp::e20_adaptive(n));
+    run("transport", &|| exp::e21_transport(n.min(128)));
     run("ablation", &exp::ablation_width);
 
     if !ran {
         eprintln!(
             "unknown experiment `{which}`; choose one of: table1 figures examples2 \
              lowerbounds mcm entropy shannon gap mpc setint faq hashsplit kernel executor \
-             distributed plan-explain incremental serve cyclic adaptive ablation all"
+             distributed plan-explain incremental serve cyclic adaptive transport ablation all"
         );
         std::process::exit(2);
     }

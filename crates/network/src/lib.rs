@@ -20,7 +20,10 @@
 //!   implementations issue `transmit(from, to, bits, ready_at)` calls and
 //!   the scheduler pipelines them FIFO per directed link, yielding exact
 //!   round counts under Model 2.1's constraints,
-//! * [`Assignment`] of input functions to players (`K ⊆ V`).
+//! * [`Assignment`] of input functions to players (`K ⊆ V`),
+//! * pluggable [`Transport`]s — the causal simulator, in-process
+//!   channels, and loopback TCP — all shadow-accounted by [`NetRun`] so
+//!   real wire runs report byte-identical [`RunStats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ mod flow;
 mod sim;
 mod steiner;
 mod topology;
+mod transport;
 
 pub use assignment::Assignment;
 pub use cuts::{max_flow, min_cut, min_cut_between, min_cut_partition};
@@ -38,3 +42,6 @@ pub use flow::{route_to_sink, tau_mcf, SourceLoad};
 pub use sim::{NetRun, RunStats, TransmitError};
 pub use steiner::{best_delta, steiner_packing, SteinerTree};
 pub use topology::{LinkId, Player, Topology};
+pub use transport::{
+    ChannelTransport, Delivery, SimTransport, TcpTransport, Transport, TransportKind, WireStats,
+};

@@ -281,6 +281,16 @@ impl CalibrationRegistry {
             .map_or(1.0, ShapeCalibration::correction)
     }
 
+    /// Predicted-vs-actual samples absorbed for `digest` so far — `0`
+    /// for unseen shapes and disabled registries. Callers use this to
+    /// tell an estimate-priced quote from a measurement-backed one.
+    pub fn samples_for(&self, digest: &StatsDigest) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        lock(&self.shapes).get(digest).map_or(0, |s| s.n)
+    }
+
     /// The error envelope for `digest` (the wide default for unseen
     /// shapes).
     pub fn envelope(&self, digest: &StatsDigest) -> Envelope {

@@ -47,6 +47,13 @@ pub struct PlanCost {
     /// Predicted bits shipped across the topology (Model 2.1
     /// accounting, charged per hop); `0` when no placement was scored.
     pub net_bits: u64,
+    /// Predicted codec frame bits a payload transport would move for
+    /// the same legs, via the exact [`faqs_relation::frame_bits`]
+    /// closed form (charged once per leg — real frames ship end-to-end,
+    /// they are not relayed hop by hop). Reported alongside the model
+    /// price; never part of the comparison key, so plan selection stays
+    /// in Model 2.1 units.
+    pub wire_bits: u64,
 }
 
 impl PlanCost {
@@ -92,6 +99,10 @@ pub(crate) struct CostModel<'a> {
     log_d: u64,
     /// Bits per semiring annotation (`S::value_bits()`).
     value_bits: u64,
+    /// Bytes per annotation on the real wire
+    /// (`S::WIRE_VALUE_BYTES`) — the codec's unit, distinct from the
+    /// Model 2.1 `value_bits`.
+    wire_value_bytes: usize,
     /// Learned per-shape multiplicative row correction (calibration).
     /// `1.0` = trust the raw independence estimates.
     correction: f64,
@@ -108,6 +119,7 @@ impl<'a> CostModel<'a> {
         stats: &'a QueryStats,
         domain: u32,
         value_bits: u64,
+        wire_value_bytes: usize,
         correction: f64,
     ) -> CostModel<'a> {
         let log_d = (32 - domain.saturating_sub(1).leading_zeros()).max(1) as u64;
@@ -115,6 +127,7 @@ impl<'a> CostModel<'a> {
             stats,
             log_d,
             value_bits,
+            wire_value_bytes,
             // A poisoned multiplier must never reach the estimates: the
             // registry clamps to 2^±8, but the model re-sanitises so no
             // caller can reintroduce the NaN-cost bug class.
@@ -201,13 +214,20 @@ impl<'a> CostModel<'a> {
         saturating(est.rows) * per_tuple.max(1)
     }
 
-    /// Bits of one shard of factor `e` split across `parts` holders,
-    /// after the shard-local Sum push-down of Corollary G.2 collapsed
-    /// the `pre_agg` columns away (the runtime aggregates each shard
-    /// locally *before* shipping it — `materialise_shards` — so the
-    /// wire carries only the kept columns, and at most one tuple per
-    /// distinct kept-column combination).
-    fn shard_bits(&self, e: EdgeId, parts: usize, pre_agg: &[Var]) -> u64 {
+    /// Codec frame bits of an estimated relation — what a payload
+    /// transport would actually move for one end-to-end ship of it.
+    fn est_wire_bits(&self, est: &Est) -> u64 {
+        faqs_relation::frame_bits(est.arity(), saturating(est.rows), self.wire_value_bytes)
+    }
+
+    /// The shipped shape of one shard of factor `e` split across
+    /// `parts` holders, after the shard-local Sum push-down of
+    /// Corollary G.2 collapsed the `pre_agg` columns away (the runtime
+    /// aggregates each shard locally *before* shipping it —
+    /// `materialise_shards` — so the wire carries only the kept columns,
+    /// and at most one tuple per distinct kept-column combination).
+    /// Returns `(kept arity, shard rows)`.
+    fn shard_shape(&self, e: EdgeId, parts: usize, pre_agg: &[Var]) -> (usize, u64) {
         let s = &self.stats.factors[e.index()];
         let mut shard_rows = (s.rows as u64).div_ceil(parts.max(1) as u64);
         let kept: Vec<usize> = (0..s.schema.len())
@@ -222,8 +242,22 @@ impl<'a> CostModel<'a> {
             }
             shard_rows = shard_rows.min(saturating(capacity));
         }
-        let per_tuple = kept.len() as u64 * self.log_d + self.value_bits;
+        (kept.len(), shard_rows)
+    }
+
+    /// Model 2.1 bits of one shipped shard (see
+    /// [`CostModel::shard_shape`]).
+    fn shard_bits(&self, e: EdgeId, parts: usize, pre_agg: &[Var]) -> u64 {
+        let (kept, shard_rows) = self.shard_shape(e, parts, pre_agg);
+        let per_tuple = kept as u64 * self.log_d + self.value_bits;
         shard_rows * per_tuple.max(1)
+    }
+
+    /// Codec frame bits of one shipped shard (see
+    /// [`CostModel::shard_shape`]).
+    fn shard_wire_bits(&self, e: EdgeId, parts: usize, pre_agg: &[Var]) -> u64 {
+        let (kept, shard_rows) = self.shard_shape(e, parts, pre_agg);
+        faqs_relation::frame_bits(kept, shard_rows, self.wire_value_bytes)
     }
 
     /// One indexed join: `cur` probes an index of `next` (built here),
@@ -336,6 +370,7 @@ impl<'a> CostModel<'a> {
         // argmin-bit·distance aggregation players the runtime picks.
         let placed = placement.map(|ctx| {
             let mut node_shards: Vec<Vec<(Player, u64)>> = vec![Vec::new(); n_nodes];
+            let mut node_wire: Vec<Vec<u64>> = vec![Vec::new(); n_nodes];
             for node in ghd.node_ids() {
                 for &e in &join_order[node.index()] {
                     let holders = &ctx.holders[e.index()];
@@ -356,8 +391,10 @@ impl<'a> CostModel<'a> {
                         })
                         .unwrap_or_default();
                     let bits = self.shard_bits(e, holders.len(), &agged);
+                    let wire = self.shard_wire_bits(e, holders.len(), &agged);
                     for &p in holders {
                         node_shards[node.index()].push((p, bits));
+                        node_wire[node.index()].push(wire);
                     }
                 }
             }
@@ -369,7 +406,10 @@ impl<'a> CostModel<'a> {
                 let dist = dists
                     .entry(to)
                     .or_insert_with(|| ctx.topology.live_distances(to));
-                for &(p, bits) in &node_shards[node.index()] {
+                for (&(p, bits), &wire) in node_shards[node.index()]
+                    .iter()
+                    .zip(&node_wire[node.index()])
+                {
                     if p != to {
                         if dist[p.index()] == u32::MAX {
                             // The runtime routes every shard, even an
@@ -380,6 +420,8 @@ impl<'a> CostModel<'a> {
                             cost.net_bits = cost
                                 .net_bits
                                 .saturating_add(bits.saturating_mul(dist[p.index()] as u64));
+                            // The frame ships end-to-end exactly once.
+                            cost.wire_bits = cost.wire_bits.saturating_add(wire);
                         }
                     }
                 }
@@ -455,6 +497,8 @@ impl<'a> CostModel<'a> {
                             cost.net_bits = cost
                                 .net_bits
                                 .saturating_add(self.est_bits(&msg).saturating_mul(dist as u64));
+                            cost.wire_bits =
+                                cost.wire_bits.saturating_add(self.est_wire_bits(&msg));
                         }
                     }
                 }
@@ -540,7 +584,7 @@ mod tests {
         // never trims it. Every intermediate must stay capped and the
         // final cost finite-by-saturation, not NaN/inf-poisoned.
         let stats = chain_stats(40, 1_000_000);
-        let model = CostModel::new(&stats, 1 << 20, 64, 1.0);
+        let model = CostModel::new(&stats, 1 << 20, 64, 8, 1.0);
         let order: Vec<EdgeId> = (0..40).map(EdgeId).collect();
         let mut cost = PlanCost::default();
         let est = model.price_cascade(&order, &mut cost);
@@ -553,7 +597,7 @@ mod tests {
     #[test]
     fn non_finite_join_caps_fall_back_to_est_cap() {
         let stats = chain_stats(2, 1000);
-        let model = CostModel::new(&stats, 16, 64, 1.0);
+        let model = CostModel::new(&stats, 16, 64, 8, 1.0);
         let a = model.factor_est(EdgeId(0));
         let b = model.factor_est(EdgeId(1));
         for cap in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
@@ -588,7 +632,7 @@ mod tests {
                 prefix_distinct: vec![0, 0],
             },
         ]);
-        let model = CostModel::new(&stats, 2, 1, 1.0);
+        let model = CostModel::new(&stats, 2, 1, 0, 1.0);
         let mut cost = PlanCost::default();
         let est = model.price_cascade(&[EdgeId(0), EdgeId(1)], &mut cost);
         assert!(est.rows.is_finite());
@@ -602,14 +646,14 @@ mod tests {
     fn poisoned_corrections_are_sanitised_to_identity() {
         let stats = chain_stats(2, 1000);
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -2.0] {
-            let model = CostModel::new(&stats, 16, 64, bad);
+            let model = CostModel::new(&stats, 16, 64, 8, bad);
             assert_eq!(model.correction, 1.0, "correction {bad} must be dropped");
         }
         // A sane correction is kept and applied multiplicatively at
         // multi-input nodes without escaping the cap.
-        let model = CostModel::new(&stats, 16, 64, 8.0);
+        let model = CostModel::new(&stats, 16, 64, 8, 8.0);
         assert_eq!(model.correction, 8.0);
-        let huge = CostModel::new(&stats, 16, 64, 1e300);
+        let huge = CostModel::new(&stats, 16, 64, 8, 1e300);
         let mut cost = PlanCost::default();
         let est = huge.price_cascade(&[EdgeId(0), EdgeId(1)], &mut cost);
         assert!((est.rows * huge.correction).clamp(0.0, EST_CAP) <= EST_CAP);
@@ -625,7 +669,7 @@ mod tests {
             distinct: vec![4, 1024],
             prefix_distinct: vec![4, 1024],
         }]);
-        let model = CostModel::new(&stats, 1 << 10, 64, 1.0);
+        let model = CostModel::new(&stats, 1 << 10, 64, 8, 1.0);
         let raw = model.shard_bits(EdgeId(0), 1, &[]);
         let agged = model.shard_bits(EdgeId(0), 1, &[Var(1)]);
         assert_eq!(raw, 1024 * (2 * 10 + 64));

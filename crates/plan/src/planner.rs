@@ -509,7 +509,13 @@ fn quote_impl<S: Semiring>(
     let order = join_order_for_ghd(q, &ghd);
     let stats = QueryStats::of(q);
     let correction = calibration.map_or(1.0, |c| c.correction(&stats.digest()));
-    let model = CostModel::new(&stats, q.domain, S::value_bits(), correction);
+    let model = CostModel::new(
+        &stats,
+        q.domain,
+        S::value_bits(),
+        S::WIRE_VALUE_BYTES,
+        correction,
+    );
     // Price operators the way the process-wide default planner will
     // lower them, so admission control quotes the plan that runs.
     let wcoj = PlannerConfig::from_env().use_wcoj;
@@ -591,7 +597,13 @@ fn plan_query_impl<S: Semiring>(
             &gathered
         }
     };
-    let model = CostModel::new(stats, q.domain, S::value_bits(), correction);
+    let model = CostModel::new(
+        stats,
+        q.domain,
+        S::value_bits(),
+        S::WIRE_VALUE_BYTES,
+        correction,
+    );
     let placed = placement.is_some();
     let (default_cost, default_ops, default_rows) =
         model.simulate(&default_ghd, &default_order, placement, cfg.use_wcoj);

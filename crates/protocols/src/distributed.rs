@@ -6,15 +6,27 @@
 //! general-purpose executor the bounds are *about*: inputs are sharded
 //! across arbitrary players ([`InputPlacement`], hash-split via
 //! [`ConsistentHashSplit`]), shards travel along Steiner-tree /
-//! shortest-path schedules on the [`NetRun`] scheduler, and the upward
+//! shortest-path schedules on a pluggable [`Transport`], and the upward
 //! pass of Theorem G.3 runs at per-GHD-node *aggregation players* with
 //! the columnar join kernel. Arrival rounds thread through the dataflow
-//! (`route_causal`), so pipelining and causality hold by construction.
+//! (`route_causal` semantics), so pipelining and causality hold by
+//! construction.
+//!
+//! The transport (`FAQS_NET_TRANSPORT`) decides what happens to the
+//! bytes: the causal simulator drops them, the channel and loopback-TCP
+//! transports physically move every shard and message as a codec frame
+//! ([`Relation::encode_frame`]) and the run computes on the *decoded*
+//! bytes. All transports shadow-account Model 2.1 bits identically on
+//! the embedded [`faqs_network::NetRun`], so [`RunStats`] is
+//! byte-identical across them — and real-transport runs assert
+//! themselves against the simulator's envelope on the fly.
 //!
 //! Every run returns the semiring result **and** the measured
-//! [`RunStats`]; [`ConformanceReport`] then confronts the measurement
-//! with the closed-form [`BoundReport`] — the paper's inequalities as
-//! executable checks.
+//! [`RunStats`] (plus [`WireStats`] for real transports);
+//! [`ConformanceReport`] then confronts the measurement with the
+//! closed-form [`BoundReport`] — the paper's inequalities as executable
+//! checks — and [`WireConformance`] does the same for the bytes on the
+//! real wire.
 //!
 //! Push-down before shipping (Corollary G.2 at the shard level): a bound
 //! `Sum` variable occurring in exactly one hyperedge (and one GHD bag) is
@@ -32,7 +44,10 @@ use crate::hash_split::ConsistentHashSplit;
 use crate::outcome::ProtocolError;
 use faqs_exec::QueryPlan;
 use faqs_hypergraph::{EdgeId, NodeId, Var};
-use faqs_network::{best_delta, Assignment, NetRun, Player, RunStats, Topology};
+use faqs_network::{
+    best_delta, Assignment, ChannelTransport, Player, RunStats, SimTransport, TcpTransport,
+    Topology, Transport, TransportKind, WireStats,
+};
 use faqs_plan::{CalibrationRegistry, PlacementContext, PlannerConfig, QueryStats, StatsDigest};
 use faqs_relation::{FaqQuery, Relation};
 use faqs_semiring::{Aggregate, Semiring};
@@ -137,13 +152,18 @@ pub struct DistributedOutcome<S: Semiring> {
     /// The result relation over the free variables, identical to
     /// `faqs_core::solve_faq` on the same query.
     pub result: Relation<S>,
-    /// Measured rounds / bits / transmissions of the run.
+    /// Measured rounds / bits / transmissions of the run — identical
+    /// across transports (shadow accounting).
     pub stats: RunStats,
     /// The aggregation player chosen for each GHD node (dense by node
     /// index; the root always aggregates at the output player).
     pub node_player: Vec<Player>,
     /// Round at whose end the output player holds the result.
     pub completed_at: u64,
+    /// Which transport carried the run.
+    pub transport: TransportKind,
+    /// Real bytes moved (all-zero on the pure simulator).
+    pub wire: WireStats,
 }
 
 /// A distributed FAQ execution over an arbitrary topology: shards are
@@ -275,24 +295,62 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
         &self.placement
     }
 
-    /// Executes the full FAQ on the round scheduler. The result relation
-    /// equals `faqs_core::solve_faq` on every input; the stats are the
-    /// empirical side of [`ConformanceReport`].
+    /// Executes the full FAQ on the transport selected by
+    /// `FAQS_NET_TRANSPORT` (default: the causal simulator). The result
+    /// relation equals `faqs_core::solve_faq` on every input and every
+    /// transport; the stats are the empirical side of
+    /// [`ConformanceReport`]. Real-transport runs additionally assert
+    /// their measured model bits against the simulator's upper envelope
+    /// and their wire bytes against [`WireConformance`] — the shadow
+    /// simulator acting as a live oracle over the real wire.
     pub fn execute(&self) -> Result<DistributedOutcome<S>, ProtocolError> {
+        match TransportKind::from_env() {
+            TransportKind::Sim => self.execute_on(&mut SimTransport::new(&self.scaled)),
+            TransportKind::Channel => self.execute_on(&mut ChannelTransport::new(&self.scaled)),
+            TransportKind::Tcp => {
+                let mut t = TcpTransport::new(&self.scaled)
+                    .map_err(|e| ProtocolError::Engine(format!("tcp transport: {e}")))?;
+                self.execute_on(&mut t)
+            }
+        }
+    }
+
+    /// [`DistributedFaqRun::execute`] on an explicit [`Transport`] — the
+    /// differential tests race all three implementations on the same
+    /// plan through this entry point.
+    pub fn execute_on<T: Transport + ?Sized>(
+        &self,
+        transport: &mut T,
+    ) -> Result<DistributedOutcome<S>, ProtocolError> {
         let shards = self.materialise_shards();
         let node_player = self.node_players(&shards);
-        let mut run = NetRun::new(&self.scaled);
         let root = self.plan.root();
-        let (acc, ready) = self.eval_node(root, &mut run, &shards, &node_player)?;
+        let (acc, ready) = self.eval_node(root, transport, &shards, &node_player)?;
         let result =
             faqs_core::finish_root(self.q, acc.unwrap_or_else(Relation::unit), |rel, v, op| {
                 rel.aggregate_out(v, op)
             });
+        let stats = transport.stats();
+        let wire = transport.wire();
+        if transport.carries_payload() {
+            // Live oracle: a real-wire run that escapes the simulator's
+            // envelope is a protocol bug, not a measurement to report.
+            let report = self.conformance(stats);
+            assert!(
+                report.within_upper(),
+                "real-transport run escaped the simulator envelope: measured {} > upper {}",
+                stats.total_bits,
+                report.upper_bits,
+            );
+            self.wire_conformance(&report, wire).assert_within_upper();
+        }
         Ok(DistributedOutcome {
             result,
-            stats: run.stats(),
+            stats,
             node_player,
             completed_at: ready,
+            transport: transport.kind(),
+            wire,
         })
     }
 
@@ -300,6 +358,36 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
     /// on this query / (scaled) topology / player set.
     pub fn conformance(&self, stats: RunStats) -> ConformanceReport {
         ConformanceReport::evaluate(self.q, &self.scaled, &self.placement.players(), stats)
+    }
+
+    /// Confronts a real transport's [`WireStats`] with the model
+    /// envelope of `report`, translated into wire units for this query:
+    /// `upper = blowup·upper_bits + header·frames`, where `blowup` is
+    /// the worst per-tuple ratio of codec frame bits (`32r + 8W` per
+    /// row) to Model 2.1 bits (`r·⌈log₂D⌉ + value_bits`) over the
+    /// arities this query can ship, and `header` covers each frame's
+    /// fixed-plus-schema prefix. Exact closed forms from
+    /// [`faqs_relation::frame_bytes`] — the same function the codec and
+    /// the planner price with.
+    pub fn wire_conformance(&self, report: &ConformanceReport, wire: WireStats) -> WireConformance {
+        let log_d = (32 - self.q.domain.saturating_sub(1).leading_zeros()).max(1) as u64;
+        let vb = S::value_bits();
+        let wire_value_bits = 8 * S::WIRE_VALUE_BYTES as u64;
+        let max_arity = self.q.hypergraph.num_vars().max(1);
+        let blowup = (1..=max_arity as u64)
+            .map(|r| (32 * r + wire_value_bits).div_ceil(r * log_d + vb))
+            .max()
+            .expect("at least one arity")
+            .max(1);
+        let header_bits_per_frame = faqs_relation::frame_bits(max_arity, 0, S::WIRE_VALUE_BYTES);
+        WireConformance {
+            wire,
+            blowup,
+            header_bits_per_frame,
+            upper_wire_bits: blowup
+                .saturating_mul(report.upper_bits)
+                .saturating_add(header_bits_per_frame.saturating_mul(wire.frames)),
+        }
     }
 
     /// Per-edge shard relations, pre-aggregated at their holders: every
@@ -401,10 +489,10 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
     /// order. Returns the un-aggregated node relation and the round at
     /// whose end it is complete at the aggregation player.
     #[allow(clippy::type_complexity)]
-    fn eval_node(
+    fn eval_node<T: Transport + ?Sized>(
         &self,
         node: NodeId,
-        run: &mut NetRun<'_>,
+        transport: &mut T,
         shards: &[Vec<(Player, Relation<S>)>],
         node_player: &[Player],
     ) -> Result<(Option<Relation<S>>, u64), ProtocolError> {
@@ -414,12 +502,12 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
         // Children subtrees, in the plan's deterministic order.
         let mut messages: Vec<Relation<S>> = Vec::new();
         for &child in self.plan.children(node) {
-            let (sub, sub_ready) = self.eval_node(child, run, shards, node_player)?;
+            let (sub, sub_ready) = self.eval_node(child, transport, shards, node_player)?;
             let sub = sub.expect("non-root GHD nodes carry a factor");
             // Push-down at the child's aggregation player: aggregate out
             // the subtree-private variables (Corollary G.2) *before* the
             // message travels.
-            let message =
+            let mut message =
                 faqs_core::push_down_message(self.q, sub, self.plan.ghd.chi(node), |rel, v, op| {
                     rel.aggregate_out(v, op)
                 });
@@ -429,8 +517,21 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             } else {
                 // The message is learned at the end of `sub_ready`, so
                 // it departs at `sub_ready + 1` — causal by construction.
-                run.route_causal(from, me, message.bits(self.q.domain), sub_ready)
-                    .map_err(|e| ProtocolError::Unreachable(e.to_string()))?
+                // On payload transports the frame physically travels and
+                // the *received* bytes become the message folded below.
+                let frame = if transport.carries_payload() {
+                    message.encode_frame()
+                } else {
+                    Vec::new()
+                };
+                let d = transport
+                    .route(from, me, &frame, message.bits(self.q.domain), sub_ready)
+                    .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
+                if let Some(bytes) = d.payload {
+                    message = Relation::decode_frame(&bytes)
+                        .map_err(|e| ProtocolError::Engine(format!("message frame: {e}")))?;
+                }
+                d.arrived_at
             };
             ready = ready.max(arrived);
             messages.push(message);
@@ -443,7 +544,7 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
         let steps = self.plan.joins(node);
         let mut gathered: Vec<Relation<S>> = Vec::with_capacity(steps.len());
         for step in steps {
-            let (factor, arrived) = self.gather_factor(step.edge, me, run, shards)?;
+            let (factor, arrived) = self.gather_factor(step.edge, me, transport, shards)?;
             ready = ready.max(arrived);
             gathered.push(factor);
         }
@@ -496,11 +597,14 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
     /// `to` — across an edge-disjoint Steiner packing when several
     /// holders converge (shards round-robin over the trees), along a
     /// shortest live path otherwise — and reassembles the factor there.
-    fn gather_factor(
+    /// On payload transports every remote shard travels as an encoded
+    /// frame and the reassembly unions the *decoded* bytes; local shards
+    /// never touch the wire.
+    fn gather_factor<T: Transport + ?Sized>(
         &self,
         e: EdgeId,
         to: Player,
-        run: &mut NetRun<'_>,
+        transport: &mut T,
         shards: &[Vec<(Player, Relation<S>)>],
     ) -> Result<(Relation<S>, u64), ProtocolError> {
         let parts = &shards[e.index()];
@@ -511,6 +615,20 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
             .map(|(p, r)| (*p, r))
             .collect();
         let mut ready = 0u64;
+        // Decoded deliveries, aligned with `remote`'s order (empty on
+        // the pure simulator).
+        let mut received: Vec<Relation<S>> = Vec::new();
+        let deliver = |d: faqs_network::Delivery,
+                       received: &mut Vec<Relation<S>>|
+         -> Result<u64, ProtocolError> {
+            if let Some(bytes) = d.payload {
+                received.push(
+                    Relation::decode_frame(&bytes)
+                        .map_err(|e| ProtocolError::Engine(format!("shard frame: {e}")))?,
+                );
+            }
+            Ok(d.arrived_at)
+        };
         let mut routed = false;
         if remote.len() >= 2 && self.all_links_live {
             let mut members: Vec<Player> = remote.iter().map(|(p, _)| *p).collect();
@@ -532,10 +650,15 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
                     for (i, (p, rel)) in remote.iter().enumerate() {
                         let tree = &packing[i % packing.len()];
                         let (nodes, links) = tree.path(*p, to).expect("terminals are spanned");
-                        let done = run
-                            .send_along_path(&nodes, &links, rel.bits(domain), 1)
+                        let frame = if transport.carries_payload() {
+                            rel.encode_frame()
+                        } else {
+                            Vec::new()
+                        };
+                        let d = transport
+                            .send_along_path(&nodes, &links, &frame, rel.bits(domain), 1)
                             .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
-                        ready = ready.max(done);
+                        ready = ready.max(deliver(d, &mut received)?);
                     }
                     routed = true;
                 }
@@ -543,13 +666,33 @@ impl<'a, S: Semiring> DistributedFaqRun<'a, S> {
         }
         if !routed {
             for (p, rel) in &remote {
-                let done = run
-                    .send_via_shortest_path(*p, to, rel.bits(domain), 1)
+                let frame = if transport.carries_payload() {
+                    rel.encode_frame()
+                } else {
+                    Vec::new()
+                };
+                // `route(.., learned_at = 0)` departs at round 1 —
+                // identical scheduling to the historical
+                // `send_via_shortest_path(.., ready_at = 1)`.
+                let d = transport
+                    .route(*p, to, &frame, rel.bits(domain), 0)
                     .map_err(|e| ProtocolError::Unreachable(e.to_string()))?;
-                ready = ready.max(done);
+                ready = ready.max(deliver(d, &mut received)?);
             }
         }
-        let rels: Vec<Relation<S>> = parts.iter().map(|(_, r)| r.clone()).collect();
+        // Reassemble: local parts from memory, remote parts from the
+        // wire when the transport carried them.
+        let mut received = received.into_iter();
+        let rels: Vec<Relation<S>> = parts
+            .iter()
+            .map(|(p, r)| {
+                if *p != to && transport.carries_payload() {
+                    received.next().expect("one delivery per remote shard")
+                } else {
+                    r.clone()
+                }
+            })
+            .collect();
         Ok((Relation::union_all(&rels), ready))
     }
 }
@@ -671,6 +814,45 @@ impl ConformanceReport {
             self.stats.rounds,
             self.stats.transmissions,
             self.bound,
+        );
+    }
+}
+
+/// The model envelope translated into real-wire units: a payload
+/// transport's measured [`WireStats`] confronted with
+/// `blowup · upper_bits + header · frames` (see
+/// [`DistributedFaqRun::wire_conformance`] for the closed forms). A
+/// co-located run gets a zero envelope here too — no frame may ship.
+#[derive(Clone, Copy, Debug)]
+pub struct WireConformance {
+    /// The measured wire traffic.
+    pub wire: WireStats,
+    /// Worst per-tuple ratio of codec frame bits to Model 2.1 bits for
+    /// this query's semiring/domain/arities.
+    pub blowup: u64,
+    /// Fixed-plus-schema frame prefix allowance, in bits per frame.
+    pub header_bits_per_frame: u64,
+    /// The wire-unit upper envelope.
+    pub upper_wire_bits: u64,
+}
+
+impl WireConformance {
+    /// Whether the measured wire bits stay inside the envelope.
+    pub fn within_upper(&self) -> bool {
+        self.wire.wire_bits() <= self.upper_wire_bits
+    }
+
+    /// Panics with the full ledger unless [`WireConformance::within_upper`].
+    pub fn assert_within_upper(&self) {
+        assert!(
+            self.within_upper(),
+            "wire conformance violated: measured {} bits > upper {} \
+             (frames {}, blowup {}, header {} bits/frame)",
+            self.wire.wire_bits(),
+            self.upper_wire_bits,
+            self.wire.frames,
+            self.blowup,
+            self.header_bits_per_frame,
         );
     }
 }

@@ -47,7 +47,8 @@ pub use degenerate::{
     BcqOutcome,
 };
 pub use distributed::{
-    ConformanceReport, DistributedFaqRun, DistributedOutcome, InputPlacement, CONFORMANCE_SLACK,
+    ConformanceReport, DistributedFaqRun, DistributedOutcome, InputPlacement, WireConformance,
+    CONFORMANCE_SLACK,
 };
 pub use hash_split::{run_hash_split_protocol, ConsistentHashSplit};
 pub use outcome::{ProtocolError, ProtocolOutcome};

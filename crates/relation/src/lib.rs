@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod codec;
 mod delta;
 mod generators;
 mod genjoin;
@@ -32,6 +33,9 @@ mod snapshot;
 mod stats;
 
 pub use builder::BcqBuilder;
+pub use codec::{
+    frame_bits, frame_bytes, CodecError, FRAME_FIXED_BYTES, FRAME_MAGIC, FRAME_VERSION,
+};
 pub use delta::{AppliedDelta, DeltaOp, RelationDelta};
 pub use faqs_semiring::Aggregate;
 pub use generators::{

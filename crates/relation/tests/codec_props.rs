@@ -1,0 +1,184 @@
+//! Property suite for the columnar shard codec: encode → decode must be
+//! the identity for every semiring the engine ships, the frame length
+//! must match the closed-form [`frame_bytes`] the planner prices with,
+//! and any mangled byte stream must come back as a [`CodecError`],
+//! never a panic or a silently different relation.
+
+use faqs_relation::{frame_bytes, CodecError, Relation, FRAME_FIXED_BYTES};
+use faqs_semiring::{Boolean, Count, Gf2, MaxPlus, MaxProd, MinPlus, Prob, Semiring};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Schemas covering the awkward shapes: nullary (one global value),
+/// unary, wide, non-contiguous and unsorted variable ids.
+const SCHEMAS: &[&[u32]] = &[&[], &[0], &[0, 1], &[3, 1], &[7, 0, 9, 2], &[2, 4, 1, 0, 5]];
+
+fn random_rel<S: Semiring>(
+    schema: &[u32],
+    n: usize,
+    domain: u32,
+    rng: &mut StdRng,
+    mut value_of: impl FnMut(&mut StdRng) -> S,
+) -> Relation<S> {
+    let vars: Vec<_> = schema.iter().map(|&i| faqs_hypergraph::Var(i)).collect();
+    let pairs: Vec<(Vec<u32>, S)> = (0..n)
+        .map(|_| {
+            let t: Vec<u32> = schema.iter().map(|_| rng.random_range(0..domain)).collect();
+            (t, value_of(rng))
+        })
+        .collect();
+    Relation::from_pairs(vars, pairs)
+}
+
+/// One full round trip: exact frame size, decode-is-identity, and the
+/// planner's closed form agrees with the bytes on the wire.
+fn check_round_trip<S: Semiring>(r: &Relation<S>) {
+    let frame = r.encode_frame();
+    assert_eq!(
+        frame.len() as u64,
+        frame_bytes(r.schema().len(), r.len() as u64, S::WIRE_VALUE_BYTES),
+        "frame length must equal the closed-form the planner prices with"
+    );
+    assert_eq!(frame.len() as u64 * 8, r.wire_bits());
+    let back = Relation::<S>::decode_frame(&frame).expect("well-formed frame");
+    assert_eq!(&back, r, "decode must invert encode exactly");
+}
+
+/// Every strict prefix of a valid frame must decode to `Truncated`, and
+/// every appended tail makes the length disagree with the header.
+fn check_truncations<S: Semiring>(r: &Relation<S>) {
+    let frame = r.encode_frame();
+    let cuts: Vec<usize> = [
+        0,
+        1,
+        4,
+        6,
+        8,
+        FRAME_FIXED_BYTES,
+        frame.len().saturating_sub(1),
+    ]
+    .into_iter()
+    .filter(|&c| c < frame.len())
+    .collect();
+    for cut in cuts {
+        assert!(
+            matches!(
+                Relation::<S>::decode_frame(&frame[..cut]),
+                Err(CodecError::Truncated { .. })
+            ),
+            "prefix of {cut} bytes must be Truncated"
+        );
+    }
+    let mut padded = frame.clone();
+    padded.push(0);
+    assert!(
+        matches!(
+            Relation::<S>::decode_frame(&padded),
+            Err(CodecError::Truncated { .. })
+        ),
+        "a trailing byte makes the length disagree with the header"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn count_frames_round_trip(
+        combo in 0usize..6,
+        seed: u64,
+        n in 0usize..60,
+        domain in 1u32..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r: Relation<Count> = random_rel(SCHEMAS[combo], n, domain, &mut rng, |g| {
+            Count(g.random_range(1..1 << 40))
+        });
+        check_round_trip(&r);
+        check_truncations(&r);
+    }
+
+    #[test]
+    fn zero_width_frames_round_trip(
+        combo in 0usize..6,
+        seed: u64,
+        n in 0usize..60,
+        domain in 1u32..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b: Relation<Boolean> =
+            random_rel(SCHEMAS[combo], n, domain, &mut rng, |_| Boolean(true));
+        check_round_trip(&b);
+        check_truncations(&b);
+        let g: Relation<Gf2> = random_rel(SCHEMAS[combo], n, domain, &mut rng, |_| Gf2(true));
+        check_round_trip(&g);
+    }
+
+    #[test]
+    fn float_frames_round_trip_bit_exact(
+        combo in 0usize..6,
+        seed: u64,
+        n in 0usize..60,
+        domain in 1u32..8,
+    ) {
+        // f64 carriers ship raw IEEE bits, so round trips are exact even
+        // for values no decimal representation reproduces; ±∞ draws
+        // exercise the tropical/lattice identities that survive the wire
+        // because the listing never stores semiring zeros.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mp: Relation<MinPlus> = random_rel(SCHEMAS[combo], n, domain, &mut rng, |g| {
+            MinPlus::new(g.random_range(-1000..1000) as f64 / 7.0)
+        });
+        check_round_trip(&mp);
+        let xp: Relation<MaxPlus> = random_rel(SCHEMAS[combo], n, domain, &mut rng, |g| {
+            MaxPlus::new(g.random_range(-1000..1000) as f64 / 7.0)
+        });
+        check_round_trip(&xp);
+        let pr: Relation<Prob> = random_rel(SCHEMAS[combo], n, domain, &mut rng, |g| {
+            Prob::new(g.random_range(1..1000) as f64 / 999.0)
+        });
+        check_round_trip(&pr);
+        let mx: Relation<MaxProd> = random_rel(SCHEMAS[combo], n, domain, &mut rng, |g| {
+            MaxProd::new(g.random_range(1..1000) as f64 / 999.0)
+        });
+        check_round_trip(&mx);
+        check_truncations(&mp);
+    }
+
+    #[test]
+    fn corrupted_headers_are_errors_not_panics(
+        seed: u64,
+        n in 1usize..20,
+        byte in 0usize..FRAME_FIXED_BYTES,
+        flip in 1u8..=255,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r: Relation<Count> =
+            random_rel(&[0, 1], n, 8, &mut rng, |g| Count(g.random_range(1..100)));
+        let mut frame = r.encode_frame();
+        frame[byte] ^= flip;
+        // Whatever the flip hit — magic, version, arity, row count,
+        // value width — decode must refuse or reproduce a relation, but
+        // never panic or read out of bounds.
+        let _ = Relation::<Count>::decode_frame(&frame);
+    }
+
+    #[test]
+    fn cross_semiring_decode_is_width_checked(
+        seed: u64,
+        n in 0usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r: Relation<Count> =
+            random_rel(&[0, 1], n, 8, &mut rng, |g| Count(g.random_range(1..100)));
+        let frame = r.encode_frame();
+        prop_assert!(matches!(
+            Relation::<Boolean>::decode_frame(&frame),
+            Err(CodecError::ValueWidthMismatch { frame: 8, decoder: 0 })
+        ));
+        // Same width, different carrier: MinPlus accepts the bytes (the
+        // codec checks shape, not meaning) — but the length still must.
+        prop_assert!(Relation::<MinPlus>::decode_frame(&frame).is_ok());
+    }
+}

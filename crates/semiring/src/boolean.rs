@@ -64,6 +64,9 @@ impl Semiring for Boolean {
         // presence (the listing representation stores only `1` values).
         0
     }
+
+    // Presence-only on the wire too: every stored annotation is `true`.
+    const WIRE_VALUE_BYTES: usize = 0;
 }
 
 impl LatticeOps for Boolean {

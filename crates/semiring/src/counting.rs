@@ -63,6 +63,18 @@ impl Semiring for Count {
     fn is_zero(&self) -> bool {
         self.0 == 0
     }
+
+    const WIRE_VALUE_BYTES: usize = 8;
+
+    #[inline]
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_wire(bytes: &[u8]) -> Self {
+        Count(u64::from_le_bytes(bytes.try_into().expect("8-byte value")))
+    }
 }
 
 impl LatticeOps for Count {

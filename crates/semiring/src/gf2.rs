@@ -73,6 +73,10 @@ impl Semiring for Gf2 {
     fn value_bits() -> u64 {
         1
     }
+
+    // Listing representation stores only the non-zero field element, so
+    // the wire carries presence alone and decode refills `one()`.
+    const WIRE_VALUE_BYTES: usize = 0;
 }
 
 impl Ring for Gf2 {

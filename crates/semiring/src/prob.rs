@@ -79,6 +79,17 @@ impl Semiring for Prob {
         let scale = self.0.abs().max(other.0.abs()).max(1.0);
         (self.0 - other.0).abs() <= EPS * scale
     }
+
+    // IEEE-754 bit pattern, little-endian: the round trip is exact.
+    #[inline]
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_wire(bytes: &[u8]) -> Self {
+        Prob(f64::from_le_bytes(bytes.try_into().expect("8-byte value")))
+    }
 }
 
 impl LatticeOps for Prob {
@@ -159,6 +170,16 @@ impl Semiring for MaxProd {
     fn approx_eq(&self, other: &Self) -> bool {
         let scale = self.0.abs().max(other.0.abs()).max(1.0);
         (self.0 - other.0).abs() <= EPS * scale
+    }
+
+    #[inline]
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_wire(bytes: &[u8]) -> Self {
+        MaxProd(f64::from_le_bytes(bytes.try_into().expect("8-byte value")))
     }
 }
 

@@ -113,6 +113,35 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
     fn approx_eq(&self, other: &Self) -> bool {
         self == other
     }
+
+    /// Exact byte width of one annotation value in the columnar wire
+    /// codec's fixed-width value section (`faqs-relation`'s shard
+    /// frames). `0` means the value is implied by presence — listing
+    /// representation stores only non-zero entries, so zero-width
+    /// carriers (Boolean, GF(2)) decode every row to [`Semiring::one`].
+    ///
+    /// This is the *wire* width, distinct from [`Semiring::value_bits`]:
+    /// the latter prices Model 2.1 communication, the former is the
+    /// exact number of bytes a real transport moves.
+    const WIRE_VALUE_BYTES: usize = 8;
+
+    /// Appends exactly [`Semiring::WIRE_VALUE_BYTES`] bytes encoding
+    /// this value to `out`. Never called when the width is `0`.
+    ///
+    /// The default panics: semirings shipped across a real transport
+    /// must override it (all in-workspace carriers do).
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        let _ = out;
+        unimplemented!("semiring {} has no wire codec", Self::NAME)
+    }
+
+    /// Decodes one value from exactly [`Semiring::WIRE_VALUE_BYTES`]
+    /// bytes. Inverse of [`Semiring::write_wire`]; never called when
+    /// the width is `0`.
+    fn read_wire(bytes: &[u8]) -> Self {
+        let _ = bytes;
+        unimplemented!("semiring {} has no wire codec", Self::NAME)
+    }
 }
 
 /// Extra lattice structure available on ordered semirings.

@@ -68,6 +68,17 @@ impl Semiring for MinPlus {
         let scale = self.0.abs().max(other.0.abs()).max(1.0);
         (self.0 - other.0).abs() <= 1e-9 * scale
     }
+
+    // IEEE-754 bit pattern, little-endian: the round trip is exact.
+    #[inline]
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_wire(bytes: &[u8]) -> Self {
+        MinPlus(f64::from_le_bytes(bytes.try_into().expect("8-byte value")))
+    }
 }
 
 /// The max-plus semiring `(ℝ ∪ {−∞}, max, +)`.
@@ -134,6 +145,16 @@ impl Semiring for MaxPlus {
         }
         let scale = self.0.abs().max(other.0.abs()).max(1.0);
         (self.0 - other.0).abs() <= 1e-9 * scale
+    }
+
+    #[inline]
+    fn write_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_wire(bytes: &[u8]) -> Self {
+        MaxPlus(f64::from_le_bytes(bytes.try_into().expect("8-byte value")))
     }
 }
 

@@ -1,5 +1,6 @@
 //! The serving-layer error type.
 
+use crate::registry::PricedOn;
 use faqs_core::EngineError;
 use faqs_hypergraph::Var;
 
@@ -23,6 +24,10 @@ pub enum ServeError {
         quoted: u64,
         /// The configured admission budget.
         budget: u64,
+        /// Whether the rejecting quote rested on raw estimates or on
+        /// calibration measurements — an estimate-priced rejection is
+        /// worth retrying once telemetry for the shape lands.
+        priced_on: PricedOn,
     },
     /// Planning or execution failed (including a worker panic captured
     /// as [`EngineError::WorkerPanic`]).
@@ -40,8 +45,19 @@ impl std::fmt::Display for ServeError {
                 write!(f, "batch parameter {v} is not a free variable")
             }
             ServeError::SchemaMismatch => write!(f, "delta schema does not match the factor"),
-            ServeError::TooExpensive { quoted, budget } => {
-                write!(f, "query quoted at {quoted} cpu exceeds budget {budget}")
+            ServeError::TooExpensive {
+                quoted,
+                budget,
+                priced_on,
+            } => {
+                let basis = match priced_on {
+                    PricedOn::Estimates => "estimates",
+                    PricedOn::Measurements => "measurements",
+                };
+                write!(
+                    f,
+                    "query quoted at {quoted} cpu (priced on {basis}) exceeds budget {budget}"
+                )
             }
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Shutdown => write!(f, "server shut down before answering"),

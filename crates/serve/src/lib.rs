@@ -51,5 +51,5 @@ mod registry;
 mod server;
 
 pub use error::ServeError;
-pub use registry::ShapeId;
+pub use registry::{PricedOn, ShapeId};
 pub use server::{Answer, FaqServer, ServeConfig, ServeStats, Ticket};

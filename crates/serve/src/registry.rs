@@ -34,6 +34,31 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ShapeId(pub usize);
 
+/// What an admission quote — and therefore the [`Answer`] it gated or
+/// the [`ServeError::TooExpensive`] it produced — was priced on.
+///
+/// [`Answer`]: crate::Answer
+/// [`ServeError::TooExpensive`]: crate::ServeError::TooExpensive
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PricedOn {
+    /// No predicted-vs-actual samples exist for this shape: the quote
+    /// is the cost model's raw independence estimate.
+    Estimates,
+    /// Calibration has absorbed fold-point measurements for this shape,
+    /// so the quote carries its learned correction multiplier.
+    Measurements,
+}
+
+/// One hash lookup: measurement-backed iff calibration has absorbed at
+/// least one sample for the shape's digest.
+fn priced_on(calibration: &CalibrationRegistry, digest: &StatsDigest) -> PricedOn {
+    if calibration.samples_for(digest) > 0 {
+        PricedOn::Measurements
+    } else {
+        PricedOn::Estimates
+    }
+}
+
 /// One registered shape: the versioned template, its batching
 /// parameter, the writer serialisation lock and the per-epoch quote.
 pub(crate) struct ShapeEntry<S: Semiring> {
@@ -63,18 +88,26 @@ impl<S: Semiring> ShapeEntry<S> {
     /// calibration has learned a materially different correction for
     /// this shape (same hysteresis band as executor re-planning, so
     /// admission and planning always price with the same multiplier).
-    pub(crate) fn quote(&self, calibration: &CalibrationRegistry) -> Result<PlanCost, EngineError> {
+    /// Also reports whether the quote rests on raw estimates or on
+    /// calibration measurements — read live on every call (one hash
+    /// lookup), so the tag flips to [`PricedOn::Measurements`] as soon
+    /// as telemetry lands, even while the memoised cost stays valid.
+    pub(crate) fn quote(
+        &self,
+        calibration: &CalibrationRegistry,
+    ) -> Result<(PlanCost, PricedOn), EngineError> {
         let snap = self.cell.load();
         let mut cached = recover(self.quote.lock());
         if let Some(memo) = cached.as_ref() {
             if memo.epoch == snap.epoch()
                 && correction_fresh(memo.correction, calibration.correction(&memo.digest))
             {
-                return Ok(memo.cost);
+                return Ok((memo.cost, priced_on(calibration, &memo.digest)));
             }
         }
         *cached = Some(price(snap.value(), snap.epoch(), calibration)?);
-        Ok(cached.as_ref().expect("just stored").cost)
+        let memo = cached.as_ref().expect("just stored");
+        Ok((memo.cost, priced_on(calibration, &memo.digest)))
     }
 
     /// Applies a delta to one factor copy-on-write and publishes the

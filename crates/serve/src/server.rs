@@ -28,7 +28,7 @@
 //! and bug isolation; everything else is unchanged.
 
 use crate::error::ServeError;
-use crate::registry::{Registry, ShapeEntry, ShapeId};
+use crate::registry::{PricedOn, Registry, ShapeEntry, ShapeId};
 use faqs_exec::{CacheStats, Executor};
 use faqs_hypergraph::{EdgeId, Var};
 use faqs_relation::{FaqQuery, Relation, RelationDelta, Snapshot};
@@ -81,6 +81,10 @@ pub struct Answer<S: Semiring> {
     /// The registry epoch the pass ran against — all requests merged
     /// into one batch share it (snapshot consistency).
     pub epoch: u64,
+    /// Whether the admission quote that routed this request rested on
+    /// raw planner estimates or on calibration measurements for the
+    /// shape (as of this request's submit).
+    pub priced_on: PricedOn,
 }
 
 /// A pending reply handle.
@@ -105,6 +109,7 @@ impl<S: Semiring> Ticket<S> {
 struct Request<S: Semiring> {
     shape: ShapeId,
     binding: u32,
+    priced_on: PricedOn,
     reply: mpsc::Sender<Result<Answer<S>, ServeError>>,
 }
 
@@ -203,12 +208,13 @@ impl<S: Semiring> FaqServer<S> {
             return Err(ServeError::Shutdown);
         }
         let entry = shared.registry.get(shape)?;
-        let quote = entry.quote(shared.executor.calibration())?;
+        let (quote, priced_on) = entry.quote(shared.executor.calibration())?;
         if quote.cpu > shared.cfg.cost_budget {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::TooExpensive {
                 quoted: quote.cpu,
                 budget: shared.cfg.cost_budget,
+                priced_on,
             });
         }
         shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -216,7 +222,7 @@ impl<S: Semiring> FaqServer<S> {
         if quote.cpu <= shared.cfg.cheap_cpu {
             // Cheap point query: bypass the queue entirely.
             shared.inline.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(answer_one(shared, &entry, binding));
+            let _ = tx.send(answer_one(shared, &entry, binding, priced_on));
             return Ok(Ticket { rx });
         }
         {
@@ -224,6 +230,7 @@ impl<S: Semiring> FaqServer<S> {
             queue.push_back(Request {
                 shape,
                 binding,
+                priced_on,
                 reply: tx,
             });
         }
@@ -303,6 +310,7 @@ fn answer_one<S: Semiring>(
     shared: &Shared<S>,
     entry: &ShapeEntry<S>,
     binding: u32,
+    priced_on: PricedOn,
 ) -> Result<Answer<S>, ServeError> {
     let snap = entry.cell.load();
     let mut out = shared
@@ -311,6 +319,7 @@ fn answer_one<S: Semiring>(
     Ok(Answer {
         relation: out.pop().expect("one binding, one slice"),
         epoch: snap.epoch(),
+        priced_on,
     })
 }
 
@@ -374,6 +383,7 @@ fn worker_loop<S: Semiring>(shared: &Shared<S>) {
                     let _ = req.reply.send(Ok(Answer {
                         relation,
                         epoch: snap.epoch(),
+                        priced_on: req.priced_on,
                     }));
                 }
             }

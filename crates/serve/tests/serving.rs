@@ -6,7 +6,7 @@ use faqs_exec::Executor;
 use faqs_hypergraph::{star_query, EdgeId, Var};
 use faqs_relation::{random_instance, FaqQuery, RandomInstanceConfig, Relation, RelationDelta};
 use faqs_semiring::Count;
-use faqs_serve::{FaqServer, ServeConfig, ServeError};
+use faqs_serve::{FaqServer, PricedOn, ServeConfig, ServeError};
 
 fn template(seed: u64) -> FaqQuery<Count> {
     random_instance(
@@ -63,10 +63,20 @@ fn served_answers_match_the_executor_oracle() {
         .iter()
         .map(|&b| server.submit(shape, b).unwrap())
         .collect();
-    for (b, t) in bindings.iter().zip(tickets) {
+    for (i, (b, t)) in bindings.iter().zip(tickets).enumerate() {
         let answer = t.wait().unwrap();
         assert_eq!(answer.epoch, 0, "no writers, initial version");
         assert_eq!(answer.relation, solo(&q, Var(0), *b), "binding {b}");
+        // The first quote precedes any execution of this shape, so it
+        // can only rest on raw estimates; later answers may already be
+        // measurement-priced — executions race telemetry absorption.
+        if i == 0 {
+            assert_eq!(
+                answer.priced_on,
+                PricedOn::Estimates,
+                "nothing has executed when the first quote is taken"
+            );
+        }
     }
     let stats = server.stats();
     assert_eq!(stats.submitted, 32);
@@ -122,8 +132,13 @@ fn admission_fast_path_and_budget() {
     });
     let shape = strict.register(q, Var(0)).unwrap();
     match strict.submit(shape, 1) {
-        Err(ServeError::TooExpensive { quoted, budget }) => {
+        Err(ServeError::TooExpensive {
+            quoted,
+            budget,
+            priced_on,
+        }) => {
             assert!(quoted > budget);
+            assert_eq!(priced_on, PricedOn::Estimates, "unseen shape");
         }
         other => panic!("expected TooExpensive, got {other:?}"),
     }
@@ -320,11 +335,18 @@ fn admission_quotes_track_learned_corrections() {
     );
     let shape = server.register(q, Var(0)).unwrap();
     let quoted = |server: &FaqServer<Count>| match server.submit(shape, 1) {
-        Err(ServeError::TooExpensive { quoted, .. }) => quoted,
+        Err(ServeError::TooExpensive {
+            quoted, priced_on, ..
+        }) => (quoted, priced_on),
         other => panic!("zero budget must reject, got {other:?}"),
     };
 
-    let before = quoted(&server);
+    let (before, basis_before) = quoted(&server);
+    assert_eq!(
+        basis_before,
+        PricedOn::Estimates,
+        "no samples yet: the rejection is estimate-priced"
+    );
     // Teach the registry that this shape's cardinalities come out ~256x
     // over the model's estimate; the memoised quote is now stale.
     let log = CalibrationLog::new();
@@ -332,7 +354,12 @@ fn admission_quotes_track_learned_corrections() {
         log.record(0, 16, 1 << 12);
     }
     registry.absorb(&digest, &log);
-    let after = quoted(&server);
+    let (after, basis_after) = quoted(&server);
+    assert_eq!(
+        basis_after,
+        PricedOn::Measurements,
+        "absorbed telemetry flips the pricing basis"
+    );
     assert!(
         after > before,
         "learned under-estimation must raise the admission quote: {after} !> {before}"

@@ -16,7 +16,9 @@
 //!   aggregation, FAQ query definitions.
 //! * [`network`] — communication topologies, min-cuts, Steiner-tree
 //!   packings, multicommodity-flow routing, the synchronous round
-//!   simulator of Model 2.1.
+//!   simulator of Model 2.1, and the pluggable `Transport` layer
+//!   (simulator / in-process channels / loopback TCP) every
+//!   distributed run ships its frames through.
 //! * [`plan`] — the statistics-driven cost-based planner: per-factor
 //!   stats, GHD candidate enumeration, join orders, placement-aware
 //!   communication costs; one `ChosenPlan` feeds every consumer below.
@@ -83,18 +85,19 @@ pub mod prelude {
     pub use faqs_exec::{Executor, ExecutorConfig, IncrementalFaq};
     pub use faqs_hypergraph::{clique_query, cycle_query, path_query, star_query, Hypergraph, Var};
     pub use faqs_lowerbounds::{bcq_lower_bound, Tribes};
-    pub use faqs_network::{Assignment, Topology};
+    pub use faqs_network::{Assignment, Topology, Transport, TransportKind, WireStats};
     pub use faqs_plan::{
         cost_quote_calibrated, plan_query, CalibrationRegistry, CalibrationStats, ChosenPlan,
         PlanCost, PlannerConfig, QueryStats,
     };
     pub use faqs_protocols::{
         run_bcq_protocol, run_faq_protocol, run_faq_protocol_lattice, ConformanceReport,
-        DistributedFaqRun, InputPlacement,
+        DistributedFaqRun, InputPlacement, WireConformance,
     };
     pub use faqs_relation::{
-        BcqBuilder, FaqQuery, Relation, RelationDelta, Snapshot, SnapshotCell,
+        frame_bits, frame_bytes, BcqBuilder, CodecError, FaqQuery, Relation, RelationDelta,
+        Snapshot, SnapshotCell,
     };
     pub use faqs_semiring::{Aggregate, Boolean, Count, Gf2, Prob, Semiring};
-    pub use faqs_serve::{FaqServer, ServeConfig, ServeError, ShapeId};
+    pub use faqs_serve::{FaqServer, PricedOn, ServeConfig, ServeError, ShapeId};
 }
